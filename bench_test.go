@@ -1,0 +1,376 @@
+package gmp
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (§7) plus the ablations listed in DESIGN.md. Each
+// benchmark runs the full packet-level simulation and reports the
+// paper's metrics through b.ReportMetric:
+//
+//	Imm       maxmin fairness index  min(r)/max(r)
+//	Ieq       equality (Jain) index
+//	U_pps     effective network throughput Σ r(f)·l_f
+//	minRate   the smallest flow rate (the quantity maxmin raises)
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute pkt/s differ from the paper (different PHY constants); the
+// shapes — who wins, by what factor, how the indices order the
+// protocols — are the reproduction target. EXPERIMENTS.md records a
+// full paper-vs-measured comparison.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchRun executes one simulation per benchmark iteration and reports
+// the paper's metrics from the last run.
+func benchRun(b *testing.B, cfg Config) *Result {
+	b.Helper()
+	var res *Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err = Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Imm, "Imm")
+	b.ReportMetric(res.Ieq, "Ieq")
+	b.ReportMetric(res.U, "U_pps")
+	minRate := res.Rates[0]
+	for _, r := range res.Rates {
+		if r < minRate {
+			minRate = r
+		}
+	}
+	b.ReportMetric(minRate, "minRate")
+	return res
+}
+
+// BenchmarkTable1Fig2Maxmin regenerates Table 1: GMP on the Figure 2
+// topology with unit weights. Paper: f1=563.96 with f2..f4 equal around
+// 197-221 (f1 opportunistically exceeds the clique-1 flows by ~2.6x).
+func BenchmarkTable1Fig2Maxmin(b *testing.B) {
+	res := benchRun(b, Config{Scenario: Fig2Scenario(), Protocol: ProtocolGMP})
+	b.ReportMetric(res.Rates[0]/res.Rates[1], "f1/f2")
+}
+
+// BenchmarkTable2Fig2Weighted regenerates Table 2: weighted maxmin with
+// weights (1,2,1,3). Paper: clique-1 rates 225/122/377 ~ 2:1:3.
+func BenchmarkTable2Fig2Weighted(b *testing.B) {
+	res := benchRun(b, Config{Scenario: Fig2WeightedScenario(), Protocol: ProtocolGMP})
+	b.ReportMetric(res.Rates[1]/res.Rates[2], "f2/f3")
+	b.ReportMetric(res.Rates[3]/res.Rates[2], "f4/f3")
+}
+
+// Tables 3 and 4 compare three protocols; one sub-benchmark each so the
+// -bench output carries one row per protocol column.
+
+func benchComparison(b *testing.B, sc Scenario) {
+	for _, p := range []Protocol{Protocol80211, Protocol2PP, ProtocolGMP} {
+		b.Run(p.String(), func(b *testing.B) {
+			benchRun(b, Config{Scenario: sc, Protocol: p})
+		})
+	}
+}
+
+// BenchmarkTable3Fig3Comparison regenerates Table 3 (three-link chain).
+// Paper: I_mm 0.366 / 0.547 / 0.919 and U 856 / 1014 / 1026 for
+// 802.11 / 2PP / GMP.
+func BenchmarkTable3Fig3Comparison(b *testing.B) {
+	benchComparison(b, Fig3Scenario())
+}
+
+// BenchmarkTable4Fig4Comparison regenerates Table 4 (four-cell
+// topology). Paper: I_mm 0.476 / 0.125 / 0.888 for 802.11 / 2PP / GMP.
+func BenchmarkTable4Fig4Comparison(b *testing.B) {
+	benchComparison(b, Fig4Scenario())
+}
+
+// BenchmarkFig1QueueIsolation regenerates the Figure 1 experiment (§5.1):
+// per-destination queueing isolates f2 from f1's remote bottleneck. The
+// reported isolation metric is r(f2)/r(f1); with a shared queue it is ~1
+// (f2 wrongly coupled), with per-destination queues it is >> 1.
+func BenchmarkFig1QueueIsolation(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		protocol Protocol
+	}{
+		{"SharedQueue", ProtocolBackpressureShared},
+		{"PerDestination", ProtocolBackpressure},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			res := benchRun(b, Config{
+				Scenario: Fig1Scenario(),
+				Protocol: tc.protocol,
+				Duration: 200 * time.Second,
+			})
+			b.ReportMetric(res.Rates[1]/res.Rates[0], "f2/f1")
+		})
+	}
+}
+
+// BenchmarkAblationBeta sweeps GMP's equality tolerance β (A2 in
+// DESIGN.md). The paper fixes β = 10%; smaller values react to noise,
+// larger ones leave wider residual unfairness.
+func BenchmarkAblationBeta(b *testing.B) {
+	for _, beta := range []float64{0.05, 0.10, 0.20} {
+		b.Run(fmt.Sprintf("beta=%.2f", beta), func(b *testing.B) {
+			benchRun(b, Config{Scenario: Fig3Scenario(), Protocol: ProtocolGMP, Beta: beta})
+		})
+	}
+}
+
+// BenchmarkAblationPeriod sweeps the measurement/adjustment period (A3).
+// The paper uses 4 s.
+func BenchmarkAblationPeriod(b *testing.B) {
+	for _, period := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second} {
+		b.Run(period.String(), func(b *testing.B) {
+			benchRun(b, Config{Scenario: Fig3Scenario(), Protocol: ProtocolGMP, Period: period})
+		})
+	}
+}
+
+// BenchmarkAblationBuffer sweeps the per-destination queue capacity (A6).
+// The paper's comparisons use 10 slots.
+func BenchmarkAblationBuffer(b *testing.B) {
+	for _, slots := range []int{5, 10, 50} {
+		b.Run(fmt.Sprintf("slots=%d", slots), func(b *testing.B) {
+			benchRun(b, Config{Scenario: Fig3Scenario(), Protocol: ProtocolGMP, QueueSlots: slots})
+		})
+	}
+}
+
+// BenchmarkAblationAdditiveIncrease sweeps the rate-limit probe step:
+// larger steps recover utilization faster but overshoot equality.
+func BenchmarkAblationAdditiveIncrease(b *testing.B) {
+	for _, step := range []float64{2, 4, 8} {
+		b.Run(fmt.Sprintf("step=%g", step), func(b *testing.B) {
+			benchRun(b, Config{Scenario: Fig4Scenario(), Protocol: ProtocolGMP, AdditiveIncrease: step})
+		})
+	}
+}
+
+// BenchmarkRandomTopologyVsReference (A4) runs GMP on random connected
+// topologies and reports how close the distributed outcome gets to the
+// centralized water-filling reference: refDist is the mean absolute
+// relative deviation of per-flow rates from the reference allocation.
+func BenchmarkRandomTopologyVsReference(b *testing.B) {
+	sc, err := RandomScenario(15, 5, 900, 900, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := benchRun(b, Config{Scenario: sc, Protocol: ProtocolGMP})
+	dev := 0.0
+	for i, r := range res.Rates {
+		ref := res.Reference[i]
+		if ref > 0 {
+			d := (r - ref) / ref
+			if d < 0 {
+				d = -d
+			}
+			dev += d
+		}
+	}
+	b.ReportMetric(dev/float64(len(res.Rates)), "refDist")
+}
+
+// BenchmarkMeshGateway (A5) scales GMP to a 4x4 mesh with six flows
+// converging on a gateway — the motivating wireless-mesh workload.
+func BenchmarkMeshGateway(b *testing.B) {
+	sc, err := MeshGatewayScenario(4, 4, 6, 200, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []Protocol{Protocol80211, ProtocolGMP} {
+		b.Run(p.String(), func(b *testing.B) {
+			benchRun(b, Config{Scenario: sc, Protocol: p})
+		})
+	}
+}
+
+// BenchmarkLossResilience injects uniform frame loss and reports how
+// GMP's fairness degrades (failure injection; not in the paper).
+func BenchmarkLossResilience(b *testing.B) {
+	for _, loss := range []float64{0, 0.01, 0.05} {
+		b.Run(fmt.Sprintf("loss=%.2f", loss), func(b *testing.B) {
+			benchRun(b, Config{Scenario: Fig3Scenario(), Protocol: ProtocolGMP, LossProb: loss})
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// seconds per wall-clock second on the busiest paper scenario, so
+// regressions in the event loop show up. Unlike the table benchmarks it
+// uses a short session and reports ns per simulated exchange.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := Config{
+		Scenario: Fig4Scenario(),
+		Protocol: Protocol80211,
+		Duration: 20 * time.Second,
+		Warmup:   10 * time.Second,
+	}
+	var tx int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx = res.Channel.Transmissions
+	}
+	b.ReportMetric(float64(tx)/float64(b.Elapsed().Seconds())*float64(b.N), "frames/s")
+}
+
+// BenchmarkFlowChurn measures GMP's adaptivity to dynamic flow sets (an
+// extension beyond the paper's static evaluation): the one-hop flow of
+// the Figure 3 chain departs mid-session and the metric is the fairness
+// of the surviving flows over the post-churn window.
+func BenchmarkFlowChurn(b *testing.B) {
+	sc := Fig3Scenario()
+	sc.Flows[2].Stop = 200 * time.Second
+	var res *Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Run(Config{
+			Scenario: sc,
+			Protocol: ProtocolGMP,
+			Warmup:   250 * time.Second,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	survivors := res.Rates[:2]
+	b.ReportMetric(survivors[0], "r0_pps")
+	b.ReportMetric(survivors[1], "r1_pps")
+}
+
+// BenchmarkInBandControl runs GMP with the §6.2 link-state dissemination
+// executed on the channel itself (dominating-set relays included) and
+// reports the measured control overhead as a fraction of airtime.
+func BenchmarkInBandControl(b *testing.B) {
+	res := benchRun(b, Config{
+		Scenario:      Fig4Scenario(),
+		Protocol:      ProtocolGMP,
+		InBandControl: true,
+	})
+	b.ReportMetric(res.ControlOverhead, "ctrlFrac")
+	b.ReportMetric(float64(res.Channel.ControlFrames), "ctrlFrames")
+}
+
+// BenchmarkDistributedRuntime compares the centrally-evaluated engine
+// with the per-node distributed runtime (§6 executed literally) on the
+// paper's Table 3 and Table 4 scenarios. The "InBand" variants run the
+// link-state dissemination over real 802.11 broadcasts.
+func BenchmarkDistributedRuntime(b *testing.B) {
+	cases := []struct {
+		name   string
+		sc     Scenario
+		proto  Protocol
+		inband bool
+	}{
+		{"Fig3/Central", Fig3Scenario(), ProtocolGMP, false},
+		{"Fig3/Distributed", Fig3Scenario(), ProtocolGMPDistributed, false},
+		{"Fig3/DistributedInBand", Fig3Scenario(), ProtocolGMPDistributed, true},
+		{"Fig4/Central", Fig4Scenario(), ProtocolGMP, false},
+		{"Fig4/Distributed", Fig4Scenario(), ProtocolGMPDistributed, false},
+		{"Fig4/DistributedInBand", Fig4Scenario(), ProtocolGMPDistributed, true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			res := benchRun(b, Config{Scenario: tc.sc, Protocol: tc.proto, InBandControl: tc.inband})
+			if tc.inband {
+				b.ReportMetric(res.ControlOverhead, "ctrlFrac")
+			}
+		})
+	}
+}
+
+// BenchmarkConvergenceTime reports how quickly GMP settles on the
+// paper's scenarios (seconds of virtual time until per-period rates stay
+// within 30% of their settled means).
+func BenchmarkConvergenceTime(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		sc   Scenario
+	}{
+		{"Fig3", Fig3Scenario()},
+		{"Fig4", Fig4Scenario()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var at time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{Scenario: tc.sc, Protocol: ProtocolGMP, Seed: int64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got, ok := ConvergenceTime(res.Trace, 0.3); ok {
+					at = got
+				} else {
+					at = res.Trace[len(res.Trace)-1].Time
+				}
+			}
+			b.ReportMetric(at.Seconds(), "convergeSec")
+		})
+	}
+}
+
+// BenchmarkTopologyZoo runs GMP across structurally distinct topologies
+// beyond the paper's figures: crossing flows, parallel contending
+// chains, and a pure single-destination star.
+func BenchmarkTopologyZoo(b *testing.B) {
+	cross, err := CrossScenario(2, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chains, err := ParallelChainsScenario(3, 4, 200, 240)
+	if err != nil {
+		b.Fatal(err)
+	}
+	star, err := StarScenario(6, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		sc   Scenario
+	}{
+		{"Cross", cross},
+		{"ParallelChains", chains},
+		{"Star", star},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchRun(b, Config{Scenario: tc.sc, Protocol: ProtocolGMP})
+		})
+	}
+}
+
+// BenchmarkFairAggregation measures the per-origin round-robin queue
+// extension (beyond the paper, in the spirit of its ref [4]) on the
+// mesh-gateway workload, with and without GMP's rate adaptation on top.
+func BenchmarkFairAggregation(b *testing.B) {
+	sc, err := MeshGatewayScenario(4, 4, 6, 200, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		protocol Protocol
+		fair     bool
+	}{
+		{"Backpressure/FIFO", ProtocolBackpressure, false},
+		{"Backpressure/FairAggregation", ProtocolBackpressure, true},
+		{"GMP/FIFO", ProtocolGMP, false},
+		{"GMP/FairAggregation", ProtocolGMP, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchRun(b, Config{Scenario: sc, Protocol: tc.protocol, FairAggregation: tc.fair})
+		})
+	}
+}

@@ -1,0 +1,229 @@
+// Command benchtables regenerates every table of the paper's evaluation
+// (§7) and prints the reproduction side by side with the published
+// values. Absolute packet rates differ (our PHY constants are not the
+// authors'); the point of comparison is the shape: who wins, by what
+// factor, and how the fairness indices order the protocols.
+//
+// Usage:
+//
+//	benchtables             # all tables
+//	benchtables -table 3    # only Table 3
+//	benchtables -duration 100s -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"gmp"
+	"gmp/internal/paperdata"
+	"gmp/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table to regenerate (1-4; 0 = all)")
+	duration := fs.Duration("duration", 400*time.Second, "simulated session length")
+	seeds := fs.Int("seeds", 1, "number of seeds to average over")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("need at least one seed, got %d", *seeds)
+	}
+
+	runs := []struct {
+		id int
+		fn func(time.Duration, int) error
+	}{
+		{1, table1}, {2, table2}, {3, table3}, {4, table4},
+	}
+	for _, r := range runs {
+		if *table != 0 && *table != r.id {
+			continue
+		}
+		if err := r.fn(*duration, *seeds); err != nil {
+			return fmt.Errorf("table %d: %w", r.id, err)
+		}
+	}
+	return nil
+}
+
+// aggregate holds per-flow mean rates plus mean and spread of the
+// summary metrics over the seeds.
+type aggregate struct {
+	rates     []float64 // per-flow means
+	normRates []float64 // per-flow normalized-rate means
+	u, uCI    float64
+	imm       float64
+	immCI     float64
+	ieq       float64
+	ieqCI     float64
+}
+
+// runSeeds executes the scenario under one protocol for each seed
+// 1..seeds and aggregates.
+func runSeeds(sc gmp.Scenario, p gmp.Protocol, duration time.Duration, seeds int) (*aggregate, error) {
+	n := len(sc.Flows)
+	perFlow := make([][]float64, n)
+	perNorm := make([][]float64, n)
+	var us, imms, ieqs []float64
+	for s := 1; s <= seeds; s++ {
+		res, err := gmp.Run(gmp.Config{Scenario: sc, Protocol: p, Duration: duration, Seed: int64(s)})
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range res.Rates {
+			perFlow[i] = append(perFlow[i], r)
+			perNorm[i] = append(perNorm[i], res.Flows[i].NormRate)
+		}
+		us = append(us, res.U)
+		imms = append(imms, res.Imm)
+		ieqs = append(ieqs, res.Ieq)
+	}
+	agg := &aggregate{
+		u: stats.Mean(us), uCI: stats.CI95(us),
+		imm: stats.Mean(imms), immCI: stats.CI95(imms),
+		ieq: stats.Mean(ieqs), ieqCI: stats.CI95(ieqs),
+	}
+	for i := 0; i < n; i++ {
+		agg.rates = append(agg.rates, stats.Mean(perFlow[i]))
+		agg.normRates = append(agg.normRates, stats.Mean(perNorm[i]))
+	}
+	return agg, nil
+}
+
+func withCI(mean, ci float64) string {
+	if ci == 0 {
+		return fmt.Sprintf("%.3f", mean)
+	}
+	return fmt.Sprintf("%.3f±%.3f", mean, ci)
+}
+
+func table1(duration time.Duration, seeds int) error {
+	fmt.Println("Table 1 — GMP on the Figure 2 topology, unit weights")
+	sc := gmp.Fig2Scenario()
+	agg, err := runSeeds(sc, gmp.ProtocolGMP, duration, seeds)
+	if err != nil {
+		return err
+	}
+	ref, err := gmp.Run(gmp.Config{Scenario: sc, Protocol: gmp.ProtocolGMP,
+		Duration: time.Second, Warmup: time.Second / 2})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "flow\tpaper(pkt/s)\tmeasured(pkt/s)\treference(water-filling)")
+	for i, name := range paperdata.Table1.Flows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n",
+			name, paperdata.Table1.Rates[i], agg.rates[i], ref.Reference[i])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("shape: paper f1/f2 = %.2f, measured f1/f2 = %.2f\n\n",
+		paperdata.Table1.Rates[0]/paperdata.Table1.Rates[1], agg.rates[0]/agg.rates[1])
+	return nil
+}
+
+func table2(duration time.Duration, seeds int) error {
+	fmt.Println("Table 2 — weighted maxmin on Figure 2, weights (1,2,1,3)")
+	agg, err := runSeeds(gmp.Fig2WeightedScenario(), gmp.ProtocolGMP, duration, seeds)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "flow\tweight\tpaper(pkt/s)\tmeasured(pkt/s)\tmeasured normalized")
+	for i, name := range paperdata.Table2.Flows {
+		fmt.Fprintf(w, "%s\t%g\t%.2f\t%.2f\t%.2f\n",
+			name, paperdata.Table2.Weights[i], paperdata.Table2.Rates[i],
+			agg.rates[i], agg.normRates[i])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("shape: clique-1 rates should split ~2:1:3 (measured %.0f:%.0f:%.0f)\n\n",
+		agg.rates[1], agg.rates[2], agg.rates[3])
+	return nil
+}
+
+func comparisonTable(title string, sc gmp.Scenario, paper struct {
+	Flows     []string
+	Protocols map[string]paperdata.ProtocolRow
+}, duration time.Duration, seeds int) error {
+	fmt.Println(title)
+	protocols := []struct {
+		name string
+		p    gmp.Protocol
+	}{
+		{"802.11", gmp.Protocol80211},
+		{"2PP", gmp.Protocol2PP},
+		{"GMP", gmp.ProtocolGMP},
+	}
+	results := make(map[string]*aggregate, len(protocols))
+	for _, pr := range protocols {
+		agg, err := runSeeds(sc, pr.p, duration, seeds)
+		if err != nil {
+			return err
+		}
+		results[pr.name] = agg
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprint(w, "flow")
+	for _, pr := range protocols {
+		fmt.Fprintf(w, "\t%s paper\t%s meas.", pr.name, pr.name)
+	}
+	fmt.Fprintln(w)
+	for i, name := range paper.Flows {
+		fmt.Fprint(w, name)
+		for _, pr := range protocols {
+			fmt.Fprintf(w, "\t%.2f\t%.2f", paper.Protocols[pr.name].Rates[i], results[pr.name].rates[i])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, row := range []struct {
+		label string
+		paper func(paperdata.ProtocolRow) float64
+		meas  func(*aggregate) string
+	}{
+		{"U", func(r paperdata.ProtocolRow) float64 { return r.U },
+			func(a *aggregate) string { return withCI(a.u, a.uCI) }},
+		{"I_mm", func(r paperdata.ProtocolRow) float64 { return r.Imm },
+			func(a *aggregate) string { return withCI(a.imm, a.immCI) }},
+		{"I_eq", func(r paperdata.ProtocolRow) float64 { return r.Ieq },
+			func(a *aggregate) string { return withCI(a.ieq, a.ieqCI) }},
+	} {
+		fmt.Fprint(w, row.label)
+		for _, pr := range protocols {
+			fmt.Fprintf(w, "\t%.3f\t%s", row.paper(paper.Protocols[pr.name]), row.meas(results[pr.name]))
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func table3(duration time.Duration, seeds int) error {
+	return comparisonTable(
+		"Table 3 — Figure 3 three-link chain: 802.11 vs 2PP vs GMP",
+		gmp.Fig3Scenario(), paperdata.Table3, duration, seeds)
+}
+
+func table4(duration time.Duration, seeds int) error {
+	return comparisonTable(
+		"Table 4 — Figure 4 four-cell topology: 802.11 vs 2PP vs GMP",
+		gmp.Fig4Scenario(), paperdata.Table4, duration, seeds)
+}

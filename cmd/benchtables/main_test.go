@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestTablesRunShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table regeneration")
+	}
+	// A short session exercises every code path of all four tables.
+	if err := run([]string{"-duration", "4s", "-seeds", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-seeds", "0"}); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}

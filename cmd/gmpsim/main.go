@@ -1,0 +1,267 @@
+// Command gmpsim runs one simulation scenario under a chosen protocol and
+// prints per-flow end-to-end rates, fairness indices, and the centralized
+// maxmin reference allocation.
+//
+// Usage:
+//
+//	gmpsim -scenario fig3 -protocol gmp -duration 400s
+//	gmpsim -scenario fig2w -protocol gmp
+//	gmpsim -scenario mesh -rows 4 -cols 4 -flows 6 -protocol gmp
+//	gmpsim -scenario random -nodes 20 -flows 8 -protocol 802.11
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"gmp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gmpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
+	var (
+		scenarioName = fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4|chain|mesh|random")
+		scenarioFile = fs.String("scenario-file", "", "load the scenario from a JSON file instead")
+		saveScenario = fs.String("save-scenario", "", "write the chosen scenario as JSON and exit")
+		jsonOut      = fs.Bool("json", false, "print the result as JSON")
+		events       = fs.Int("events", 0, "record and print the last N channel events")
+		inband       = fs.Bool("inband-control", false, "run link-state dissemination on the channel")
+		fairAgg      = fs.Bool("fair-aggregation", false, "serve queues round-robin by packet origin")
+		protocolName = fs.String("protocol", "gmp", "protocol: gmp|gmp-dist|802.11|2pp|bp|bp-shared")
+		duration     = fs.Duration("duration", 400*time.Second, "simulated session length")
+		warmup       = fs.Duration("warmup", 0, "measurement window start (default duration/2)")
+		seed         = fs.Int64("seed", 1, "random seed")
+		beta         = fs.Float64("beta", 0.10, "GMP equality tolerance / step size")
+		period       = fs.Duration("period", 4*time.Second, "GMP measurement/adjustment period")
+		omega        = fs.Float64("omega", 0.25, "buffer-saturation threshold")
+		additive     = fs.Float64("additive", 4, "rate-limit probe step (pkt/s)")
+		queueSlots   = fs.Int("queue", 10, "per-queue capacity in packets")
+		lossProb     = fs.Float64("loss", 0, "injected frame loss probability")
+		noRTS        = fs.Bool("no-rts", false, "disable the RTS/CTS handshake")
+		trace        = fs.Bool("trace", false, "print GMP adjustment-round trace")
+		macStats     = fs.Bool("mac-stats", false, "print per-node MAC counters")
+		nodes        = fs.Int("nodes", 20, "node count (random scenario)")
+		rows         = fs.Int("rows", 4, "grid rows (mesh scenario)")
+		cols         = fs.Int("cols", 4, "grid cols (mesh scenario)")
+		nflows       = fs.Int("flows", 6, "flow count (mesh/random scenarios)")
+		length       = fs.Int("length", 5, "chain length in nodes (chain scenario)")
+		spacing      = fs.Float64("spacing", 200, "node spacing in meters (chain/mesh)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc gmp.Scenario
+	var err error
+	if *scenarioFile != "" {
+		f, ferr := os.Open(*scenarioFile)
+		if ferr != nil {
+			return ferr
+		}
+		sc, err = gmp.LoadScenario(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		sc, err = buildScenario(*scenarioName, *nodes, *rows, *cols, *nflows, *length, *spacing, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	if *saveScenario != "" {
+		f, ferr := os.Create(*saveScenario)
+		if ferr != nil {
+			return ferr
+		}
+		if err := gmp.SaveScenario(f, sc); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	protocol, err := parseProtocol(*protocolName)
+	if err != nil {
+		return err
+	}
+
+	res, err := gmp.Run(gmp.Config{
+		Scenario:         sc,
+		Protocol:         protocol,
+		Duration:         *duration,
+		Warmup:           *warmup,
+		Seed:             *seed,
+		Beta:             *beta,
+		Period:           *period,
+		OmegaThreshold:   *omega,
+		AdditiveIncrease: *additive,
+		QueueSlots:       *queueSlots,
+		LossProb:         *lossProb,
+		DisableRTS:       *noRTS,
+		EventTrace:       *events,
+		InBandControl:    *inband,
+		FairAggregation:  *fairAgg,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return printJSON(res)
+	}
+	printResult(res, *trace)
+	if *macStats {
+		printMACStats(res)
+	}
+	if *events > 0 {
+		fmt.Printf("\nlast %d channel events:\n", len(res.Events))
+		for _, e := range res.Events {
+			fmt.Println(" ", e)
+		}
+	}
+	return nil
+}
+
+// jsonResult is the machine-readable output shape (rate limits use -1
+// for "none" because JSON cannot carry +Inf).
+type jsonResult struct {
+	Scenario string     `json:"scenario"`
+	Protocol string     `json:"protocol"`
+	Flows    []jsonFlow `json:"flows"`
+	Imm      float64    `json:"i_mm"`
+	Ieq      float64    `json:"i_eq"`
+	U        float64    `json:"u_pps"`
+}
+
+type jsonFlow struct {
+	Src       int     `json:"src"`
+	Dst       int     `json:"dst"`
+	Weight    float64 `json:"weight"`
+	Hops      int     `json:"hops"`
+	Rate      float64 `json:"rate_pps"`
+	NormRate  float64 `json:"normalized_rate"`
+	Reference float64 `json:"reference_pps"`
+	Limit     float64 `json:"limit_pps"`
+	Delivered int64   `json:"delivered"`
+	Dropped   int64   `json:"dropped"`
+}
+
+func printJSON(res *gmp.Result) error {
+	out := jsonResult{
+		Scenario: res.Scenario,
+		Protocol: res.Protocol.String(),
+		Imm:      res.Imm,
+		Ieq:      res.Ieq,
+		U:        res.U,
+	}
+	for i, f := range res.Flows {
+		limit := -1.0
+		if !math.IsInf(f.Limit, 1) {
+			limit = f.Limit
+		}
+		out.Flows = append(out.Flows, jsonFlow{
+			Src: int(f.Spec.Src), Dst: int(f.Spec.Dst), Weight: f.Spec.Weight,
+			Hops: f.Hops, Rate: f.Rate, NormRate: f.NormRate,
+			Reference: res.Reference[i], Limit: limit,
+			Delivered: f.Delivered, Dropped: f.Dropped,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func buildScenario(name string, nodes, rows, cols, nflows, length int, spacing float64, seed int64) (gmp.Scenario, error) {
+	switch name {
+	case "fig1":
+		return gmp.Fig1Scenario(), nil
+	case "fig2":
+		return gmp.Fig2Scenario(), nil
+	case "fig2w":
+		return gmp.Fig2WeightedScenario(), nil
+	case "fig3":
+		return gmp.Fig3Scenario(), nil
+	case "fig4":
+		return gmp.Fig4Scenario(), nil
+	case "chain":
+		return gmp.ChainScenario(length, spacing)
+	case "mesh":
+		return gmp.MeshGatewayScenario(rows, cols, nflows, spacing, seed)
+	case "random":
+		return gmp.RandomScenario(nodes, nflows, 1000, 1000, seed)
+	default:
+		return gmp.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+func parseProtocol(name string) (gmp.Protocol, error) {
+	switch name {
+	case "gmp":
+		return gmp.ProtocolGMP, nil
+	case "gmp-dist", "gmpd":
+		return gmp.ProtocolGMPDistributed, nil
+	case "802.11", "80211", "dcf":
+		return gmp.Protocol80211, nil
+	case "2pp":
+		return gmp.Protocol2PP, nil
+	case "bp":
+		return gmp.ProtocolBackpressure, nil
+	case "bp-shared":
+		return gmp.ProtocolBackpressureShared, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func printResult(res *gmp.Result, trace bool) {
+	fmt.Printf("scenario %s under %s\n\n", res.Scenario, res.Protocol)
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "flow\troute\tweight\thops\trate(pkt/s)\tnormalized\treference\tlimit\tdropped")
+	for i, f := range res.Flows {
+		limit := "-"
+		if !math.IsInf(f.Limit, 1) {
+			limit = fmt.Sprintf("%.1f", f.Limit)
+		}
+		fmt.Fprintf(w, "f%d\t%d->%d\t%g\t%d\t%.2f\t%.2f\t%.2f\t%s\t%d\n",
+			i+1, f.Spec.Src, f.Spec.Dst, f.Spec.Weight, f.Hops,
+			f.Rate, f.NormRate, res.Reference[i], limit, f.Dropped)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "gmpsim: flushing table:", err)
+	}
+	fmt.Printf("\nU = %.2f pkt/s   I_mm = %.3f   I_eq = %.3f\n", res.U, res.Imm, res.Ieq)
+	fmt.Printf("channel: %d transmissions, %d corrupted deliveries\n",
+		res.Channel.Transmissions, res.Channel.Corrupted)
+	if res.Channel.ControlFrames > 0 {
+		fmt.Printf("control: %d broadcasts, %.2f%% of airtime\n",
+			res.Channel.ControlFrames, 100*res.ControlOverhead)
+	}
+	if trace && len(res.Trace) > 0 {
+		fmt.Println("\nadjustment rounds (time, per-flow rates, requests):")
+		for _, r := range res.Trace {
+			fmt.Printf("  t=%6s rates=%s requests=%d saturated=%d\n",
+				r.Time, formatRates(r.Rates), r.Requests, r.SaturatedVNodes)
+		}
+	}
+}
+
+func formatRates(rates []float64) string {
+	s := "["
+	for i, r := range rates {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.0f", r)
+	}
+	return s + "]"
+}

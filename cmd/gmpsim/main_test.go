@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseProtocol(t *testing.T) {
+	for name, want := range map[string]string{
+		"gmp":       "GMP",
+		"802.11":    "802.11",
+		"80211":     "802.11",
+		"dcf":       "802.11",
+		"2pp":       "2PP",
+		"bp":        "backpressure/per-dest",
+		"bp-shared": "backpressure/shared",
+	} {
+		p, err := parseProtocol(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.String() != want {
+			t.Errorf("%s -> %s, want %s", name, p, want)
+		}
+	}
+	if _, err := parseProtocol("bogus"); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+}
+
+func TestBuildScenario(t *testing.T) {
+	for _, name := range []string{"fig1", "fig2", "fig2w", "fig3", "fig4", "chain", "mesh", "random"} {
+		sc, err := buildScenario(name, 10, 3, 3, 4, 4, 200, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sc.Positions) == 0 || len(sc.Flows) == 0 {
+			t.Errorf("%s: empty scenario", name)
+		}
+	}
+	if _, err := buildScenario("bogus", 0, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Exercise the full CLI path, including scenario save + load.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "sc.json")
+	if err := run([]string{"-scenario", "fig3", "-save-scenario", file}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario-file", file, "-protocol", "802.11",
+		"-duration", "2s", "-warmup", "1s", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-protocol", "bogus"}); err == nil {
+		t.Error("bad protocol accepted")
+	}
+	if err := run([]string{"-scenario", "bogus"}); err == nil {
+		t.Error("bad scenario accepted")
+	}
+	if err := run([]string{"-scenario-file", "/does/not/exist"}); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Command sweep runs a one-dimensional parameter sweep over repeated
+// simulations and writes the results as CSV (one row per run), ready for
+// plotting. It automates the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	sweep -scenario fig3 -param beta -values 0.05,0.1,0.2 -seeds 5
+//	sweep -scenario fig4 -param additive -values 2,4,8 -out fig4_additive.csv
+//	sweep -scenario fig3 -param loss -values 0,0.01,0.05 -protocol gmp
+//
+// Supported parameters: beta, period_s, additive, omega, queue, loss.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gmp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	scenarioName := fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4")
+	protocolName := fs.String("protocol", "gmp", "protocol: gmp|gmp-dist|802.11|2pp")
+	param := fs.String("param", "beta", "parameter to sweep: beta|period_s|additive|omega|queue|loss")
+	values := fs.String("values", "0.05,0.10,0.20", "comma-separated parameter values")
+	seeds := fs.Int("seeds", 3, "seeds per value")
+	duration := fs.Duration("duration", 400*time.Second, "session length")
+	out := fs.String("out", "", "CSV output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := pickScenario(*scenarioName)
+	if err != nil {
+		return err
+	}
+	protocol, err := pickProtocol(*protocolName)
+	if err != nil {
+		return err
+	}
+	vals, err := parseValues(*values)
+	if err != nil {
+		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("need at least one seed")
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "sweep: closing output:", cerr)
+			}
+		}()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"scenario", "protocol", "param", "value", "seed", "i_mm", "i_eq", "u_pps", "min_rate_pps"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	for _, v := range vals {
+		for seed := 1; seed <= *seeds; seed++ {
+			cfg := gmp.Config{
+				Scenario: sc,
+				Protocol: protocol,
+				Duration: *duration,
+				Seed:     int64(seed),
+			}
+			if err := applyParam(&cfg, *param, v); err != nil {
+				return err
+			}
+			res, err := gmp.Run(cfg)
+			if err != nil {
+				return err
+			}
+			minRate := res.Rates[0]
+			for _, r := range res.Rates {
+				if r < minRate {
+					minRate = r
+				}
+			}
+			row := []string{
+				sc.Name, protocol.String(), *param,
+				strconv.FormatFloat(v, 'g', -1, 64),
+				strconv.Itoa(seed),
+				fmt.Sprintf("%.4f", res.Imm),
+				fmt.Sprintf("%.4f", res.Ieq),
+				fmt.Sprintf("%.2f", res.U),
+				fmt.Sprintf("%.2f", minRate),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pickScenario(name string) (gmp.Scenario, error) {
+	switch name {
+	case "fig1":
+		return gmp.Fig1Scenario(), nil
+	case "fig2":
+		return gmp.Fig2Scenario(), nil
+	case "fig2w":
+		return gmp.Fig2WeightedScenario(), nil
+	case "fig3":
+		return gmp.Fig3Scenario(), nil
+	case "fig4":
+		return gmp.Fig4Scenario(), nil
+	default:
+		return gmp.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+func pickProtocol(name string) (gmp.Protocol, error) {
+	switch name {
+	case "gmp":
+		return gmp.ProtocolGMP, nil
+	case "gmp-dist":
+		return gmp.ProtocolGMPDistributed, nil
+	case "802.11":
+		return gmp.Protocol80211, nil
+	case "2pp":
+		return gmp.Protocol2PP, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func parseValues(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	vals := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("no values")
+	}
+	return vals, nil
+}
+
+func applyParam(cfg *gmp.Config, param string, v float64) error {
+	switch param {
+	case "beta":
+		cfg.Beta = v
+	case "period_s":
+		cfg.Period = time.Duration(v * float64(time.Second))
+	case "additive":
+		cfg.AdditiveIncrease = v
+	case "omega":
+		cfg.OmegaThreshold = v
+	case "queue":
+		cfg.QueueSlots = int(v)
+	case "loss":
+		cfg.LossProb = v
+	default:
+		return fmt.Errorf("unknown parameter %q", param)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepProducesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-scenario", "fig3", "-protocol", "802.11",
+		"-param", "queue", "-values", "5,10",
+		"-seeds", "2", "-duration", "4s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 2 values x 2 seeds.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "scenario,protocol,param,value,seed") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "fig3,802.11,queue,") {
+			t.Errorf("row = %q", l)
+		}
+	}
+}
+
+func TestSweepWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/out.csv"
+	err := run([]string{
+		"-scenario", "fig3", "-protocol", "802.11",
+		"-param", "loss", "-values", "0",
+		"-seeds", "1", "-duration", "2s", "-out", path,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "bogus"},
+		{"-protocol", "bogus"},
+		{"-param", "bogus", "-duration", "2s"},
+		{"-values", "abc"},
+		{"-seeds", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

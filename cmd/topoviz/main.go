@@ -1,0 +1,193 @@
+// Command topoviz renders a scenario's topology as ASCII art and prints
+// its structural analysis: links, the contention graph, the proper
+// contention cliques (with the paper's owner.seq identifiers), routing
+// paths, dominating sets, and the water-filling reference allocation.
+// It reproduces the structural content of the paper's Figures 1-4.
+//
+// Usage:
+//
+//	topoviz -scenario fig2
+//	topoviz -scenario fig4 -width 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gmp"
+	"gmp/internal/baseline"
+	"gmp/internal/clique"
+	"gmp/internal/maxminref"
+	"gmp/internal/radio"
+	"gmp/internal/routing"
+	"gmp/internal/scenario"
+	"gmp/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topoviz", flag.ContinueOnError)
+	name := fs.String("scenario", "fig2", "scenario: fig1|fig2|fig3|fig4|chain|mesh")
+	width := fs.Int("width", 78, "canvas width in characters")
+	seed := fs.Int64("seed", 1, "seed (mesh scenario)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc gmp.Scenario
+	switch *name {
+	case "fig1":
+		sc = gmp.Fig1Scenario()
+	case "fig2":
+		sc = gmp.Fig2Scenario()
+	case "fig3":
+		sc = gmp.Fig3Scenario()
+	case "fig4":
+		sc = gmp.Fig4Scenario()
+	case "chain":
+		var err error
+		sc, err = gmp.ChainScenario(5, 200)
+		if err != nil {
+			return err
+		}
+	case "mesh":
+		var err error
+		sc, err = gmp.MeshGatewayScenario(4, 4, 6, 200, *seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q", *name)
+	}
+
+	topo, err := sc.Topology()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %s — %s\n\n", sc.Name, sc.Description)
+	drawCanvas(sc, topo, *width)
+
+	routes := routing.Build(topo)
+	fmt.Println("\nflows:")
+	for _, f := range sc.Flows {
+		path, err := routes.Path(f.Src, f.Dst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  f%d: %s  (weight %g, desire %g pkt/s)\n",
+			f.ID+1, pathString(path), f.Weight, f.DesiredRate)
+	}
+
+	links := undirectedLinks(topo)
+	fmt.Printf("\nwireless links (%d):\n  ", len(links))
+	for i, l := range links {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Print(l)
+	}
+	fmt.Println()
+
+	set := clique.Build(topo)
+	fmt.Printf("\nproper contention cliques (%d):\n", len(set.All()))
+	for _, c := range set.All() {
+		parts := make([]string, len(c.Links))
+		for i, l := range c.Links {
+			parts[i] = l.String()
+		}
+		fmt.Printf("  clique %s: {%s}\n", c.ID, strings.Join(parts, ", "))
+	}
+
+	fmt.Println("\ndominating sets (for two-hop dissemination):")
+	for _, n := range topo.Nodes() {
+		ds := topo.DominatingSet(n)
+		if len(ds) == 0 {
+			continue
+		}
+		fmt.Printf("  node %d -> %v\n", n, ds)
+	}
+
+	par := radio.DefaultParams()
+	capacity := par.SaturationRate(scenario.DefaultPacketBytes, true)
+	refFlows := make([]maxminref.FlowSpec, len(sc.Flows))
+	for i, f := range sc.Flows {
+		refFlows[i] = maxminref.FlowSpec{Src: f.Src, Dst: f.Dst, Weight: f.Weight, Demand: f.DesiredRate}
+	}
+	problem, err := maxminref.BuildProblem(refFlows, routes, set, baseline.UniformCliqueCapacity(capacity))
+	if err != nil {
+		return err
+	}
+	ref, err := problem.Solve()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nweighted maxmin reference (clique capacity %.0f pkt/s):\n", capacity)
+	for i, r := range ref {
+		fmt.Printf("  f%d: %8.2f pkt/s  (normalized %.2f)\n", i+1, r, r/sc.Flows[i].Weight)
+	}
+	return nil
+}
+
+func pathString(path []topology.NodeID) string {
+	parts := make([]string, len(path))
+	for i, n := range path {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func undirectedLinks(topo *topology.Topology) []topology.Link {
+	seen := make(map[topology.Link]bool)
+	var out []topology.Link
+	for _, l := range topo.Links() {
+		u := l.Undirected()
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// drawCanvas scales node positions onto a character grid and overlays
+// node IDs.
+func drawCanvas(sc gmp.Scenario, topo *topology.Topology, width int) {
+	minX, maxX := sc.Positions[0].X, sc.Positions[0].X
+	minY, maxY := sc.Positions[0].Y, sc.Positions[0].Y
+	for _, p := range sc.Positions {
+		minX, maxX = min(minX, p.X), max(maxX, p.X)
+		minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+	}
+	spanX := max(maxX-minX, 1)
+	spanY := max(maxY-minY, 1)
+	height := int(float64(width) * spanY / spanX / 2.2) // terminal cells are ~2.2x taller
+	height = max(height, 1)
+
+	grid := make([][]rune, height+1)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width+4))
+	}
+	for id, p := range sc.Positions {
+		x := int(float64(width-1) * (p.X - minX) / spanX)
+		y := int(float64(height) * (p.Y - minY) / spanY)
+		label := fmt.Sprint(id)
+		for k, r := range label {
+			if x+k < len(grid[y]) {
+				grid[y][x+k] = r
+			}
+		}
+	}
+	fmt.Printf("layout (%.0fx%.0f m, tx range %.0f m):\n", spanX, spanY, topo.Config().TxRange)
+	for _, row := range grid {
+		line := strings.TrimRight(string(row), " ")
+		fmt.Println("  " + line)
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestAllScenariosRender(t *testing.T) {
+	for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "chain", "mesh"} {
+		if err := run([]string{"-scenario", name}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRejectsUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "bogus"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package gmp
+
+import (
+	"math"
+	"time"
+
+	"gmp/internal/stats"
+)
+
+// ConvergenceTime estimates when a GMP run settled: the earliest trace
+// round from which at least 90% of the remaining rounds keep every
+// flow's per-period rate within tol (fractionally) of its settled mean
+// (the mean over the trace's second half). It returns false when the
+// trace never settles or is too short to judge.
+//
+// Poisson sources make per-period rates noisy, so tolerances below ~0.15
+// rarely report convergence; 0.25-0.3 is a reasonable range for the
+// paper's scenarios.
+func ConvergenceTime(trace []Round, tol float64) (time.Duration, bool) {
+	if len(trace) < 4 || tol <= 0 {
+		return 0, false
+	}
+	flows := len(trace[0].Rates)
+	if flows == 0 {
+		return 0, false
+	}
+
+	// Tail means per flow, computed over the last half of the trace —
+	// the regime the run settled into, if it settled at all.
+	half := trace[len(trace)/2:]
+	means := make([]float64, flows)
+	for f := 0; f < flows; f++ {
+		vals := make([]float64, len(half))
+		for i, r := range half {
+			vals[i] = r.Rates[f]
+		}
+		means[f] = stats.Mean(vals)
+	}
+
+	inBand := func(r Round) bool {
+		for f := 0; f < flows; f++ {
+			m := means[f]
+			if m <= 0 {
+				if r.Rates[f] > tol*10 {
+					return false
+				}
+				continue
+			}
+			if math.Abs(r.Rates[f]-m) > tol*m {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Earliest suffix whose out-of-band fraction stays below 10%.
+	bad := make([]int, len(trace)+1)
+	for i := len(trace) - 1; i >= 0; i-- {
+		bad[i] = bad[i+1]
+		if !inBand(trace[i]) {
+			bad[i]++
+		}
+	}
+	for i := 0; i < len(trace)-2; i++ {
+		n := len(trace) - i
+		if float64(bad[i]) <= 0.1*float64(n) {
+			return trace[i].Time, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,100 @@
+package gmp
+
+import (
+	"testing"
+	"time"
+)
+
+func round(at time.Duration, rates ...float64) Round {
+	return Round{Time: at, Rates: rates}
+}
+
+func TestConvergenceTimeSteadyTrace(t *testing.T) {
+	var trace []Round
+	for i := 0; i < 20; i++ {
+		trace = append(trace, round(time.Duration(i)*4*time.Second, 100, 101, 99))
+	}
+	at, ok := ConvergenceTime(trace, 0.1)
+	if !ok {
+		t.Fatal("steady trace did not converge")
+	}
+	if at != 0 {
+		t.Errorf("converged at %v, want 0 (steady from the start)", at)
+	}
+}
+
+func TestConvergenceTimeAfterTransient(t *testing.T) {
+	var trace []Round
+	for i := 0; i < 10; i++ {
+		trace = append(trace, round(time.Duration(i)*4*time.Second, float64(10+30*i))) // ramp
+	}
+	for i := 10; i < 30; i++ {
+		trace = append(trace, round(time.Duration(i)*4*time.Second, 500))
+	}
+	at, ok := ConvergenceTime(trace, 0.1)
+	if !ok {
+		t.Fatal("trace with settled tail did not converge")
+	}
+	// The 10% outlier allowance may place the point a round or two
+	// before the ramp fully ends.
+	if at < 24*time.Second || at > 44*time.Second {
+		t.Errorf("converged at %v, want ~40s", at)
+	}
+}
+
+func TestConvergenceTimeNeverSettles(t *testing.T) {
+	var trace []Round
+	for i := 0; i < 30; i++ {
+		r := 100.0
+		if i%2 == 0 {
+			r = 300
+		}
+		trace = append(trace, round(time.Duration(i)*4*time.Second, r))
+	}
+	if _, ok := ConvergenceTime(trace, 0.1); ok {
+		t.Error("oscillating trace reported converged")
+	}
+}
+
+func TestConvergenceTimeDegenerate(t *testing.T) {
+	if _, ok := ConvergenceTime(nil, 0.1); ok {
+		t.Error("nil trace converged")
+	}
+	if _, ok := ConvergenceTime([]Round{round(0, 1)}, 0.1); ok {
+		t.Error("one-round trace converged")
+	}
+	long := make([]Round, 10)
+	for i := range long {
+		long[i] = round(time.Duration(i), 5)
+	}
+	if _, ok := ConvergenceTime(long, 0); ok {
+		t.Error("zero tolerance accepted")
+	}
+}
+
+func TestConvergenceTimeOnRealRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	res := run(t, Config{Scenario: Fig3Scenario(), Protocol: ProtocolGMP})
+	at, ok := ConvergenceTime(res.Trace, 0.3)
+	if !ok {
+		t.Fatal("fig3 GMP run never settled at 30% tolerance")
+	}
+	if at > 350*time.Second {
+		t.Errorf("converged only at %v", at)
+	}
+}
+
+func TestGeographicRoutingRun(t *testing.T) {
+	// Fig3's chain routes identically under greedy geographic
+	// forwarding; the run must behave the same modulo noise.
+	res := run(t, Config{Scenario: Fig3Scenario(), Protocol: Protocol80211,
+		Duration: 30 * time.Second, GeographicRouting: true})
+	wantHops := []int{3, 2, 1}
+	for i, f := range res.Flows {
+		if f.Hops != wantHops[i] {
+			t.Errorf("flow %d hops = %d, want %d", i, f.Hops, wantHops[i])
+		}
+	}
+}

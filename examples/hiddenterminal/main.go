@@ -1,0 +1,67 @@
+// Hidden terminal anatomy: drills into the Figure 3 chain to show *why*
+// plain 802.11 is unfair — and what each layer of GMP's machinery
+// (backpressure, per-destination queues, rate adaptation) contributes.
+//
+// Four configurations run on the same topology:
+//
+//  1. plain 802.11           — no queue discipline, no backpressure
+//  2. backpressure, 1 queue  — congestion avoidance with a shared FIFO
+//  3. backpressure, per-dest — GMP's substrate without rate adaptation
+//  4. full GMP               — rate adaptation from the four conditions
+//
+// Run with:
+//
+//	go run ./examples/hiddenterminal
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gmp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hiddenterminal: ")
+
+	scenario := gmp.Fig3Scenario()
+	fmt.Println("Figure 3 chain: 0 - 1 - 2 - 3, flows <0,3>, <1,3>, <2,3>.")
+	fmt.Println("Senders 0 and 2 cannot hear each other: node 0 is a hidden")
+	fmt.Println("terminal, and its RTS frames die in collisions at node 1.")
+	fmt.Println()
+
+	steps := []struct {
+		label    string
+		protocol gmp.Protocol
+	}{
+		{"plain 802.11 (no control)", gmp.Protocol80211},
+		{"+ backpressure, shared queue", gmp.ProtocolBackpressureShared},
+		{"+ per-destination queues", gmp.ProtocolBackpressure},
+		{"+ GMP rate adaptation", gmp.ProtocolGMP},
+	}
+
+	for _, s := range steps {
+		res, err := gmp.Run(gmp.Config{
+			Scenario: scenario,
+			Protocol: s.protocol,
+			Duration: 200 * time.Second,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var drops int64
+		for _, f := range res.Flows {
+			drops += f.Dropped
+		}
+		fmt.Printf("%-32s rates %7.1f %7.1f %7.1f   I_mm %.3f  U %6.1f  drops %d\n",
+			s.label, res.Rates[0], res.Rates[1], res.Rates[2], res.Imm, res.U, drops)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the steps: backpressure stops packet loss (drops -> 0)")
+	fmt.Println("but cannot equalize rates; only the rate-adaptation conditions")
+	fmt.Println("pull <0,3> up to its maxmin share by throttling its neighbors.")
+}

@@ -1,0 +1,579 @@
+// Package gmp is a from-scratch reproduction of "Achieving Global
+// End-to-End Maxmin in Multihop Wireless Networks" (Zhang, Chen, Jian —
+// ICDCS 2008): a packet-level IEEE 802.11 DCF simulator plus the paper's
+// distributed Global Maxmin Protocol (GMP) and its two evaluation
+// baselines (plain 802.11 and the two-phase protocol 2PP of Li,
+// ICDCS'05).
+//
+// The entry point is Run: give it a Scenario (a topology plus a set of
+// weighted end-to-end flows — the paper's figures are available from
+// Fig1Scenario through Fig4Scenario) and a Protocol, and it simulates the
+// network and reports per-flow end-to-end rates, the fairness indices
+// I_mm and I_eq, the effective network throughput U, and a centralized
+// weighted-maxmin reference allocation for comparison.
+//
+//	res, err := gmp.Run(gmp.Config{
+//		Scenario: gmp.Fig3Scenario(),
+//		Protocol: gmp.ProtocolGMP,
+//	})
+package gmp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gmp/internal/baseline"
+	"gmp/internal/clique"
+	"gmp/internal/core"
+	"gmp/internal/dissemination"
+	"gmp/internal/flow"
+	"gmp/internal/forwarding"
+	"gmp/internal/geom"
+	"gmp/internal/mac"
+	"gmp/internal/maxminref"
+	"gmp/internal/measure"
+	"gmp/internal/metrics"
+	"gmp/internal/packet"
+	"gmp/internal/radio"
+	"gmp/internal/routing"
+	"gmp/internal/scenario"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+	"gmp/internal/trace"
+)
+
+// Re-exported building blocks so users of the library never import
+// internal packages directly.
+type (
+	// Point is a node position in meters.
+	Point = geom.Point
+	// NodeID identifies a physical node.
+	NodeID = topology.NodeID
+	// FlowID identifies an end-to-end flow.
+	FlowID = packet.FlowID
+	// FlowSpec declares one end-to-end flow (source, destination,
+	// weight, desired rate, packet size).
+	FlowSpec = flow.Spec
+	// Scenario couples a topology with a set of flows.
+	Scenario = scenario.Scenario
+	// RadioConfig carries transmission and carrier-sense ranges.
+	RadioConfig = topology.Config
+	// Round is one recorded GMP adjustment round (convergence trace).
+	Round = core.Round
+	// MACStats are per-station 802.11 DCF counters.
+	MACStats = mac.Stats
+	// TraceEvent is one recorded channel/network event (see
+	// Config.EventTrace).
+	TraceEvent = trace.Event
+)
+
+// Protocol selects the end-to-end bandwidth allocation mechanism.
+type Protocol int
+
+// Supported protocols.
+const (
+	// ProtocolGMP is the paper's distributed Global Maxmin Protocol:
+	// per-destination queueing, backpressure, and rate adaptation driven
+	// by the four local conditions.
+	ProtocolGMP Protocol = iota + 1
+	// Protocol80211 is plain IEEE 802.11 DCF: shared FIFO with tail
+	// overwrite, no backpressure, no rate control.
+	Protocol80211
+	// Protocol2PP is the two-phase protocol of ref [11]: per-flow
+	// queueing with a precomputed basic-fair-share + short-flow-biased
+	// allocation.
+	Protocol2PP
+	// ProtocolBackpressure is GMP's substrate without rate adaptation:
+	// per-destination queues and congestion avoidance only (Fig. 1(c)).
+	ProtocolBackpressure
+	// ProtocolBackpressureShared is the single-queue variant of
+	// ProtocolBackpressure (Fig. 1(b)), kept to reproduce §5.1's
+	// motivation for per-destination queueing.
+	ProtocolBackpressureShared
+	// ProtocolGMPDistributed runs GMP as §6 literally describes: one
+	// agent per node acting only on local measurements plus two-hop
+	// link state received through in-band broadcasts (which consume
+	// airtime and can be lost). ProtocolGMP is the centrally-evaluated
+	// variant with identical condition logic and oracle information.
+	ProtocolGMPDistributed
+)
+
+// String names the protocol as in the paper's tables.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolGMP:
+		return "GMP"
+	case Protocol80211:
+		return "802.11"
+	case Protocol2PP:
+		return "2PP"
+	case ProtocolBackpressure:
+		return "backpressure/per-dest"
+	case ProtocolBackpressureShared:
+		return "backpressure/shared"
+	case ProtocolGMPDistributed:
+		return "GMP/distributed"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config parameterizes one simulation run. The zero value of every field
+// except Scenario and Protocol is replaced by the paper's defaults (§7).
+type Config struct {
+	Scenario Scenario
+	Protocol Protocol
+
+	// Duration is the simulated session length (default 400 s).
+	Duration time.Duration
+	// Warmup excludes initial convergence from the reported rates;
+	// rates are measured over [Warmup, Duration] (default Duration/2).
+	Warmup time.Duration
+	// Seed drives every random choice; equal seeds reproduce runs
+	// exactly (default 1).
+	Seed int64
+
+	// Period is GMP's measurement/adjustment period (default 4 s).
+	Period time.Duration
+	// Beta is GMP's equality tolerance and step size (default 0.10).
+	Beta float64
+	// AdditiveIncrease is GMP's upward probe in pkt/s (default 4).
+	AdditiveIncrease float64
+	// OmegaThreshold is the buffer-saturation threshold (default 0.25).
+	OmegaThreshold float64
+
+	// QueueSlots is the per-queue capacity for GMP and 2PP (default 10).
+	QueueSlots int
+	// SharedQueueSlots is the shared FIFO capacity for plain 802.11
+	// (default 300, the paper's node buffer).
+	SharedQueueSlots int
+	// StaleAfter bounds trust in an unrefreshed "buffer full"
+	// advertisement (default 50 ms).
+	StaleAfter time.Duration
+
+	// FairAggregation serves shared queues round-robin by packet origin
+	// (local source vs each upstream neighbor) instead of FIFO — an
+	// extension beyond the paper, in the spirit of its ref [4], that
+	// removes the local source's structural advantage at a shared
+	// per-destination queue. Applies to the GMP and backpressure
+	// protocols.
+	FairAggregation bool
+	// GeographicRouting replaces shortest-path tables with greedy
+	// position-based forwarding (GPSR's greedy mode, the paper's §2.1
+	// "implicit [routing table] under geographic routing"). Run fails
+	// with an error if greedy forwarding dead-ends anywhere.
+	GeographicRouting bool
+	// CBRSources switches flow sources from Poisson arrivals (default)
+	// to strict constant-bit-rate generation.
+	CBRSources bool
+	// DisableRTS turns off the RTS/CTS handshake.
+	DisableRTS bool
+	// LossProb injects uniform frame loss (failure injection; default 0).
+	LossProb float64
+	// Radio overrides the PHY constants (default radio.DefaultParams
+	// adjusted for LossProb).
+	Radio *radio.Params
+	// EventTrace, when positive, records the most recent N channel
+	// events (transmissions, deliveries, collisions, drops) into
+	// Result.Events — an ns-2-style debugging trace.
+	EventTrace int
+	// InBandControl runs the link-state dissemination protocol (§6.2
+	// step 2: per-period broadcasts relayed by dominating sets) on the
+	// channel itself, so control traffic consumes real airtime. The
+	// engine's information is unchanged (see DESIGN.md substitution 2);
+	// this option makes the protocol's control cost measurable as
+	// Result.ControlOverhead.
+	InBandControl bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Duration == 0 {
+		c.Duration = 400 * time.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Duration / 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Period == 0 {
+		c.Period = 4 * time.Second
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.10
+	}
+	if c.AdditiveIncrease == 0 {
+		c.AdditiveIncrease = 4
+	}
+	if c.OmegaThreshold == 0 {
+		c.OmegaThreshold = measure.DefaultOmegaThreshold
+	}
+	if c.QueueSlots == 0 {
+		c.QueueSlots = 10
+	}
+	if c.SharedQueueSlots == 0 {
+		c.SharedQueueSlots = 300
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 50 * time.Millisecond
+	}
+}
+
+func (c *Config) validate() error {
+	if len(c.Scenario.Positions) == 0 {
+		return errors.New("gmp: config has no scenario")
+	}
+	if len(c.Scenario.Flows) == 0 {
+		return errors.New("gmp: scenario has no flows")
+	}
+	if c.Protocol < ProtocolGMP || c.Protocol > ProtocolGMPDistributed {
+		return fmt.Errorf("gmp: unknown protocol %d", int(c.Protocol))
+	}
+	if c.Warmup >= c.Duration {
+		return fmt.Errorf("gmp: warmup %v is not before duration %v", c.Warmup, c.Duration)
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("gmp: loss probability %v outside [0,1)", c.LossProb)
+	}
+	return nil
+}
+
+// FlowResult reports one flow's outcome.
+type FlowResult struct {
+	Spec FlowSpec
+	// Rate is the end-to-end delivery rate in pkt/s over the
+	// measurement window.
+	Rate float64
+	// NormRate is Rate divided by the flow's weight (μ(f), §2.1).
+	NormRate float64
+	// Hops is the routing path length l_f.
+	Hops int
+	// Delivered and Dropped count packets over the whole session.
+	Delivered int64
+	Dropped   int64
+	// Limit is the final self-imposed rate limit (+Inf when none).
+	Limit float64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Scenario string
+	Protocol Protocol
+	Flows    []FlowResult
+	// Rates collects Flows[i].Rate (convenience for the metrics).
+	Rates []float64
+	// Imm and Ieq are the §7.2 fairness indices; U is the effective
+	// network throughput Σ r(f)·l_f.
+	Imm float64
+	Ieq float64
+	U   float64
+	// Reference is the centralized weighted water-filling allocation on
+	// estimated clique capacities — the maxmin ground truth GMP should
+	// approach (shape, not absolute values).
+	Reference []float64
+	// TwoPPTarget is 2PP's precomputed allocation (Protocol2PP only).
+	TwoPPTarget []float64
+	// Trace is GMP's adjustment-round history (ProtocolGMP only).
+	Trace []Round
+	// Channel reports medium-level counters.
+	Channel radio.Stats
+	// MAC reports per-node DCF counters, indexed by node ID.
+	MAC []MACStats
+	// Events holds the recorded trace (Config.EventTrace > 0 only),
+	// oldest first.
+	Events []TraceEvent
+	// ControlOverhead is the fraction of the session's airtime consumed
+	// by link-state broadcasts (Config.InBandControl only).
+	ControlOverhead float64
+}
+
+// Run simulates the scenario under the selected protocol and reports the
+// resulting allocation. It is deterministic for a given Config.
+func Run(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	topo, err := cfg.Scenario.Topology()
+	if err != nil {
+		return nil, fmt.Errorf("gmp: building topology: %w", err)
+	}
+	var routes *routing.Table
+	if cfg.GeographicRouting {
+		routes, err = routing.BuildGeographic(topo)
+		if err != nil {
+			return nil, fmt.Errorf("gmp: %w", err)
+		}
+	} else {
+		routes = routing.Build(topo)
+	}
+	for _, spec := range cfg.Scenario.Flows {
+		if !topo.Valid(spec.Src) || !topo.Valid(spec.Dst) {
+			return nil, fmt.Errorf("gmp: flow %d endpoints (%d,%d) outside topology", spec.ID, spec.Src, spec.Dst)
+		}
+		if routes.HopCount(spec.Src, spec.Dst) <= 0 {
+			return nil, fmt.Errorf("gmp: flow %d has no route from %d to %d", spec.ID, spec.Src, spec.Dst)
+		}
+	}
+
+	par := radio.DefaultParams()
+	if cfg.Radio != nil {
+		par = *cfg.Radio
+	}
+	par.LossProb = cfg.LossProb
+
+	sched := sim.NewScheduler()
+	master := sim.NewRand(cfg.Seed)
+	medium := radio.NewMedium(sched, topo, par, sim.NewRand(master.Int63()))
+
+	fwdCfg, err := forwardingConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	registry, err := flow.NewRegistry(cfg.Scenario.Flows)
+	if err != nil {
+		return nil, fmt.Errorf("gmp: %w", err)
+	}
+
+	var ring *trace.Ring
+	dropFn := registry.OnDrop
+	if cfg.EventTrace > 0 {
+		ring = trace.NewRing(cfg.EventTrace)
+		medium.SetObserver(ring.Record)
+		dropFn = func(p *packet.Packet, reason forwarding.DropReason) {
+			ring.Record(trace.Event{
+				At:     sched.Now(),
+				Kind:   trace.KindDrop,
+				Node:   p.Src,
+				Peer:   p.Dst,
+				Detail: fmt.Sprintf("%s %s", p, reason),
+			})
+			registry.OnDrop(p, reason)
+		}
+	}
+
+	nodes := make([]*forwarding.Node, topo.NumNodes())
+	stations := make([]*mac.Station, topo.NumNodes())
+	macCfg := mac2Config(cfg)
+	for _, id := range topo.Nodes() {
+		n := forwarding.NewNode(id, sched, fwdCfg, routes, registry.OnDeliver, dropFn)
+		st := newStation(id, sched, medium, macCfg, master.Int63(), n)
+		n.SetMAC(st)
+		nodes[id] = n
+		stations[id] = st
+	}
+
+	for _, spec := range cfg.Scenario.Flows {
+		src := flow.NewSource(spec, sched, nodes[spec.Src], cfg.Period, sim.NewRand(master.Int63()))
+		src.SetCBR(cfg.CBRSources)
+		registry.AttachSource(spec.ID, src)
+		src.Start()
+	}
+
+	if cfg.InBandControl && cfg.Protocol != ProtocolGMPDistributed {
+		// The distributed runtime's own dissemination is already
+		// in-band; this path covers the other protocols.
+		startInBandControl(sched, topo, nodes, stations, cfg.Period, sim.NewRand(master.Int63()))
+	}
+
+	cliques := clique.Build(topo)
+	capacity := par.SaturationRate(packetBytes(cfg.Scenario.Flows), !cfg.DisableRTS)
+	refFlows := make([]maxminref.FlowSpec, len(cfg.Scenario.Flows))
+	for i, spec := range cfg.Scenario.Flows {
+		refFlows[i] = maxminref.FlowSpec{Src: spec.Src, Dst: spec.Dst, Weight: spec.Weight, Demand: spec.DesiredRate}
+	}
+
+	var engine *core.Engine
+	var dist *core.Distributed
+	var twoPPTarget []float64
+	switch cfg.Protocol {
+	case ProtocolGMPDistributed:
+		// Control messaging defaults to the out-of-band bus (reliable,
+		// zero airtime, identical two-hop scoping); InBandControl runs
+		// it over real 802.11 broadcasts instead — which have no
+		// collision recovery and can starve under the very congestion
+		// GMP exists to control (see EXPERIMENTS.md).
+		dissAgents := make([]*dissemination.Agent, topo.NumNodes())
+		if cfg.InBandControl {
+			for _, id := range topo.Nodes() {
+				dissAgents[id] = dissemination.NewAgent(id, topo, stations[id])
+			}
+		} else {
+			bus := dissemination.NewBus(topo)
+			for _, id := range topo.Nodes() {
+				dissAgents[id] = bus.NewAgent(id, topo)
+			}
+		}
+		board := measure.NewOccupancyBoard(medium, cfg.Period)
+		dist, err = core.StartDistributed(sched, topo, cliques, board, nodes, dissAgents,
+			registry, core.Params{
+				Period:           cfg.Period,
+				Beta:             cfg.Beta,
+				OmegaThreshold:   cfg.OmegaThreshold,
+				AdditiveIncrease: cfg.AdditiveIncrease,
+				HalveGap:         3,
+			}, sim.NewRand(master.Int63()))
+		if err != nil {
+			return nil, fmt.Errorf("gmp: %w", err)
+		}
+	case ProtocolGMP:
+		collector := measure.NewCollector(nodes, medium, cfg.OmegaThreshold)
+		engine, err = core.NewEngine(sched, topo, cliques, registry, collector, core.Params{
+			Period:           cfg.Period,
+			Beta:             cfg.Beta,
+			OmegaThreshold:   cfg.OmegaThreshold,
+			AdditiveIncrease: cfg.AdditiveIncrease,
+			HalveGap:         3,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gmp: %w", err)
+		}
+		engine.Start()
+	case Protocol2PP:
+		twoPPTarget, err = baseline.TwoPPAllocation(refFlows, routes, cliques, baseline.UniformCliqueCapacity(capacity))
+		if err != nil {
+			return nil, fmt.Errorf("gmp: 2PP allocation: %w", err)
+		}
+		for i, r := range twoPPTarget {
+			registry.Source(packet.FlowID(i)).SetLimit(r)
+		}
+	}
+
+	sched.At(cfg.Warmup, func() { registry.Mark(cfg.Warmup) })
+	sched.Run(cfg.Duration)
+
+	reference, err := referenceAllocation(refFlows, routes, cliques, capacity)
+	if err != nil {
+		return nil, err
+	}
+
+	rates := registry.MeasuredRates(cfg.Duration)
+	res := &Result{
+		Scenario:    cfg.Scenario.Name,
+		Protocol:    cfg.Protocol,
+		Rates:       rates,
+		Reference:   reference,
+		TwoPPTarget: twoPPTarget,
+		Channel:     medium.Stats(),
+	}
+	for _, st := range stations {
+		res.MAC = append(res.MAC, st.Stats())
+	}
+	if ring != nil {
+		res.Events = ring.Events()
+	}
+	res.ControlOverhead = float64(res.Channel.ControlAirtime) / float64(cfg.Duration)
+	hops := make([]int, len(rates))
+	for i, spec := range cfg.Scenario.Flows {
+		src := registry.Source(spec.ID)
+		limit := math.Inf(1)
+		if l, ok := src.Limited(); ok {
+			limit = l
+		}
+		hops[i] = routes.HopCount(spec.Src, spec.Dst)
+		res.Flows = append(res.Flows, FlowResult{
+			Spec:      spec,
+			Rate:      rates[i],
+			NormRate:  rates[i] / spec.Weight,
+			Hops:      hops[i],
+			Delivered: registry.Delivered(spec.ID),
+			Dropped:   registry.Dropped(spec.ID),
+			Limit:     limit,
+		})
+	}
+	res.Imm = metrics.MaxminIndex(rates)
+	res.Ieq = metrics.EqualityIndex(rates)
+	res.U = metrics.EffectiveThroughput(rates, hops)
+	if engine != nil {
+		res.Trace = engine.Trace()
+	}
+	if dist != nil {
+		res.Trace = dist.Trace()
+	}
+	return res, nil
+}
+
+func forwardingConfig(cfg Config) (forwarding.Config, error) {
+	switch cfg.Protocol {
+	case ProtocolGMP, ProtocolGMPDistributed, ProtocolBackpressure:
+		return forwarding.Config{
+			Mode:                forwarding.PerDestination,
+			QueueSlots:          cfg.QueueSlots,
+			CongestionAvoidance: true,
+			StaleAfter:          cfg.StaleAfter,
+			RequeueOnFailure:    true,
+			FairAggregation:     cfg.FairAggregation,
+		}, nil
+	case Protocol2PP:
+		fc := baseline.TwoPPForwarding(cfg.QueueSlots)
+		fc.StaleAfter = cfg.StaleAfter
+		fc.RequeueOnFailure = true
+		return fc, nil
+	case Protocol80211:
+		return baseline.Plain80211Forwarding(cfg.SharedQueueSlots), nil
+	case ProtocolBackpressureShared:
+		return forwarding.Config{
+			Mode:                forwarding.Shared,
+			QueueSlots:          cfg.QueueSlots,
+			CongestionAvoidance: true,
+			StaleAfter:          cfg.StaleAfter,
+			RequeueOnFailure:    true,
+		}, nil
+	default:
+		return forwarding.Config{}, fmt.Errorf("gmp: unknown protocol %d", int(cfg.Protocol))
+	}
+}
+
+func referenceAllocation(flows []maxminref.FlowSpec, routes *routing.Table, cliques *clique.Set, capacity float64) ([]float64, error) {
+	problem, err := maxminref.BuildProblem(flows, routes, cliques, baseline.UniformCliqueCapacity(capacity))
+	if err != nil {
+		return nil, fmt.Errorf("gmp: reference allocation: %w", err)
+	}
+	ref, err := problem.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("gmp: reference allocation: %w", err)
+	}
+	return ref, nil
+}
+
+// startInBandControl wires a dissemination agent per node and floods
+// every node's link-state records once per period, jittered across the
+// first tenth of the period so the group-addressed frames (which have no
+// collision recovery) do not all collide at the boundary.
+func startInBandControl(sched *sim.Scheduler, topo *topology.Topology, nodes []*forwarding.Node, stations []*mac.Station, period time.Duration, rng *rand.Rand) {
+	agents := make([]*dissemination.Agent, topo.NumNodes())
+	for _, id := range topo.Nodes() {
+		agents[id] = dissemination.NewAgent(id, topo, stations[id])
+		nodes[id].SetBroadcastHandler(agents[id].OnBroadcast)
+	}
+	var tick func()
+	tick = func() {
+		for _, id := range topo.Nodes() {
+			id := id
+			jitter := time.Duration(rng.Float64() * float64(period) / 10)
+			sched.After(jitter, func() {
+				n := len(topo.Neighbors(id))
+				agents[id].Broadcast(n, n)
+			})
+		}
+		sched.After(period, tick)
+	}
+	sched.After(period, tick)
+}
+
+// packetBytes returns the packet size shared by the flows (the largest,
+// if they differ) for capacity estimation.
+func packetBytes(specs []flow.Spec) int {
+	size := scenario.DefaultPacketBytes
+	for _, s := range specs {
+		if s.SizeBytes > size {
+			size = s.SizeBytes
+		}
+	}
+	return size
+}

@@ -1,0 +1,216 @@
+// Package clique builds the link-contention graph of a wireless network
+// and enumerates its proper (maximal) contention cliques (§3.3), which
+// bound the combined rate of their member links by the channel capacity.
+//
+// Clique identifiers follow §6.3: each clique is named by the smallest
+// node ID appearing in the clique plus a sequence number, which is how the
+// paper makes identifiers system-wide unique while assignable by a single
+// local node.
+package clique
+
+import (
+	"fmt"
+	"sort"
+
+	"gmp/internal/topology"
+)
+
+// ID is a system-wide unique clique identifier (§6.3).
+type ID struct {
+	// Owner is the smallest node ID among the clique's link endpoints;
+	// that node assigns the sequence number.
+	Owner topology.NodeID
+	Seq   int
+}
+
+// String renders the identifier as "owner.seq".
+func (id ID) String() string { return fmt.Sprintf("%d.%d", id.Owner, id.Seq) }
+
+// Clique is one proper (maximal) set of mutually contending links. Links
+// are stored undirected in canonical (low, high) order, sorted.
+type Clique struct {
+	ID    ID
+	Links []topology.Link
+}
+
+// Contains reports whether the clique includes the (undirected) link l.
+func (c *Clique) Contains(l topology.Link) bool {
+	u := l.Undirected()
+	for _, m := range c.Links {
+		if m == u {
+			return true
+		}
+	}
+	return false
+}
+
+// minNode returns the smallest node ID among the clique's endpoints.
+func (c *Clique) minNode() topology.NodeID {
+	low := c.Links[0].From
+	for _, l := range c.Links {
+		if l.From < low {
+			low = l.From
+		}
+		if l.To < low {
+			low = l.To
+		}
+	}
+	return low
+}
+
+// Set is the complete clique decomposition of a topology.
+type Set struct {
+	cliques []*Clique
+	byLink  map[topology.Link][]*Clique
+}
+
+// Build enumerates every proper contention clique of the topology's links
+// using Bron–Kerbosch with pivoting on the link-contention graph.
+// Only links actually usable for routing (between neighbors) participate.
+// Each undirected link appears once.
+func Build(topo *topology.Topology) *Set {
+	// Collect undirected links.
+	seen := make(map[topology.Link]bool)
+	var links []topology.Link
+	for _, l := range topo.Links() {
+		u := l.Undirected()
+		if !seen[u] {
+			seen[u] = true
+			links = append(links, u)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+
+	// Contention adjacency between link indices.
+	n := len(links)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if topo.LinksContend(links[i], links[j]) {
+				adj[i][j] = true
+				adj[j][i] = true
+			}
+		}
+	}
+
+	var out []*Clique
+	var bronKerbosch func(r, p, x []int)
+	bronKerbosch = func(r, p, x []int) {
+		if len(p) == 0 && len(x) == 0 {
+			if len(r) == 0 {
+				return // link-free topology: nothing to emit
+			}
+			ls := make([]topology.Link, len(r))
+			for i, idx := range r {
+				ls[i] = links[idx]
+			}
+			sort.Slice(ls, func(i, j int) bool {
+				if ls[i].From != ls[j].From {
+					return ls[i].From < ls[j].From
+				}
+				return ls[i].To < ls[j].To
+			})
+			out = append(out, &Clique{Links: ls})
+			return
+		}
+		// Pivot: vertex of p ∪ x with most neighbors in p.
+		pivot, best := -1, -1
+		for _, v := range append(append([]int(nil), p...), x...) {
+			cnt := 0
+			for _, w := range p {
+				if adj[v][w] {
+					cnt++
+				}
+			}
+			if cnt > best {
+				best = cnt
+				pivot = v
+			}
+		}
+		var candidates []int
+		for _, v := range p {
+			if pivot == -1 || !adj[pivot][v] {
+				candidates = append(candidates, v)
+			}
+		}
+		for _, v := range candidates {
+			var np, nx []int
+			for _, w := range p {
+				if adj[v][w] {
+					np = append(np, w)
+				}
+			}
+			for _, w := range x {
+				if adj[v][w] {
+					nx = append(nx, w)
+				}
+			}
+			bronKerbosch(append(r, v), np, nx)
+			// Move v from p to x.
+			for i, w := range p {
+				if w == v {
+					p = append(p[:i], p[i+1:]...)
+					break
+				}
+			}
+			x = append(x, v)
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	bronKerbosch(nil, all, nil)
+
+	// Assign IDs: group by owning node, sequence within owner by a
+	// deterministic order (the sorted link lists).
+	sort.Slice(out, func(i, j int) bool { return cliqueLess(out[i], out[j]) })
+	seq := make(map[topology.NodeID]int)
+	byLink := make(map[topology.Link][]*Clique)
+	for _, c := range out {
+		owner := c.minNode()
+		c.ID = ID{Owner: owner, Seq: seq[owner]}
+		seq[owner]++
+		for _, l := range c.Links {
+			byLink[l] = append(byLink[l], c)
+		}
+	}
+	return &Set{cliques: out, byLink: byLink}
+}
+
+func cliqueLess(a, b *Clique) bool {
+	for i := 0; i < len(a.Links) && i < len(b.Links); i++ {
+		if a.Links[i] != b.Links[i] {
+			if a.Links[i].From != b.Links[i].From {
+				return a.Links[i].From < b.Links[i].From
+			}
+			return a.Links[i].To < b.Links[i].To
+		}
+	}
+	return len(a.Links) < len(b.Links)
+}
+
+// All returns every proper contention clique.
+func (s *Set) All() []*Clique { return s.cliques }
+
+// Of returns the cliques that contain the (undirected) link l. A
+// bandwidth-saturated link always belongs to at least one of these (§3.3).
+func (s *Set) Of(l topology.Link) []*Clique { return s.byLink[l.Undirected()] }
+
+// ByID looks a clique up by identifier.
+func (s *Set) ByID(id ID) (*Clique, bool) {
+	for _, c := range s.cliques {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return nil, false
+}

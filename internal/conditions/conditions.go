@@ -1,0 +1,372 @@
+// Package conditions validates the paper's central theorem on an
+// idealized fluid model: *if the four local conditions hold everywhere,
+// the allocation is global (weighted) maxmin* (§4 for a single
+// destination, §5 for the general case).
+//
+// The model strips away packets, MAC timing and measurement noise and
+// keeps exactly the structure the theorem talks about: flows routed
+// along a destination-rooted tree, contention cliques over tree links
+// with fixed capacities, and a steady-state allocation of flow rates. A
+// fluid steady state determines every §3.2 ingredient analytically:
+//
+//   - a clique is saturated when its capacity is (nearly) exhausted;
+//   - a link is *bandwidth-saturated* when it carries pressure (some
+//     flow through it wants more) and the nearest constraint at or
+//     below it (toward the destination) is the link's own saturated
+//     clique; it is *buffer-saturated* when the constraint is strictly
+//     downstream (backpressure); it is *unsaturated* when nothing
+//     through it is constrained;
+//   - a virtual node is saturated when its outgoing link is.
+//
+// With these, the package evaluates the paper's four conditions for a
+// given allocation, and the property tests check both directions of the
+// theorem empirically: the weighted water-filling allocation satisfies
+// all conditions, and perturbed (non-maxmin) allocations violate one.
+package conditions
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkID names a tree link by its upstream node: link l connects node l
+// to its parent (toward the destination). IDs are dense, 0..NumNodes-1,
+// with the destination's "link" unused.
+type LinkID int
+
+// Flow is one end-to-end flow in the fluid model.
+type Flow struct {
+	Weight float64
+	Demand float64
+	// Path lists the links from the source to the destination, in
+	// order (Path[0] is the source's outgoing link).
+	Path []LinkID
+}
+
+// CliqueSpec is one contention clique over links, with an effective
+// capacity in rate units (a flow crossing k of its links consumes k per
+// unit rate).
+type CliqueSpec struct {
+	Links    []LinkID
+	Capacity float64
+}
+
+// Instance is a fluid network: flows over a destination-rooted tree
+// plus clique capacity constraints.
+type Instance struct {
+	Flows   []Flow
+	Cliques []CliqueSpec
+}
+
+// Validate checks structural sanity.
+func (in *Instance) Validate() error {
+	if len(in.Flows) == 0 {
+		return fmt.Errorf("conditions: no flows")
+	}
+	for i, f := range in.Flows {
+		if f.Weight <= 0 || f.Demand <= 0 {
+			return fmt.Errorf("conditions: flow %d has non-positive weight or demand", i)
+		}
+		if len(f.Path) == 0 {
+			return fmt.Errorf("conditions: flow %d has an empty path", i)
+		}
+	}
+	for q, c := range in.Cliques {
+		if c.Capacity <= 0 {
+			return fmt.Errorf("conditions: clique %d has non-positive capacity", q)
+		}
+		if len(c.Links) == 0 {
+			return fmt.Errorf("conditions: clique %d is empty", q)
+		}
+	}
+	return nil
+}
+
+// LinkState is the fluid analog of §3.2's classification.
+type LinkState int
+
+// Link states.
+const (
+	Unsaturated LinkState = iota + 1
+	BufferSaturated
+	BandwidthSaturated
+)
+
+// String names the state.
+func (s LinkState) String() string {
+	switch s {
+	case Unsaturated:
+		return "unsaturated"
+	case BufferSaturated:
+		return "buffer-saturated"
+	case BandwidthSaturated:
+		return "bandwidth-saturated"
+	default:
+		return fmt.Sprintf("LinkState(%d)", int(s))
+	}
+}
+
+// Analysis is the derived steady-state structure for one allocation.
+type Analysis struct {
+	// Mu[l] is the largest normalized rate of any flow through link l
+	// (§4.2); zero for unused links.
+	Mu map[LinkID]float64
+	// State[l] is the link's classification; only links carrying flows
+	// appear.
+	State map[LinkID]LinkState
+	// TightClique[q] marks cliques whose capacity is exhausted.
+	TightClique []bool
+	// Constrained[f] marks flows running below demand.
+	Constrained []bool
+}
+
+const eps = 1e-7
+
+// Analyze derives the fluid steady-state structure for allocation r.
+// It returns an error when r is infeasible (violates a clique capacity
+// or a demand).
+func (in *Instance) Analyze(r []float64) (*Analysis, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(r) != len(in.Flows) {
+		return nil, fmt.Errorf("conditions: %d rates for %d flows", len(r), len(in.Flows))
+	}
+	a := &Analysis{
+		Mu:          make(map[LinkID]float64),
+		State:       make(map[LinkID]LinkState),
+		TightClique: make([]bool, len(in.Cliques)),
+		Constrained: make([]bool, len(in.Flows)),
+	}
+	for f, rate := range r {
+		if rate < -eps || rate > in.Flows[f].Demand+eps {
+			return nil, fmt.Errorf("conditions: flow %d rate %v outside [0, demand]", f, rate)
+		}
+		a.Constrained[f] = rate < in.Flows[f].Demand-eps
+		mu := rate / in.Flows[f].Weight
+		for _, l := range in.Flows[f].Path {
+			if mu > a.Mu[l] {
+				a.Mu[l] = mu
+			}
+		}
+	}
+	// Clique loads.
+	crossings := in.linkCliqueIndex()
+	for q, c := range in.Cliques {
+		load := 0.0
+		inClique := make(map[LinkID]bool, len(c.Links))
+		for _, l := range c.Links {
+			inClique[l] = true
+		}
+		for f, rate := range r {
+			for _, l := range in.Flows[f].Path {
+				if inClique[l] {
+					load += rate
+				}
+			}
+		}
+		if load > c.Capacity+1e-6 {
+			return nil, fmt.Errorf("conditions: clique %d overloaded (%v > %v)", q, load, c.Capacity)
+		}
+		a.TightClique[q] = load >= c.Capacity-1e-6
+	}
+
+	// Classification: walk each constrained flow's path from the
+	// destination backwards; the most-downstream link in a tight clique
+	// is that flow's bandwidth-saturated bottleneck, everything
+	// upstream of it is buffer-saturated (backpressure). Links touched
+	// by no constrained flow stay unsaturated. When several flows share
+	// a link, the strongest state wins (bandwidth > buffer > un-).
+	for f, flow := range in.Flows {
+		if !a.Constrained[f] {
+			continue
+		}
+		bottleneck := -1
+		for i := len(flow.Path) - 1; i >= 0; i-- {
+			if in.linkInTightClique(flow.Path[i], crossings, a) {
+				bottleneck = i
+				break
+			}
+		}
+		if bottleneck == -1 {
+			// Constrained but nothing tight on the path: a self-imposed
+			// rate limit holds it down. The source vnode is pressured
+			// (the limit is binding) but no link is saturated by it.
+			continue
+		}
+		for i := 0; i <= bottleneck; i++ {
+			l := flow.Path[i]
+			want := BufferSaturated
+			if i == bottleneck {
+				want = BandwidthSaturated
+			}
+			if cur, ok := a.State[l]; !ok || want > cur {
+				a.State[l] = want
+			}
+		}
+	}
+	for f, flow := range in.Flows {
+		_ = f
+		for _, l := range flow.Path {
+			if _, ok := a.State[l]; !ok {
+				a.State[l] = Unsaturated
+			}
+		}
+	}
+	return a, nil
+}
+
+func (in *Instance) linkCliqueIndex() map[LinkID][]int {
+	idx := make(map[LinkID][]int)
+	for q, c := range in.Cliques {
+		for _, l := range c.Links {
+			idx[l] = append(idx[l], q)
+		}
+	}
+	return idx
+}
+
+func (in *Instance) linkInTightClique(l LinkID, idx map[LinkID][]int, a *Analysis) bool {
+	for _, q := range idx[l] {
+		if a.TightClique[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Violation describes a failed condition.
+type Violation struct {
+	Condition string
+	Detail    string
+}
+
+// Check evaluates the four local conditions (§5.3) for allocation r and
+// returns every violation. beta is the equality tolerance (the paper's
+// β); the theorem corresponds to beta -> 0.
+func (in *Instance) Check(r []float64, beta float64) ([]Violation, error) {
+	a, err := in.Analyze(r)
+	if err != nil {
+		return nil, err
+	}
+	eq := func(x, y float64) bool {
+		m := math.Max(math.Abs(x), math.Abs(y))
+		return math.Abs(x-y) <= beta*m+eps
+	}
+	var out []Violation
+
+	// Source + buffer-saturated conditions: at every saturated virtual
+	// node, the largest normalized rate feeding it must equal the
+	// smallest among local flows and buffer-saturated upstream links.
+	// In the tree model a virtual node is identified with its outgoing
+	// link; its upstream links are the path predecessors of the flows
+	// through it, and its local flows are those whose path starts there.
+	type vnode struct {
+		ups    map[LinkID]bool
+		locals []int
+	}
+	vnodes := make(map[LinkID]*vnode)
+	at := func(l LinkID) *vnode {
+		v, ok := vnodes[l]
+		if !ok {
+			v = &vnode{ups: make(map[LinkID]bool)}
+			vnodes[l] = v
+		}
+		return v
+	}
+	for f, flow := range in.Flows {
+		at(flow.Path[0]).locals = append(at(flow.Path[0]).locals, f)
+		for i := 1; i < len(flow.Path); i++ {
+			at(flow.Path[i]).ups[flow.Path[i-1]] = true
+		}
+	}
+	for l, v := range vnodes {
+		if a.State[l] != BufferSaturated && a.State[l] != BandwidthSaturated {
+			continue // virtual node not saturated
+		}
+		l1 := 0.0
+		s1 := math.Inf(1)
+		for up := range v.ups {
+			mu := a.Mu[up]
+			if mu > l1 {
+				l1 = mu
+			}
+			if a.State[up] == BufferSaturated && mu < s1 {
+				s1 = mu
+			}
+		}
+		for _, f := range v.locals {
+			mu := r[f] / in.Flows[f].Weight
+			if mu > l1 {
+				l1 = mu
+			}
+			if mu < s1 {
+				s1 = mu
+			}
+		}
+		if math.IsInf(s1, 1) || eq(s1, l1) {
+			continue
+		}
+		out = append(out, Violation{
+			Condition: "source/buffer-saturated",
+			Detail:    fmt.Sprintf("vnode of link %d: L1=%.4f S1=%.4f", l, l1, s1),
+		})
+	}
+
+	// Bandwidth-saturated condition: every bandwidth-saturated link must
+	// carry the largest normalized rate in at least one saturated clique
+	// containing it.
+	idx := in.linkCliqueIndex()
+	for l, st := range a.State {
+		if st != BandwidthSaturated {
+			continue
+		}
+		topped := false
+		seen := false
+		for _, q := range idx[l] {
+			if !a.TightClique[q] {
+				continue
+			}
+			seen = true
+			maxMu := 0.0
+			for _, m := range in.Cliques[q].Links {
+				if a.Mu[m] > maxMu {
+					maxMu = a.Mu[m]
+				}
+			}
+			if a.Mu[l] >= maxMu-eps || eq(a.Mu[l], maxMu) {
+				topped = true
+				break
+			}
+		}
+		if seen && !topped {
+			out = append(out, Violation{
+				Condition: "bandwidth-saturated",
+				Detail:    fmt.Sprintf("link %d (mu=%.4f) tops no saturated clique", l, a.Mu[l]),
+			})
+		}
+	}
+
+	// Rate-limit condition: a flow below demand must be held by a real
+	// constraint — some tight clique on its path. Otherwise its limit
+	// should have been raised.
+	for f, flow := range in.Flows {
+		if !a.Constrained[f] {
+			continue
+		}
+		held := false
+		for _, l := range flow.Path {
+			if in.linkInTightClique(l, idx, a) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			out = append(out, Violation{
+				Condition: "rate-limit",
+				Detail:    fmt.Sprintf("flow %d below demand with no tight clique on its path", f),
+			})
+		}
+	}
+	return out, nil
+}

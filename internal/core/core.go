@@ -1,0 +1,494 @@
+// Package core implements GMP, the paper's primary contribution: the
+// distributed Global Maxmin Protocol (§6). Time is divided into
+// alternating measurement and adjustment periods. At the end of each
+// measurement period the engine classifies links from the collected
+// measurements (§3) and tests the four local conditions (§5.3):
+//
+//  1. Source condition — at a saturated virtual node that hosts flow
+//     sources, no upstream link or co-located flow may exceed the local
+//     flows' normalized rates.
+//  2. Buffer-saturated condition — a buffer-saturated virtual link must
+//     carry the largest normalized rate into its downstream virtual node.
+//  3. Bandwidth-saturated condition — a bandwidth-saturated virtual link
+//     must have the largest normalized rate in at least one saturated
+//     clique it belongs to.
+//  4. Rate-limit condition — sources not asked to adjust probe upward
+//     (additive increase), and limits that are not binding are removed.
+//
+// Violations generate rate adjustment requests for the primary flows of
+// the offending links; requests are aggregated per flow with the paper's
+// control-packet rule (any reduction overrides all increases; the largest
+// reduction / smallest increase wins) and applied at the end of the
+// following adjustment period.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gmp/internal/clique"
+	"gmp/internal/flow"
+	"gmp/internal/measure"
+	"gmp/internal/packet"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+)
+
+// Params are GMP's protocol constants (§6, §7).
+type Params struct {
+	// Period is the length of one measurement or adjustment period
+	// (4 s in §7).
+	Period time.Duration
+	// Beta is the equality tolerance: values within Beta (fractionally)
+	// are "equal", and adjustments step by Beta (10% in §7).
+	Beta float64
+	// OmegaThreshold is the buffer-saturation threshold (25% in §6.2).
+	OmegaThreshold float64
+	// AdditiveIncrease is the rate-limit probe step in packets/second
+	// (§6.3 "a small amount").
+	AdditiveIncrease float64
+	// HalveGap is the L1/S1 ratio beyond which requests halve or double
+	// rates instead of stepping by Beta (3 in §6.3).
+	HalveGap float64
+}
+
+// DefaultParams mirrors the paper's simulation setup.
+func DefaultParams() Params {
+	return Params{
+		Period:           4 * time.Second,
+		Beta:             0.10,
+		OmegaThreshold:   measure.DefaultOmegaThreshold,
+		AdditiveIncrease: 4,
+		HalveGap:         3,
+	}
+}
+
+// Validate sanity-checks the parameters.
+func (p Params) Validate() error {
+	if p.Period <= 0 {
+		return fmt.Errorf("core: non-positive period %v", p.Period)
+	}
+	if p.Beta <= 0 || p.Beta >= 1 {
+		return fmt.Errorf("core: beta %v outside (0,1)", p.Beta)
+	}
+	if p.OmegaThreshold <= 0 || p.OmegaThreshold >= 1 {
+		return fmt.Errorf("core: omega threshold %v outside (0,1)", p.OmegaThreshold)
+	}
+	if p.AdditiveIncrease <= 0 {
+		return fmt.Errorf("core: non-positive additive increase %v", p.AdditiveIncrease)
+	}
+	if p.HalveGap <= 1 {
+		return fmt.Errorf("core: halve gap %v must exceed 1", p.HalveGap)
+	}
+	return nil
+}
+
+// Request is one aggregated rate adjustment for a flow (§6.3). Factor
+// multiplies the flow's current rate: 0.5 and 2 for the halve/double fast
+// path, 1±Beta otherwise.
+type Request struct {
+	Reduce bool
+	Factor float64
+}
+
+// Round records one adjustment round for convergence traces.
+type Round struct {
+	Time time.Duration
+	// Rates are the flows' injection rates over the period just ended.
+	Rates []float64
+	// Limits are the flows' rate limits after applying requests
+	// (math.Inf(1) when unlimited).
+	Limits []float64
+	// Requests counts flows that received an adjustment request.
+	Requests int
+	// SaturatedVNodes counts buffer-saturated virtual nodes observed.
+	SaturatedVNodes int
+}
+
+// Engine drives GMP over a running simulation.
+type Engine struct {
+	sched     *sim.Scheduler
+	topo      *topology.Topology
+	cliques   *clique.Set
+	registry  *flow.Registry
+	collector *measure.Collector
+	params    Params
+
+	boundary int
+	pending  map[packet.FlowID]Request
+	lastSat  int
+	// slack counts consecutive rounds a flow ran under its limit with an
+	// unsaturated source queue; the limit is removed only after two, so a
+	// single noisy period cannot unleash a burst.
+	slack map[packet.FlowID]int
+
+	trace []Round
+}
+
+// NewEngine wires the protocol over the simulation components. Flows must
+// use per-destination queueing (forwarding.PerDestination); the engine's
+// virtual-node bookkeeping assumes QueueID == destination.
+func NewEngine(sched *sim.Scheduler, topo *topology.Topology, cliques *clique.Set, registry *flow.Registry, collector *measure.Collector, params Params) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		sched:     sched,
+		topo:      topo,
+		cliques:   cliques,
+		registry:  registry,
+		collector: collector,
+		params:    params,
+		slack:     make(map[packet.FlowID]int),
+	}, nil
+}
+
+// Start schedules the alternating period boundaries.
+func (e *Engine) Start() {
+	e.sched.After(e.params.Period, e.onBoundary)
+}
+
+// Trace returns the recorded adjustment rounds.
+func (e *Engine) Trace() []Round { return e.trace }
+
+func (e *Engine) onBoundary() {
+	e.boundary++
+	rates := make([]float64, e.registry.NumFlows())
+	for i, src := range e.registry.Sources() {
+		rates[i] = src.EndPeriod()
+	}
+	snap := e.collector.Collect(e.params.Period)
+
+	// Requests evaluated from the previous period's measurements are
+	// delivered now (the paper's adjustment period), then this period's
+	// measurements are evaluated for the next round. Periods therefore
+	// alternate roles exactly as in §6.1, pipelined so that every
+	// boundary closes one measurement period and one adjustment period.
+	e.apply(e.pending, rates, snap)
+	e.pending = e.evaluate(snap)
+	e.lastSat = len(snap.Saturated)
+	e.sched.After(e.params.Period, e.onBoundary)
+}
+
+// eq reports β-equality (§6.3): a and b differ by less than Beta of the
+// larger magnitude.
+func (e *Engine) eq(a, b float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= e.params.Beta*m
+}
+
+type reqSet map[packet.FlowID]Request
+
+func (r reqSet) addReduce(f packet.FlowID, factor float64) {
+	cur, ok := r[f]
+	if ok && cur.Reduce && cur.Factor <= factor {
+		return // keep the larger reduction
+	}
+	r[f] = Request{Reduce: true, Factor: factor}
+}
+
+func (r reqSet) addIncrease(f packet.FlowID, factor float64) {
+	cur, ok := r[f]
+	if ok && (cur.Reduce || cur.Factor <= factor) {
+		return // reductions override; keep the smaller increase
+	}
+	r[f] = Request{Factor: factor}
+}
+
+func (r reqSet) addReduceAll(flows map[packet.FlowID]topology.NodeID, factor float64) {
+	for f := range flows {
+		r.addReduce(f, factor)
+	}
+}
+
+func (r reqSet) addIncreaseAll(flows map[packet.FlowID]topology.NodeID, factor float64) {
+	for f := range flows {
+		r.addIncrease(f, factor)
+	}
+}
+
+// evaluate tests conditions 1–3 on the snapshot and returns the
+// aggregated per-flow requests.
+func (e *Engine) evaluate(snap *measure.Snapshot) map[packet.FlowID]Request {
+	e.augmentWithLimitPressure(snap)
+	reqs := make(reqSet)
+	e.testSourceAndBufferConditions(snap, reqs)
+	e.testBandwidthCondition(snap, reqs)
+	return reqs
+}
+
+// augmentWithLimitPressure treats a source virtual node as saturated when
+// one of its flows runs against a binding rate limit. In the paper the
+// rate limit paces the *release* of packets, so a constrained source's
+// buffer stays full (§2.2) and its links classify as saturated; our
+// limiter paces generation instead, which would otherwise hide the
+// pressure and permanently exclude limited flows from the
+// bandwidth-saturated condition's rebalancing. Link types are re-derived
+// after marking (§3.2's rules, unchanged).
+func (e *Engine) augmentWithLimitPressure(snap *measure.Snapshot) {
+	changed := false
+	for _, src := range e.registry.Sources() {
+		limit, limited := src.Limited()
+		if !limited {
+			continue
+		}
+		if src.LastPeriodRate() < limit*(1-e.params.Beta) {
+			continue // limit not binding this period
+		}
+		spec := src.Spec()
+		v := measure.VNodeID{Node: spec.Src, Queue: packet.QueueForDest(spec.Dst)}
+		if !snap.Saturated[v] {
+			snap.Saturated[v] = true
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	for _, st := range snap.VLinks {
+		sender := measure.VNodeID{Node: st.Key.From, Queue: st.Key.Queue}
+		receiver := measure.VNodeID{Node: st.Key.To, Queue: st.Key.Queue}
+		switch {
+		case !snap.Saturated[sender]:
+			st.Type = measure.Unsaturated
+		case snap.Saturated[receiver]:
+			st.Type = measure.BufferSaturated
+		default:
+			st.Type = measure.BandwidthSaturated
+		}
+	}
+}
+
+// localFlows returns the flows originating at virtual node v, i.e. flows
+// with source v.Node destined to the node v.Queue identifies.
+func (e *Engine) localFlows(v measure.VNodeID) []flow.Spec {
+	var out []flow.Spec
+	for _, spec := range e.registry.Specs() {
+		if spec.Src == v.Node && packet.QueueForDest(spec.Dst) == v.Queue {
+			out = append(out, spec)
+		}
+	}
+	return out
+}
+
+// testSourceAndBufferConditions walks every saturated virtual node and
+// enforces §5.3's source and buffer-saturated conditions: the largest
+// normalized rate L1 feeding the node must equal the smallest normalized
+// rate S1 among its local flows and buffer-saturated upstream links.
+func (e *Engine) testSourceAndBufferConditions(snap *measure.Snapshot, reqs reqSet) {
+	for v := range snap.Saturated {
+		ups := snap.Upstream(v)
+		locals := e.localFlows(v)
+
+		l1 := 0.0
+		s1 := math.Inf(1)
+		for _, up := range ups {
+			if up.NormRate > l1 {
+				l1 = up.NormRate
+			}
+			if up.Type == measure.BufferSaturated && up.NormRate > 0 && up.NormRate < s1 {
+				s1 = up.NormRate
+			}
+		}
+		for _, spec := range locals {
+			mu := e.registry.Source(spec.ID).NormRate()
+			if mu == 0 {
+				continue // no completed measurement period yet
+			}
+			if mu > l1 {
+				l1 = mu
+			}
+			if mu < s1 {
+				s1 = mu
+			}
+		}
+		if math.IsInf(s1, 1) || l1 == 0 || e.eq(s1, l1) {
+			continue // nothing to equalize, or already equal
+		}
+		wide := l1 > e.params.HalveGap*s1
+		down, up := 1-e.params.Beta, 1+e.params.Beta
+		if wide {
+			down, up = 0.5, 2
+		}
+		for _, ul := range ups {
+			if e.eq(ul.NormRate, l1) {
+				reqs.addReduceAll(ul.Primaries, down)
+			}
+			if ul.Type == measure.BufferSaturated && e.eq(ul.NormRate, s1) {
+				reqs.addIncreaseAll(ul.Primaries, up)
+			}
+		}
+		for _, spec := range locals {
+			src := e.registry.Source(spec.ID)
+			mu := src.NormRate()
+			if e.eq(mu, l1) {
+				reqs.addReduce(spec.ID, down)
+			}
+			if _, limited := src.Limited(); limited && e.eq(mu, s1) {
+				reqs.addIncrease(spec.ID, up)
+			}
+		}
+	}
+}
+
+// testBandwidthCondition enforces §5.3's bandwidth-saturated condition on
+// every wireless link carrying at least one bandwidth-saturated virtual
+// link: that link's most penalized virtual link must carry the largest
+// normalized rate in at least one saturated clique, otherwise the clique's
+// top flows are asked down and the penalized link's primaries up.
+func (e *Engine) testBandwidthCondition(snap *measure.Snapshot, reqs reqSet) {
+	// Group virtual links by directed wireless link.
+	byWLink := make(map[topology.Link][]*measure.VLinkState)
+	for key, st := range snap.VLinks {
+		wl := topology.Link{From: key.From, To: key.To}
+		byWLink[wl] = append(byWLink[wl], st)
+	}
+
+	for wl, vlinks := range byWLink {
+		// The bandwidth-saturated virtual link with the smallest
+		// normalized rate is the one the condition protects.
+		var worst *measure.VLinkState
+		for _, st := range vlinks {
+			if st.Type != measure.BandwidthSaturated || st.NormRate == 0 {
+				continue
+			}
+			if worst == nil || st.NormRate < worst.NormRate {
+				worst = st
+			}
+		}
+		if worst == nil {
+			continue
+		}
+
+		owners := e.cliques.Of(wl)
+		if len(owners) == 0 {
+			continue
+		}
+		// Saturated cliques: β-largest channel occupancy (§6.3).
+		maxOcc := 0.0
+		occ := make([]float64, len(owners))
+		for i, c := range owners {
+			for _, l := range c.Links {
+				occ[i] += snap.UndirectedOccupancy(l)
+			}
+			if occ[i] > maxOcc {
+				maxOcc = occ[i]
+			}
+		}
+		var saturated []*clique.Clique
+		for i, c := range owners {
+			if e.eq(occ[i], maxOcc) {
+				saturated = append(saturated, c)
+			}
+		}
+
+		// Satisfied if worst's rate tops at least one saturated clique.
+		topped := false
+		l2 := 0.0
+		for _, c := range saturated {
+			cliqueMax := 0.0
+			for _, l := range c.Links {
+				if nr := snap.UndirectedNormRate(l); nr > cliqueMax {
+					cliqueMax = nr
+				}
+			}
+			if cliqueMax > l2 {
+				l2 = cliqueMax
+			}
+			if worst.NormRate >= cliqueMax || e.eq(worst.NormRate, cliqueMax) {
+				topped = true
+				break
+			}
+		}
+		if topped || l2 == 0 {
+			continue
+		}
+
+		// Violation: ask the top flows of the saturated cliques down by β
+		// and the penalized link's peers up by β (§6.3).
+		down, up := 1-e.params.Beta, 1+e.params.Beta
+		seen := make(map[topology.Link]bool)
+		for _, c := range saturated {
+			for _, l := range c.Links {
+				for _, dir := range []topology.Link{l, l.Reverse()} {
+					if seen[dir] {
+						continue
+					}
+					seen[dir] = true
+					for _, kv := range byWLink[dir] {
+						if e.eq(kv.NormRate, l2) && kv.NormRate > 0 {
+							reqs.addReduceAll(kv.Primaries, down)
+						}
+						if kv.Type == measure.BandwidthSaturated && e.eq(kv.NormRate, worst.NormRate) {
+							reqs.addIncreaseAll(kv.Primaries, up)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// apply delivers the aggregated requests to the flow sources and runs the
+// rate-limit condition (§6.3): limited flows with no request probe upward
+// additively, and limits that are not binding are removed. A limit counts
+// as "not binding" only while the flow's source queue is unsaturated: a
+// backpressured source running below its limit is congested, not
+// undemanding, and removing its limit would let it burst past its peers
+// the moment congestion eases.
+func (e *Engine) apply(reqs map[packet.FlowID]Request, rates []float64, snap *measure.Snapshot) {
+	limits := make([]float64, e.registry.NumFlows())
+	for i, src := range e.registry.Sources() {
+		f := packet.FlowID(i)
+		spec := src.Spec()
+		req, has := reqs[f]
+		limit, limited := src.Limited()
+		switch {
+		case has && req.Reduce:
+			base := rates[i]
+			if limited && limit < base {
+				base = limit
+			}
+			src.SetLimit(base * req.Factor)
+		case has && !req.Reduce:
+			if limited {
+				src.SetLimit(limit * req.Factor)
+			}
+		default:
+			if limited {
+				// "Unnecessary" means the flow is not even touching its
+				// constraint: it runs under the limit AND its source
+				// queue is essentially never full. A queue full even a
+				// modest fraction of the time (below the Ω classification
+				// threshold) already throttles the source below its
+				// limit, which must not be mistaken for low demand.
+				const idleOmega = 0.05
+				srcVNode := measure.VNodeID{Node: spec.Src, Queue: packet.QueueForDest(spec.Dst)}
+				if rates[i] < limit*(1-e.params.Beta) && snap.Omega[srcVNode] < idleOmega {
+					e.slack[f]++
+					if e.slack[f] >= 2 {
+						// The limit is persistently not binding: remove it.
+						src.RemoveLimit()
+						e.slack[f] = 0
+					}
+				} else {
+					e.slack[f] = 0
+					src.SetLimit(limit + e.params.AdditiveIncrease)
+				}
+			}
+		}
+		if l, ok := src.Limited(); ok {
+			limits[i] = l
+		} else {
+			limits[i] = math.Inf(1)
+		}
+	}
+	e.trace = append(e.trace, Round{
+		Time:            e.sched.Now(),
+		Rates:           rates,
+		Limits:          limits,
+		Requests:        len(reqs),
+		SaturatedVNodes: e.lastSat,
+	})
+}

@@ -1,0 +1,182 @@
+// Package dissemination implements §6.2 step 2 in-band: every node
+// broadcasts its link state at the end of a measurement period, and the
+// members of its dominating set rebroadcast it so the information
+// reaches the full two-hop neighborhood. Duplicate suppression uses
+// per-origin sequence numbers.
+//
+// The GMP engine in this repository consumes measurement state through
+// an out-of-band oracle with exactly two-hop scoping (DESIGN.md,
+// substitution 2); this package exists to make the *cost* of the real
+// protocol measurable: with in-band control enabled, every link-state
+// broadcast consumes genuine channel airtime, and the delivery tests
+// verify that the dominating-set flood actually reaches every two-hop
+// neighbor within a period.
+package dissemination
+
+import (
+	"fmt"
+
+	"gmp/internal/mac"
+	"gmp/internal/topology"
+)
+
+// Message is one link-state broadcast.
+type Message struct {
+	// Origin produced the records; Seq is its per-origin sequence
+	// number (§6.2 gives each new state a fresh broadcast).
+	Origin topology.NodeID
+	Seq    int64
+	// Records is the opaque link-state payload.
+	Records any
+	// Relayed marks a dominating-set rebroadcast (relays are not
+	// rebroadcast again; the flood depth is exactly two hops).
+	Relayed bool
+}
+
+// headerBytes approximates the fixed per-broadcast framing cost and
+// RecordBytes the per-link-record cost (link id, occupancy, normalized
+// rate), used to size the on-air payload.
+const (
+	headerBytes = 8
+	RecordBytes = 12
+)
+
+// PayloadBytes sizes a broadcast carrying n link records.
+func PayloadBytes(n int) int { return headerBytes + n*RecordBytes }
+
+// Agent runs the dissemination protocol for one node.
+type Agent struct {
+	id   topology.NodeID
+	send func(payload any, payloadBytes int)
+
+	// relayFor marks neighbors whose dominating set includes this node:
+	// their broadcasts must be rebroadcast (§6.2).
+	relayFor map[topology.NodeID]bool
+
+	seen map[topology.NodeID]int64
+	db   map[topology.NodeID]any
+	seq  int64
+
+	// onUpdate, when set, observes every new record set accepted.
+	onUpdate func(origin topology.NodeID, records any)
+
+	relayed int64
+}
+
+// NewAgent builds the dissemination agent for node id, sending through
+// the MAC's group-addressed broadcasts (in-band: real airtime, no
+// collision recovery). It derives the relay duties from the topology:
+// node m relays for neighbor n exactly when m belongs to n's dominating
+// set.
+func NewAgent(id topology.NodeID, topo *topology.Topology, station *mac.Station) *Agent {
+	a := newAgent(id, topo)
+	a.send = func(payload any, payloadBytes int) {
+		station.QueueBroadcast(payload, payloadBytes)
+	}
+	return a
+}
+
+// Bus is an out-of-band transport with the exact scoping of the in-band
+// protocol: a broadcast reaches the sender's one-hop neighbors
+// instantly and dominating-set members still relay, so information
+// travels exactly two hops — but nothing is lost to collisions and no
+// airtime is consumed. It exists because group-addressed 802.11 frames
+// have no recovery: under heavy congestion the in-band control channel
+// starves exactly where control is most needed (see EXPERIMENTS.md).
+type Bus struct {
+	topo   *topology.Topology
+	agents map[topology.NodeID]*Agent
+}
+
+// NewBus builds an out-of-band transport over the topology.
+func NewBus(topo *topology.Topology) *Bus {
+	return &Bus{topo: topo, agents: make(map[topology.NodeID]*Agent)}
+}
+
+// NewAgent builds and registers a dissemination agent that sends through
+// the bus.
+func (b *Bus) NewAgent(id topology.NodeID, topo *topology.Topology) *Agent {
+	a := newAgent(id, topo)
+	a.send = func(payload any, payloadBytes int) {
+		for _, nb := range b.topo.Neighbors(id) {
+			if peer, ok := b.agents[nb]; ok {
+				peer.OnBroadcast(id, payload)
+			}
+		}
+	}
+	b.agents[id] = a
+	return a
+}
+
+func newAgent(id topology.NodeID, topo *topology.Topology) *Agent {
+	a := &Agent{
+		id:       id,
+		relayFor: make(map[topology.NodeID]bool),
+		seen:     make(map[topology.NodeID]int64),
+		db:       make(map[topology.NodeID]any),
+	}
+	for _, n := range topo.Neighbors(id) {
+		for _, d := range topo.DominatingSet(n) {
+			if d == id {
+				a.relayFor[n] = true
+			}
+		}
+	}
+	return a
+}
+
+// SetUpdateHandler registers a callback for accepted record sets.
+func (a *Agent) SetUpdateHandler(fn func(origin topology.NodeID, records any)) {
+	a.onUpdate = fn
+}
+
+// Broadcast floods this node's current link-state records (n of them)
+// to the two-hop neighborhood.
+func (a *Agent) Broadcast(records any, n int) {
+	a.seq++
+	a.send(Message{
+		Origin:  a.id,
+		Seq:     a.seq,
+		Records: records,
+	}, PayloadBytes(n))
+}
+
+// OnBroadcast implements the receive side: store fresh state, invoke the
+// update handler, and rebroadcast first-hand messages when this node is
+// in the sender's dominating set. It is wired to mac.BroadcastReceiver
+// by the owning forwarding node.
+func (a *Agent) OnBroadcast(from topology.NodeID, payload any) {
+	msg, ok := payload.(Message)
+	if !ok {
+		panic(fmt.Sprintf("dissemination: node %d received %T", a.id, payload))
+	}
+	if last, ok := a.seen[msg.Origin]; ok && msg.Seq <= last {
+		return // duplicate (e.g. heard both the original and a relay)
+	}
+	a.seen[msg.Origin] = msg.Seq
+	a.db[msg.Origin] = msg.Records
+	if a.onUpdate != nil {
+		a.onUpdate(msg.Origin, msg.Records)
+	}
+	// Relay first-hand broadcasts from neighbors we serve; the relayed
+	// copy keeps the origin and sequence so two-hop receivers dedup.
+	if !msg.Relayed && from == msg.Origin && a.relayFor[from] {
+		relay := msg
+		relay.Relayed = true
+		n := 0
+		if cnt, ok := msg.Records.(int); ok {
+			n = cnt
+		}
+		a.send(relay, PayloadBytes(n))
+		a.relayed++
+	}
+}
+
+// Known returns the latest records accepted from origin, if any.
+func (a *Agent) Known(origin topology.NodeID) (any, bool) {
+	r, ok := a.db[origin]
+	return r, ok
+}
+
+// Relayed reports how many broadcasts this agent rebroadcast.
+func (a *Agent) Relayed() int64 { return a.relayed }

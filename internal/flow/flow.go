@@ -1,0 +1,338 @@
+// Package flow models end-to-end flows: their specifications, the
+// rate-limited packet sources that drive them, normalized-rate stamping
+// (§6.2), and delivery accounting at the sinks.
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gmp/internal/forwarding"
+	"gmp/internal/packet"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+)
+
+// Spec declares one end-to-end flow.
+type Spec struct {
+	ID     packet.FlowID
+	Src    topology.NodeID
+	Dst    topology.NodeID
+	Weight float64
+	// DesiredRate is d(f) in packets per second (§2.1; the paper uses
+	// 800 pkt/s everywhere).
+	DesiredRate float64
+	SizeBytes   int
+	// Start delays packet generation until the given virtual time, and
+	// Stop (when positive) ends it — flow churn, an extension beyond
+	// the paper's static flow sets. Zero values mean the whole session.
+	Start time.Duration
+	Stop  time.Duration
+}
+
+// Validate checks the spec for obvious mistakes.
+func (s Spec) Validate() error {
+	if s.Src == s.Dst {
+		return fmt.Errorf("flow %d: source equals destination %d", s.ID, s.Src)
+	}
+	if s.Weight <= 0 {
+		return fmt.Errorf("flow %d: non-positive weight %v", s.ID, s.Weight)
+	}
+	if s.DesiredRate <= 0 {
+		return fmt.Errorf("flow %d: non-positive desired rate %v", s.ID, s.DesiredRate)
+	}
+	if s.SizeBytes <= 0 {
+		return fmt.Errorf("flow %d: non-positive packet size %d", s.ID, s.SizeBytes)
+	}
+	if s.Start < 0 || s.Stop < 0 {
+		return fmt.Errorf("flow %d: negative start/stop time", s.ID)
+	}
+	if s.Stop > 0 && s.Stop <= s.Start {
+		return fmt.Errorf("flow %d: stop %v not after start %v", s.ID, s.Stop, s.Start)
+	}
+	return nil
+}
+
+// ActiveAt reports whether the flow generates packets at time t.
+func (s Spec) ActiveAt(t time.Duration) bool {
+	if t < s.Start {
+		return false
+	}
+	return s.Stop == 0 || t < s.Stop
+}
+
+// MinRate floors the self-imposed rate limit so a repeatedly halved flow
+// can always probe its way back up (liveness of the rate-limit condition).
+const MinRate = 1.0 // packets per second
+
+// Source generates a flow's packets at min(desired rate, rate limit) and
+// implements the source half of buffer-based backpressure: when the local
+// queue is full it pauses until the queue opens.
+//
+// Per §6.2 the source measures the flow's rate and stamps outgoing
+// packets with the resulting normalized rate. The paper measures in the
+// first half of each period and stamps during the second half; this
+// implementation stamps every packet with the rate of the last complete
+// period — the same one-period-stale quantity with half the measurement
+// noise (see DESIGN.md).
+type Source struct {
+	spec  Spec
+	sched *sim.Scheduler
+	node  *forwarding.Node
+	rng   *rand.Rand
+
+	period time.Duration
+	cbr    bool
+
+	limited bool
+	limit   float64
+
+	seq      int64
+	nextSend *sim.Timer
+	waiting  bool // paused on a full local queue
+	stopped  bool // past the spec's Stop time
+
+	stamped  bool // at least one period has completed
+	normRate float64
+
+	periodCount    int64 // packets injected in the current full period
+	lastPeriodRate float64
+
+	injectedTotal int64
+}
+
+// NewSource builds the generator for spec, injecting into node (which must
+// be the forwarding engine at spec.Src). period is the measurement period
+// driving the stamping schedule.
+func NewSource(spec Spec, sched *sim.Scheduler, node *forwarding.Node, period time.Duration, rng *rand.Rand) *Source {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if node.ID() != spec.Src {
+		panic(fmt.Sprintf("flow %d: source node %d attached to engine of node %d", spec.ID, spec.Src, node.ID()))
+	}
+	return &Source{
+		spec:   spec,
+		sched:  sched,
+		node:   node,
+		rng:    rng,
+		period: period,
+	}
+}
+
+// Spec returns the flow's specification.
+func (s *Source) Spec() Spec { return s.spec }
+
+// SetCBR switches the generator from Poisson arrivals (the default) to
+// constant-bit-rate generation. Poisson is the default because phase lock
+// between deterministic sources and MAC service cycles produces artifacts
+// (e.g. a relayed packet at a full shared FIFO is always overwritten by
+// the co-located source before the next dequeue).
+func (s *Source) SetCBR(cbr bool) { s.cbr = cbr }
+
+// Start begins packet generation, honoring the spec's Start and Stop
+// times. Generation begins at a random phase within one packet interval
+// so concurrent flows do not tick in lockstep.
+func (s *Source) Start() {
+	offset := s.spec.Start + time.Duration(s.rng.Float64()*float64(s.interval()))
+	s.nextSend = s.sched.After(offset, s.generate)
+	if s.spec.Stop > 0 {
+		s.sched.At(s.spec.Stop, func() {
+			s.stopped = true
+			s.waiting = false
+			s.nextSend.Cancel()
+		})
+	}
+}
+
+func (s *Source) rate() float64 {
+	r := s.spec.DesiredRate
+	if s.limited && s.limit < r {
+		r = s.limit
+	}
+	if r < MinRate {
+		r = MinRate
+	}
+	return r
+}
+
+func (s *Source) interval() time.Duration {
+	mean := float64(time.Second) / s.rate()
+	if s.cbr {
+		return time.Duration(mean)
+	}
+	return time.Duration(s.rng.ExpFloat64() * mean)
+}
+
+func (s *Source) generate() {
+	if s.stopped {
+		return
+	}
+	qid := s.node.Config().Mode.QueueKey(&packet.Packet{Flow: s.spec.ID, Dst: s.spec.Dst})
+	p := &packet.Packet{
+		Flow:      s.spec.ID,
+		Src:       s.spec.Src,
+		Dst:       s.spec.Dst,
+		Seq:       s.seq,
+		SizeBytes: s.spec.SizeBytes,
+		Weight:    s.spec.Weight,
+		NormRate:  s.normRate,
+		Stamped:   s.stamped,
+		Created:   s.sched.Now(),
+	}
+	if !s.node.Enqueue(p) {
+		// Local queue full: the source slows down (§2.2). Resume when the
+		// queue opens; the unsent packet is regenerated then.
+		s.waiting = true
+		s.node.NotifyQueueOpen(qid, func() {
+			if !s.waiting {
+				return
+			}
+			s.waiting = false
+			s.generate()
+		})
+		return
+	}
+	s.seq++
+	s.periodCount++
+	s.injectedTotal++
+	s.nextSend = s.sched.After(s.interval(), s.generate)
+}
+
+// NormRate returns the flow's current normalized rate μ(f) as measured at
+// the source.
+func (s *Source) NormRate() float64 { return s.normRate }
+
+// Limited reports whether the source currently has a self-imposed rate
+// limit, and its value in packets per second.
+func (s *Source) Limited() (float64, bool) { return s.limit, s.limited }
+
+// SetLimit installs (or tightens/loosens) the self-imposed rate limit.
+func (s *Source) SetLimit(pps float64) {
+	if pps < MinRate {
+		pps = MinRate
+	}
+	if pps >= s.spec.DesiredRate {
+		s.RemoveLimit()
+		return
+	}
+	s.limited = true
+	s.limit = pps
+}
+
+// RemoveLimit clears the rate limit (the "Removing Unnecessary Rate
+// Limits" step of §6.3).
+func (s *Source) RemoveLimit() {
+	s.limited = false
+	s.limit = 0
+}
+
+// EndPeriod closes the current full measurement period, returning the
+// flow's actual injection rate r(f) over it and refreshing the normalized
+// rate stamped into outgoing packets (§6.2 "Normalized Rate").
+func (s *Source) EndPeriod() float64 {
+	s.lastPeriodRate = float64(s.periodCount) / s.period.Seconds()
+	s.periodCount = 0
+	s.normRate = s.lastPeriodRate / s.spec.Weight
+	s.stamped = true
+	return s.lastPeriodRate
+}
+
+// LastPeriodRate returns the rate computed by the previous EndPeriod call.
+func (s *Source) LastPeriodRate() float64 { return s.lastPeriodRate }
+
+// InjectedTotal returns the number of packets the source has injected.
+func (s *Source) InjectedTotal() int64 { return s.injectedTotal }
+
+// Registry tracks all flows of a simulation and their delivery counters.
+type Registry struct {
+	specs   []Spec
+	sources []*Source
+
+	delivered []int64
+	dropped   []int64
+
+	markTime      time.Duration
+	markDelivered []int64
+	markInjected  []int64
+}
+
+// NewRegistry builds a registry for the given flow specs. Flow IDs must be
+// dense: specs[i].ID == i.
+func NewRegistry(specs []Spec) (*Registry, error) {
+	for i, s := range specs {
+		if int(s.ID) != i {
+			return nil, fmt.Errorf("flow: spec %d has non-dense ID %d", i, s.ID)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Registry{
+		specs:         append([]Spec(nil), specs...),
+		sources:       make([]*Source, len(specs)),
+		delivered:     make([]int64, len(specs)),
+		dropped:       make([]int64, len(specs)),
+		markDelivered: make([]int64, len(specs)),
+		markInjected:  make([]int64, len(specs)),
+	}, nil
+}
+
+// Specs returns the flow specifications.
+func (r *Registry) Specs() []Spec { return r.specs }
+
+// NumFlows returns the flow count.
+func (r *Registry) NumFlows() int { return len(r.specs) }
+
+// AttachSource records the source driving flow id.
+func (r *Registry) AttachSource(id packet.FlowID, s *Source) { r.sources[id] = s }
+
+// Source returns the generator of flow id.
+func (r *Registry) Source(id packet.FlowID) *Source { return r.sources[id] }
+
+// Sources returns all flow sources in flow-ID order.
+func (r *Registry) Sources() []*Source { return r.sources }
+
+// OnDeliver is the sink callback: counts an end-to-end delivery.
+func (r *Registry) OnDeliver(p *packet.Packet, _ topology.NodeID) {
+	r.delivered[p.Flow]++
+}
+
+// OnDrop counts a packet loss anywhere along the path.
+func (r *Registry) OnDrop(p *packet.Packet, _ forwarding.DropReason) {
+	r.dropped[p.Flow]++
+}
+
+// Delivered returns the end-to-end deliveries of flow id so far.
+func (r *Registry) Delivered(id packet.FlowID) int64 { return r.delivered[id] }
+
+// Dropped returns the packets of flow id lost so far.
+func (r *Registry) Dropped(id packet.FlowID) int64 { return r.dropped[id] }
+
+// Mark snapshots delivery and injection counters at virtual time now;
+// MeasuredRates later reports rates over [now, then]. Used to exclude
+// warmup from reported rates.
+func (r *Registry) Mark(now time.Duration) {
+	r.markTime = now
+	for i := range r.specs {
+		r.markDelivered[i] = r.delivered[i]
+		if r.sources[i] != nil {
+			r.markInjected[i] = r.sources[i].InjectedTotal()
+		}
+	}
+}
+
+// MeasuredRates returns each flow's end-to-end delivery rate in packets
+// per second over [mark, now].
+func (r *Registry) MeasuredRates(now time.Duration) []float64 {
+	window := (now - r.markTime).Seconds()
+	rates := make([]float64, len(r.specs))
+	if window <= 0 {
+		return rates
+	}
+	for i := range r.specs {
+		rates[i] = float64(r.delivered[i]-r.markDelivered[i]) / window
+	}
+	return rates
+}

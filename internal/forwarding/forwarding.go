@@ -1,0 +1,736 @@
+// Package forwarding implements the network layer of the simulator: packet
+// queues, next-hop forwarding, and the buffer-based backpressure scheme
+// the paper builds on (§2.2).
+//
+// Three queueing disciplines are supported, matching the three protocols
+// evaluated in §7.2:
+//
+//   - PerDestination: one queue per served destination (GMP, §5.1) — the
+//     "virtual node" i_t is exactly the queue for destination t at node i.
+//   - PerFlow: one queue per passing flow (2PP, ref [11]).
+//   - Shared: one FIFO for everything, tail overwrite on overflow (plain
+//     IEEE 802.11 baseline).
+//
+// With congestion avoidance enabled (ref [3] of the paper), a node offers
+// the MAC only packets whose downstream queue advertised a free slot; the
+// advertisement is the buffer-state bit piggybacked on every overheard
+// frame. A full downstream queue therefore throttles the upstream node —
+// buffer-based backpressure — and the pressure propagates hop by hop to
+// the flow source.
+package forwarding
+
+import (
+	"fmt"
+	"time"
+
+	"gmp/internal/mac"
+	"gmp/internal/packet"
+	"gmp/internal/routing"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+)
+
+// Mode selects the queueing discipline.
+type Mode int
+
+// Queueing disciplines.
+const (
+	PerDestination Mode = iota + 1
+	PerFlow
+	Shared
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case PerDestination:
+		return "per-destination"
+	case PerFlow:
+		return "per-flow"
+	case Shared:
+		return "shared-fifo"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// QueueKey returns the queue a packet belongs to under the mode.
+func (m Mode) QueueKey(p *packet.Packet) packet.QueueID {
+	switch m {
+	case PerDestination:
+		return packet.QueueForDest(p.Dst)
+	case PerFlow:
+		return packet.QueueForFlow(p.Flow)
+	case Shared:
+		return packet.SharedQueue
+	default:
+		panic(fmt.Sprintf("forwarding: unknown mode %d", int(m)))
+	}
+}
+
+// Config controls a node's forwarding behavior.
+type Config struct {
+	Mode Mode
+	// QueueSlots is the capacity of each queue in packets (§7.2 uses 10).
+	QueueSlots int
+	// CongestionAvoidance gates transmissions on the downstream buffer
+	// state (ref [3]). Disabled for the plain-802.11 baseline.
+	CongestionAvoidance bool
+	// OverwriteTail drops the tail packet to admit a new arrival when the
+	// queue is full (plain-802.11 baseline behavior, §7.2).
+	OverwriteTail bool
+	// StaleAfter bounds how long a "full" advertisement suppresses
+	// transmissions without being refreshed; after it the node attempts
+	// anyway (handles failed overhearing, §2.2).
+	StaleAfter time.Duration
+	// FairAggregation splits each queue into one sub-queue per packet
+	// origin (the local source vs each upstream neighbor), each with its
+	// own QueueSlots quota, served round-robin. This is an extension
+	// beyond the paper, in the spirit of its ref [4] (aggregate fairness
+	// toward a common sink): under FIFO with a shared quota the local
+	// source instantly refills every freed slot and starves relayed
+	// traffic at both admission and service; per-origin quotas and
+	// round-robin service remove both advantages.
+	FairAggregation bool
+	// RequeueOnFailure puts a packet back at the head of its queue when
+	// the MAC exhausts its retry limit, instead of dropping it. The
+	// congestion-avoidance substrate (ref [3]) is loss-free by design;
+	// link-layer persistence keeps backpressure honest about the true
+	// delivery capacity of a collision-prone link. The plain-802.11
+	// baseline leaves this off (standard drop-on-retry-limit).
+	RequeueOnFailure bool
+}
+
+// DefaultConfig returns GMP's forwarding configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mode:                PerDestination,
+		QueueSlots:          10,
+		CongestionAvoidance: true,
+		StaleAfter:          50 * time.Millisecond,
+	}
+}
+
+// VLinkKey identifies a virtual link (i_t, j_t): the directed wireless
+// link (From, To) restricted to one queue (destination t under GMP).
+type VLinkKey struct {
+	From  topology.NodeID
+	To    topology.NodeID
+	Queue packet.QueueID
+}
+
+// String renders the key in the paper's (i_t, j_t) flavor.
+func (k VLinkKey) String() string {
+	return fmt.Sprintf("(%d_%d,%d_%d)", k.From, k.Queue, k.To, k.Queue)
+}
+
+// WirelessLink returns the physical link the virtual link rides on.
+func (k VLinkKey) WirelessLink() topology.Link {
+	return topology.Link{From: k.From, To: k.To}
+}
+
+// PrimaryInfo records the primary flows of a virtual link over one
+// measurement period: the flows whose stamped normalized rate equals the
+// link's (maximum) normalized rate (§6.1).
+type PrimaryInfo struct {
+	// NormRate is the largest stamped normalized rate observed; zero if
+	// no stamped packet passed.
+	NormRate float64
+	// Flows maps each primary flow to its source node.
+	Flows map[packet.FlowID]topology.NodeID
+}
+
+// VLinkMeter accumulates per-virtual-link measurements over one period.
+type VLinkMeter struct {
+	// Sent counts packets acknowledged by the next hop this period.
+	Sent int64
+	// Primary tracks the largest stamped normalized rate and its flows.
+	Primary PrimaryInfo
+}
+
+// SinkFunc consumes a packet that reached its final destination.
+type SinkFunc func(p *packet.Packet, from topology.NodeID)
+
+// DropReason classifies packet losses.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropOverflow DropReason = iota + 1 // arrival at a full queue
+	DropTail                           // tail overwritten (802.11 baseline)
+	DropRetry                          // MAC retry limit exhausted
+	DropNoRoute                        // no route to destination
+)
+
+// String names the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropOverflow:
+		return "overflow"
+	case DropTail:
+		return "tail-overwrite"
+	case DropRetry:
+		return "retry-limit"
+	case DropNoRoute:
+		return "no-route"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// DropFunc observes packet losses (for statistics).
+type DropFunc func(p *packet.Packet, reason DropReason)
+
+type nbrEntry struct {
+	free bool
+	at   time.Duration
+}
+
+// queue is one packet queue. In plain mode it is a single FIFO; with
+// fair aggregation it holds one sub-FIFO per packet origin (the local
+// source or each upstream neighbor) served round-robin, so a chatty
+// local source cannot crowd relayed traffic out of a shared
+// per-destination queue.
+type queue struct {
+	id   packet.QueueID
+	fair bool
+
+	// Plain mode.
+	pkts []*packet.Packet
+
+	// Fair-aggregation mode.
+	subs    map[topology.NodeID][]*packet.Packet
+	origins []topology.NodeID
+	rr      int
+	total   int
+
+	fullSince time.Duration // -1 when not full
+	fullAccum time.Duration
+
+	// localWasFull tracks the local origin's quota (fair mode), so the
+	// queue-open waiters fire when the *local* sub-queue opens even if
+	// other origins keep the queue as a whole busy.
+	localWasFull bool
+}
+
+func (q *queue) length() int {
+	if q.fair {
+		return q.total
+	}
+	return len(q.pkts)
+}
+
+func (q *queue) push(p *packet.Packet, origin topology.NodeID) {
+	if !q.fair {
+		q.pkts = append(q.pkts, p)
+		return
+	}
+	if q.subs == nil {
+		q.subs = make(map[topology.NodeID][]*packet.Packet)
+	}
+	if _, ok := q.subs[origin]; !ok {
+		q.origins = append(q.origins, origin)
+	}
+	q.subs[origin] = append(q.subs[origin], p)
+	q.total++
+}
+
+// headOrigin returns the origin whose sub-FIFO the next pop serves, or
+// false when empty.
+func (q *queue) headOrigin() (topology.NodeID, bool) {
+	if len(q.origins) == 0 {
+		return 0, false
+	}
+	for k := 0; k < len(q.origins); k++ {
+		origin := q.origins[(q.rr+k)%len(q.origins)]
+		if len(q.subs[origin]) > 0 {
+			return origin, true
+		}
+	}
+	return 0, false
+}
+
+func (q *queue) peek() *packet.Packet {
+	if !q.fair {
+		if len(q.pkts) == 0 {
+			return nil
+		}
+		return q.pkts[0]
+	}
+	origin, ok := q.headOrigin()
+	if !ok {
+		return nil
+	}
+	return q.subs[origin][0]
+}
+
+func (q *queue) pop() (*packet.Packet, topology.NodeID) {
+	if !q.fair {
+		p := q.pkts[0]
+		q.pkts = q.pkts[1:]
+		return p, p.Src // origin unused in plain mode
+	}
+	origin, ok := q.headOrigin()
+	if !ok {
+		panic("forwarding: pop from empty fair queue")
+	}
+	p := q.subs[origin][0]
+	q.subs[origin] = q.subs[origin][1:]
+	q.total--
+	// Advance round-robin past the origin just served.
+	for k, o := range q.origins {
+		if o == origin {
+			q.rr = (k + 1) % len(q.origins)
+			break
+		}
+	}
+	return p, origin
+}
+
+// pushFront re-admits a packet at the head of its origin's FIFO (MAC
+// retry-exhaustion requeue).
+func (q *queue) pushFront(p *packet.Packet, origin topology.NodeID) {
+	if !q.fair {
+		q.pkts = append([]*packet.Packet{p}, q.pkts...)
+		return
+	}
+	if q.subs == nil {
+		q.subs = make(map[topology.NodeID][]*packet.Packet)
+	}
+	if _, ok := q.subs[origin]; !ok {
+		q.origins = append(q.origins, origin)
+	}
+	q.subs[origin] = append([]*packet.Packet{p}, q.subs[origin]...)
+	q.total++
+}
+
+// Node is the forwarding engine of one physical node. It implements
+// mac.Client.
+type Node struct {
+	id     topology.NodeID
+	sched  *sim.Scheduler
+	cfg    Config
+	routes *routing.Table
+	mac    *mac.Station
+	sink   SinkFunc
+	drop   DropFunc
+
+	queues   map[packet.QueueID]*queue
+	order    []packet.QueueID // round-robin order (creation order)
+	rrOffset int
+
+	nbrState map[topology.NodeID]map[packet.QueueID]nbrEntry
+
+	kickTimer *sim.Timer
+
+	meters   map[VLinkKey]*VLinkMeter
+	received map[VLinkKey]*VLinkMeter
+
+	openWaiters map[packet.QueueID][]func()
+
+	broadcastHandler func(from topology.NodeID, payload any)
+
+	// enqueued counts packets accepted into local queues this period
+	// (arrivals + local generation), for tests.
+	enqueued int64
+}
+
+var (
+	_ mac.Client            = (*Node)(nil)
+	_ mac.BroadcastReceiver = (*Node)(nil)
+)
+
+// NewNode builds the forwarding engine for node id. Attach the MAC station
+// with SetMAC before the simulation starts.
+func NewNode(id topology.NodeID, sched *sim.Scheduler, cfg Config, routes *routing.Table, sink SinkFunc, drop DropFunc) *Node {
+	if cfg.QueueSlots <= 0 {
+		panic(fmt.Sprintf("forwarding: non-positive queue capacity %d", cfg.QueueSlots))
+	}
+	if sink == nil {
+		sink = func(*packet.Packet, topology.NodeID) {}
+	}
+	if drop == nil {
+		drop = func(*packet.Packet, DropReason) {}
+	}
+	return &Node{
+		id:       id,
+		sched:    sched,
+		cfg:      cfg,
+		routes:   routes,
+		sink:     sink,
+		drop:     drop,
+		queues:   make(map[packet.QueueID]*queue),
+		nbrState: make(map[topology.NodeID]map[packet.QueueID]nbrEntry),
+		meters:   make(map[VLinkKey]*VLinkMeter),
+		received: make(map[VLinkKey]*VLinkMeter),
+
+		openWaiters: make(map[packet.QueueID][]func()),
+	}
+}
+
+// SetMAC attaches the MAC station (resolves the construction cycle between
+// the two layers).
+func (n *Node) SetMAC(st *mac.Station) { n.mac = st }
+
+// SetBroadcastHandler routes decoded control broadcasts (link-state
+// dissemination) to the given callback.
+func (n *Node) SetBroadcastHandler(fn func(from topology.NodeID, payload any)) {
+	n.broadcastHandler = fn
+}
+
+// OnBroadcast implements mac.BroadcastReceiver.
+func (n *Node) OnBroadcast(from topology.NodeID, payload any) {
+	if n.broadcastHandler != nil {
+		n.broadcastHandler(from, payload)
+	}
+}
+
+// ID returns the node this engine belongs to.
+func (n *Node) ID() topology.NodeID { return n.id }
+
+// Config returns the node's forwarding configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+func (n *Node) queueFor(id packet.QueueID) *queue {
+	q, ok := n.queues[id]
+	if !ok {
+		q = &queue{id: id, fair: n.cfg.FairAggregation, fullSince: -1}
+		n.queues[id] = q
+		n.order = append(n.order, id)
+	}
+	return q
+}
+
+// full reports whether the queue can admit nothing more: in plain mode
+// the single FIFO is at capacity; in fair mode every existing sub-queue
+// is at its per-origin quota (a new origin can always start a sub-queue,
+// which the admission paths handle explicitly).
+func (n *Node) full(q *queue) bool {
+	if !q.fair {
+		return q.length() >= n.cfg.QueueSlots
+	}
+	if len(q.origins) == 0 {
+		return false
+	}
+	for _, o := range q.origins {
+		if len(q.subs[o]) < n.cfg.QueueSlots {
+			return false
+		}
+	}
+	return true
+}
+
+// fullFor reports whether the queue can admit a packet from origin o.
+func (n *Node) fullFor(q *queue, o topology.NodeID) bool {
+	if !q.fair {
+		return q.length() >= n.cfg.QueueSlots
+	}
+	return len(q.subs[o]) >= n.cfg.QueueSlots
+}
+
+// touchFullState updates the queue's full-time accounting after a
+// length change.
+func (n *Node) touchFullState(q *queue) {
+	now := n.sched.Now()
+	if n.full(q) {
+		if q.fullSince < 0 {
+			q.fullSince = now
+		}
+	} else if q.fullSince >= 0 {
+		q.fullAccum += now - q.fullSince
+		q.fullSince = -1
+	}
+	// Queue-open waiters care about local admission, which under fair
+	// aggregation is the local origin's own quota. The flag is updated
+	// before firing and recomputed after: a waiter typically refills the
+	// freed slot reentrantly (source resumes -> Enqueue -> touch), and a
+	// stale write-back here would strand the flag at "not full" while
+	// the sub-queue is full again, silencing all future wake-ups.
+	localFull := n.fullFor(q, n.id)
+	wasFull := q.localWasFull
+	q.localWasFull = localFull
+	if wasFull && !localFull {
+		if waiters := n.openWaiters[q.id]; len(waiters) > 0 {
+			delete(n.openWaiters, q.id)
+			for _, fn := range waiters {
+				fn()
+			}
+		}
+		q.localWasFull = n.fullFor(q, n.id)
+	}
+}
+
+// NotifyQueueOpen registers a one-shot callback fired the next time queue
+// id transitions from full to unfull. Flow sources use it to resume packet
+// generation when local backpressure releases (§2.2).
+func (n *Node) NotifyQueueOpen(id packet.QueueID, fn func()) {
+	n.openWaiters[id] = append(n.openWaiters[id], fn)
+}
+
+// QueueLen returns the current length of queue id (0 if absent).
+func (n *Node) QueueLen(id packet.QueueID) int {
+	if q, ok := n.queues[id]; ok {
+		return q.length()
+	}
+	return 0
+}
+
+// Queues returns the IDs of the queues this node has instantiated, in
+// creation order. Under per-destination queueing these are the node's
+// served destinations (its virtual nodes).
+func (n *Node) Queues() []packet.QueueID {
+	return append([]packet.QueueID(nil), n.order...)
+}
+
+// Enqueue admits a locally generated packet into the appropriate queue.
+// It reports false when the queue is full: per §2.1 the source always
+// slows down when its local buffer is full ("the flow source will
+// generate new packets at a smaller rate if the network cannot deliver
+// its desirable rate"); tail overwrite applies only to relayed arrivals.
+func (n *Node) Enqueue(p *packet.Packet) bool {
+	q := n.queueFor(n.cfg.Mode.QueueKey(p))
+	if n.fullFor(q, n.id) {
+		return false
+	}
+	q.push(p, n.id)
+	n.enqueued++
+	n.touchFullState(q)
+	if n.mac != nil {
+		n.mac.Kick()
+	}
+	return true
+}
+
+// NextOutgoing implements mac.Client: round-robin over queues, skipping
+// (under congestion avoidance) queues whose downstream buffer is full.
+func (n *Node) NextOutgoing() *mac.Outgoing {
+	if len(n.order) == 0 {
+		return nil
+	}
+	var earliestRetry time.Duration = -1
+	now := n.sched.Now()
+	for k := 0; k < len(n.order); k++ {
+		qid := n.order[(n.rrOffset+k)%len(n.order)]
+		q := n.queues[qid]
+		head := q.peek()
+		if head == nil {
+			continue
+		}
+		nh, ok := n.routes.NextHop(n.id, head.Dst)
+		if !ok {
+			q.pop()
+			n.touchFullState(q)
+			n.drop(head, DropNoRoute)
+			k-- // re-examine the same queue
+			continue
+		}
+		if n.cfg.CongestionAvoidance && nh != head.Dst {
+			if entry, known := n.nbrState[nh][qid]; known && !entry.free {
+				age := now - entry.at
+				if age < n.cfg.StaleAfter {
+					retryAt := entry.at + n.cfg.StaleAfter
+					if earliestRetry < 0 || retryAt < earliestRetry {
+						earliestRetry = retryAt
+					}
+					continue // blocked by downstream backpressure
+				}
+			}
+		}
+		pkt, origin := q.pop()
+		n.touchFullState(q)
+		n.rrOffset = (n.rrOffset + k + 1) % len(n.order)
+		return &mac.Outgoing{Pkt: pkt, NextHop: nh, Queue: qid, Origin: origin}
+	}
+	if earliestRetry >= 0 {
+		n.scheduleKick(earliestRetry)
+	}
+	return nil
+}
+
+func (n *Node) scheduleKick(at time.Duration) {
+	if n.kickTimer.Pending() {
+		return
+	}
+	n.kickTimer = n.sched.At(at, func() {
+		if n.mac != nil {
+			n.mac.Kick()
+		}
+	})
+}
+
+// OnSendComplete implements mac.Client.
+func (n *Node) OnSendComplete(out *mac.Outgoing, ok bool) {
+	if !ok {
+		if n.cfg.RequeueOnFailure {
+			// The in-flight packet logically kept its buffer slot, so the
+			// prepend may transiently exceed the configured capacity by
+			// one if upstream refilled the freed slot meanwhile.
+			q := n.queueFor(n.cfg.Mode.QueueKey(out.Pkt))
+			q.pushFront(out.Pkt, out.Origin)
+			n.touchFullState(q)
+			if n.mac != nil {
+				n.mac.Kick()
+			}
+			return
+		}
+		n.drop(out.Pkt, DropRetry)
+		return
+	}
+	key := VLinkKey{From: n.id, To: out.NextHop, Queue: n.cfg.Mode.QueueKey(out.Pkt)}
+	m := n.meters[key]
+	if m == nil {
+		m = &VLinkMeter{}
+		n.meters[key] = m
+	}
+	m.Sent++
+	if out.Pkt.Stamped {
+		observePrimary(&m.Primary, out.Pkt)
+	}
+}
+
+// observePrimary folds a stamped packet into the primary-flow tracking of
+// a virtual link: strictly larger normalized rates reset the set, equal
+// rates join it.
+func observePrimary(pi *PrimaryInfo, p *packet.Packet) {
+	const eps = 1e-9
+	switch {
+	case p.NormRate > pi.NormRate+eps:
+		pi.NormRate = p.NormRate
+		pi.Flows = map[packet.FlowID]topology.NodeID{p.Flow: p.Src}
+	case p.NormRate >= pi.NormRate-eps:
+		if pi.Flows == nil {
+			pi.Flows = make(map[packet.FlowID]topology.NodeID)
+		}
+		pi.Flows[p.Flow] = p.Src
+	}
+}
+
+// OnReceive implements mac.Client: consume at the destination or enqueue
+// for the next hop. Under congestion avoidance a full queue can still
+// receive in rare races (the CTS admission check passed an exchange ago);
+// the packet is admitted with transient overflow rather than lost, since
+// the scheme is loss-free by design (ref [3]).
+func (n *Node) OnReceive(p *packet.Packet, from topology.NodeID) {
+	key := VLinkKey{From: from, To: n.id, Queue: n.cfg.Mode.QueueKey(p)}
+	m := n.received[key]
+	if m == nil {
+		m = &VLinkMeter{}
+		n.received[key] = m
+	}
+	m.Sent++
+	if p.Stamped {
+		observePrimary(&m.Primary, p)
+	}
+	if p.Dst == n.id {
+		n.sink(p, from)
+		return
+	}
+	q := n.queueFor(n.cfg.Mode.QueueKey(p))
+	if n.fullFor(q, from) && !n.cfg.CongestionAvoidance {
+		// Tail overwrite exists only for the plain-802.11 baseline,
+		// which never uses fair aggregation.
+		if n.cfg.OverwriteTail {
+			tail := q.pkts[len(q.pkts)-1]
+			q.pkts[len(q.pkts)-1] = p
+			n.drop(tail, DropTail)
+		} else {
+			n.drop(p, DropOverflow)
+		}
+		return
+	}
+	q.push(p, from)
+	n.enqueued++
+	n.touchFullState(q)
+	if n.mac != nil {
+		n.mac.Kick()
+	}
+}
+
+// AcceptQueue implements mac.Client: the congestion-avoidance admission
+// check run by a receiver before granting CTS (ref [3]). Without
+// congestion avoidance everything is admitted (and overflow handled at
+// enqueue time). Under fair aggregation the check applies the sender's
+// own per-origin quota.
+func (n *Node) AcceptQueue(id packet.QueueID, from topology.NodeID) bool {
+	if !n.cfg.CongestionAvoidance {
+		return true
+	}
+	q, ok := n.queues[id]
+	if !ok {
+		return true
+	}
+	return !n.fullFor(q, from)
+}
+
+// Piggyback implements mac.Client: advertise one free/full bit per owned
+// queue (§2.2).
+func (n *Node) Piggyback() []packet.QueueState {
+	states := make([]packet.QueueState, 0, len(n.order))
+	for _, qid := range n.order {
+		states = append(states, packet.QueueState{Queue: qid, Free: !n.full(n.queues[qid])})
+	}
+	return states
+}
+
+// OnOverhear implements mac.Client: cache a neighbor's advertised buffer
+// states and wake the MAC if new room opened downstream.
+func (n *Node) OnOverhear(from topology.NodeID, states []packet.QueueState) {
+	if len(states) == 0 {
+		return
+	}
+	cache := n.nbrState[from]
+	if cache == nil {
+		cache = make(map[packet.QueueID]nbrEntry)
+		n.nbrState[from] = cache
+	}
+	now := n.sched.Now()
+	opened := false
+	for _, st := range states {
+		prev, known := cache[st.Queue]
+		cache[st.Queue] = nbrEntry{free: st.Free, at: now}
+		if st.Free && (!known || !prev.free) {
+			opened = true
+		}
+	}
+	if opened && n.mac != nil {
+		n.mac.Kick()
+	}
+}
+
+// TakeMeters returns the per-virtual-link send meters accumulated since
+// the previous call and resets them. Called once per measurement period.
+func (n *Node) TakeMeters() map[VLinkKey]*VLinkMeter {
+	out := n.meters
+	n.meters = make(map[VLinkKey]*VLinkMeter, len(out))
+	return out
+}
+
+// TakeReceived returns the per-virtual-link receive meters accumulated
+// since the previous call and resets them. Per §6.2 both endpoints of a
+// virtual link learn its rate, normalized rate, and primary flows from
+// the packets themselves; these are the receiver's copies.
+func (n *Node) TakeReceived() map[VLinkKey]*VLinkMeter {
+	out := n.received
+	n.received = make(map[VLinkKey]*VLinkMeter, len(out))
+	return out
+}
+
+// FullFraction returns the fraction Ω of the elapsed period during which
+// queue id was full, and resets the accumulator (§6.2 "Buffer State").
+func (n *Node) FullFraction(id packet.QueueID, period time.Duration) float64 {
+	q, ok := n.queues[id]
+	if !ok || period <= 0 {
+		return 0
+	}
+	now := n.sched.Now()
+	acc := q.fullAccum
+	if q.fullSince >= 0 {
+		acc += now - q.fullSince
+		q.fullSince = now
+	}
+	q.fullAccum = 0
+	if acc > period {
+		acc = period
+	}
+	return float64(acc) / float64(period)
+}

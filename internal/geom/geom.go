@@ -1,0 +1,34 @@
+// Package geom provides the small amount of planar geometry needed to
+// model node placement and radio ranges in a multihop wireless network.
+package geom
+
+import "math"
+
+// Point is a position on the simulation plane, in meters.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in meters.
+func Dist(p, q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It is
+// cheaper than Dist and sufficient for range comparisons.
+func DistSq(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// WithinRange reports whether p and q are no farther apart than r meters.
+func WithinRange(p, q Point, r float64) bool {
+	return DistSq(p, q) <= r*r
+}
+
+// Midpoint returns the point halfway between p and q.
+func Midpoint(p, q Point) Point {
+	return Point{X: (p.X + q.X) / 2, Y: (p.Y + q.Y) / 2}
+}

@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"horizontal", Point{0, 0}, Point{3, 0}, 3},
+		{"vertical", Point{0, 0}, Point{0, 4}, 4},
+		{"pythagorean", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-3, -4}, Point{0, 0}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dist(tt.p, tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		return Dist(a, b) == Dist(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSqConsistentWithDist(t *testing.T) {
+	f := func(ax, ay, bx, by float32) bool {
+		a, b := Point{float64(ax), float64(ay)}, Point{float64(bx), float64(by)}
+		d := Dist(a, b)
+		return math.Abs(DistSq(a, b)-d*d) <= 1e-6*math.Max(1, d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinRange(t *testing.T) {
+	a, b := Point{0, 0}, Point{250, 0}
+	if !WithinRange(a, b, 250) {
+		t.Error("boundary distance should be within range (inclusive)")
+	}
+	if WithinRange(a, b, 249.999) {
+		t.Error("beyond range reported within")
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	m := Midpoint(Point{0, 0}, Point{10, 20})
+	if m.X != 5 || m.Y != 10 {
+		t.Errorf("Midpoint = %v, want {5 10}", m)
+	}
+}
+
+// Property: triangle inequality.
+func TestTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float32) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,608 @@
+// Package mac implements IEEE 802.11 DCF: CSMA/CA channel access with
+// binary exponential backoff, virtual carrier sense (NAV), and the
+// RTS/CTS/DATA/ACK exchange, per node, on top of the radio medium.
+//
+// The upper layer (the forwarding engine) is attached through the Client
+// interface using a pull model: whenever the MAC is ready to transmit it
+// asks the client for the next eligible packet. This is where the paper's
+// congestion-avoidance gating plugs in — a packet whose downstream buffer
+// is full is simply not offered to the MAC.
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gmp/internal/packet"
+	"gmp/internal/radio"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+)
+
+// Outgoing is one packet handed by the client to the MAC for transmission
+// to a specific next hop.
+type Outgoing struct {
+	Pkt     *packet.Packet
+	NextHop topology.NodeID
+	// Queue is the queue the packet joins at the next hop (advertised in
+	// the RTS so the receiver can run its admission check).
+	Queue packet.QueueID
+	// Origin is the node the packet was received from (or this node for
+	// local traffic); the forwarding layer uses it to requeue a failed
+	// packet into the right fair-aggregation sub-queue.
+	Origin topology.NodeID
+}
+
+// Client is the upper layer attached to a MAC station.
+type Client interface {
+	// NextOutgoing returns the next packet eligible for transmission, or
+	// nil if none. Ownership transfers to the MAC until OnSendComplete.
+	NextOutgoing() *Outgoing
+	// OnSendComplete reports the fate of a previously pulled packet:
+	// ok=true when the next hop acknowledged it, ok=false when the retry
+	// limit was exhausted and the packet was dropped.
+	OnSendComplete(out *Outgoing, ok bool)
+	// OnReceive delivers a data packet addressed to this node (either to
+	// forward or, at the destination, to consume). Duplicates from ACK
+	// loss are filtered by the MAC before this call.
+	OnReceive(pkt *packet.Packet, from topology.NodeID)
+	// Piggyback returns the node's current buffer-state advertisement to
+	// attach to an outgoing frame (§2.2).
+	Piggyback() []packet.QueueState
+	// OnOverhear processes a buffer-state advertisement overheard from a
+	// neighbor's frame.
+	OnOverhear(from topology.NodeID, states []packet.QueueState)
+	// AcceptQueue reports whether queue q can admit one more packet from
+	// the given sender. A receiver withholds CTS when it cannot
+	// (congestion avoidance, ref [3] of the paper).
+	AcceptQueue(q packet.QueueID, from topology.NodeID) bool
+}
+
+// Config controls MAC behavior beyond the shared radio parameters.
+type Config struct {
+	// UseRTS enables the RTS/CTS handshake before data (the paper's
+	// model). When false, DATA is sent directly after backoff.
+	UseRTS bool
+}
+
+// DefaultConfig enables RTS/CTS, matching the paper's network model.
+func DefaultConfig() Config { return Config{UseRTS: true} }
+
+// Stats counts per-station MAC events.
+type Stats struct {
+	DataSent     int64 // data frames put on air (incl. retries)
+	DataAcked    int64 // packets successfully acknowledged
+	DataReceived int64 // unique data packets delivered up
+	Duplicates   int64 // duplicate data frames suppressed
+	RTSSent      int64
+	Retries      int64
+	Drops        int64 // packets dropped at retry limit
+	Broadcasts   int64 // control broadcasts transmitted
+}
+
+// BroadcastReceiver is an optional extension of Client: implementations
+// receive decoded control broadcasts (link-state dissemination, §6.2).
+type BroadcastReceiver interface {
+	OnBroadcast(from topology.NodeID, payload any)
+}
+
+type phase int
+
+const (
+	phaseIdle      phase = iota + 1 // nothing to send
+	phaseWaitIdle                   // have packet, medium busy or NAV set
+	phaseDIFS                       // sensing idle, DIFS running
+	phaseCountdown                  // backoff slots counting down
+	phaseTxRTS                      // RTS on the air
+	phaseAwaitCTS                   // RTS sent, CTS pending
+	phaseTxData                     // DATA on the air
+	phaseAwaitAck                   // DATA sent, ACK pending
+)
+
+func (p phase) String() string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	case phaseWaitIdle:
+		return "wait-idle"
+	case phaseDIFS:
+		return "difs"
+	case phaseCountdown:
+		return "countdown"
+	case phaseTxRTS:
+		return "tx-rts"
+	case phaseAwaitCTS:
+		return "await-cts"
+	case phaseTxData:
+		return "tx-data"
+	case phaseAwaitAck:
+		return "await-ack"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Station is the per-node DCF entity. It implements radio.Station.
+type Station struct {
+	id     topology.NodeID
+	sched  *sim.Scheduler
+	medium *radio.Medium
+	par    radio.Params
+	cfg    Config
+	rng    *rand.Rand
+	client Client
+
+	cur     *Outgoing
+	ctrl    []*radio.Frame // pending control broadcasts (priority)
+	retries int
+	cw      int
+	ph      phase
+
+	backoffSlots   int
+	countdownStart time.Duration
+	countdownTimer *sim.Timer
+	difsTimer      *sim.Timer
+	respTimer      *sim.Timer
+	waitTimer      *sim.Timer
+	navTimer       *sim.Timer
+
+	navUntil   time.Duration
+	responding bool
+	pulling    bool // reentrancy guard: inside client.NextOutgoing
+
+	lastSeq map[packet.FlowID]int64
+
+	stats Stats
+}
+
+var _ radio.Station = (*Station)(nil)
+
+// NewStation creates the MAC for node id and registers it with the medium.
+func NewStation(id topology.NodeID, sched *sim.Scheduler, medium *radio.Medium, cfg Config, rng *rand.Rand, client Client) *Station {
+	s := &Station{
+		id:      id,
+		sched:   sched,
+		medium:  medium,
+		par:     medium.Params(),
+		cfg:     cfg,
+		rng:     rng,
+		client:  client,
+		cw:      medium.Params().CWMin,
+		ph:      phaseIdle,
+		lastSeq: make(map[packet.FlowID]int64),
+	}
+	medium.Register(id, s)
+	return s
+}
+
+// ID returns the node this station belongs to.
+func (s *Station) ID() topology.NodeID { return s.id }
+
+// Stats returns a snapshot of the station's counters.
+func (s *Station) Stats() Stats { return s.stats }
+
+// Kick notifies the MAC that the client may now have an eligible packet
+// (new arrival or a downstream buffer opened up). Safe to call anytime.
+func (s *Station) Kick() {
+	if s.ph != phaseIdle || s.cur != nil || s.pulling {
+		return
+	}
+	s.pullNext()
+}
+
+// QueueBroadcast schedules a control broadcast carrying payload
+// (payloadBytes long on the air). Broadcasts take priority over data,
+// use the normal DIFS+backoff access, and are neither RTS-protected nor
+// acknowledged, per 802.11 group-addressed frames.
+func (s *Station) QueueBroadcast(payload any, payloadBytes int) {
+	s.ctrl = append(s.ctrl, &radio.Frame{
+		Kind:         radio.FrameBroadcast,
+		To:           radio.Broadcast,
+		LinkFrom:     s.id,
+		LinkTo:       s.id,
+		Control:      payload,
+		ControlBytes: payloadBytes,
+	})
+	s.Kick()
+}
+
+func (s *Station) pullNext() {
+	if len(s.ctrl) > 0 {
+		s.cur = nil
+		s.retries = 0
+		s.startAccess()
+		return
+	}
+	s.pulling = true
+	s.cur = s.client.NextOutgoing()
+	s.pulling = false
+	if s.cur == nil {
+		s.ph = phaseIdle
+		return
+	}
+	s.retries = 0
+	s.startAccess()
+}
+
+// startAccess begins a fresh channel-access cycle for s.cur: draw a
+// backoff, then wait for DIFS idle and count it down.
+func (s *Station) startAccess() {
+	s.backoffSlots = s.rng.Intn(s.cw + 1)
+	s.ph = phaseWaitIdle
+	s.evaluate()
+}
+
+// virtualIdle reports whether channel access may progress: physical
+// carrier idle, NAV expired, not transmitting, no pending SIFS response.
+func (s *Station) virtualIdle() bool {
+	return !s.medium.BusyAt(s.id) &&
+		!s.medium.Transmitting(s.id) &&
+		!s.responding &&
+		s.sched.Now() >= s.navUntil
+}
+
+// evaluate advances the access state machine when in a waiting phase.
+func (s *Station) evaluate() {
+	if s.ph != phaseWaitIdle {
+		return
+	}
+	if !s.virtualIdle() {
+		s.armNAVTimer()
+		return
+	}
+	s.ph = phaseDIFS
+	s.difsTimer = s.sched.After(s.par.DIFS, s.onDIFSDone)
+}
+
+// armNAVTimer schedules a re-evaluation at NAV expiry when the NAV is the
+// blocking condition (the medium will not deliver an OnIdle for it).
+func (s *Station) armNAVTimer() {
+	now := s.sched.Now()
+	if s.navUntil <= now {
+		return
+	}
+	if s.navTimer.Pending() {
+		return
+	}
+	s.navTimer = s.sched.At(s.navUntil, func() {
+		s.evaluate()
+	})
+}
+
+func (s *Station) onDIFSDone() {
+	if s.ph != phaseDIFS {
+		return
+	}
+	if !s.virtualIdle() {
+		s.ph = phaseWaitIdle
+		s.evaluate()
+		return
+	}
+	s.ph = phaseCountdown
+	s.countdownStart = s.sched.Now()
+	s.countdownTimer = s.sched.After(time.Duration(s.backoffSlots)*s.par.SlotTime, s.onBackoffDone)
+}
+
+// freeze suspends DIFS or backoff countdown when the channel turns busy.
+func (s *Station) freeze() {
+	switch s.ph {
+	case phaseDIFS:
+		s.difsTimer.Cancel()
+		s.ph = phaseWaitIdle
+	case phaseCountdown:
+		elapsed := s.sched.Now() - s.countdownStart
+		consumed := int(elapsed / s.par.SlotTime)
+		if consumed > s.backoffSlots {
+			consumed = s.backoffSlots
+		}
+		s.backoffSlots -= consumed
+		s.countdownTimer.Cancel()
+		s.ph = phaseWaitIdle
+	}
+}
+
+func (s *Station) onBackoffDone() {
+	if s.ph != phaseCountdown {
+		return
+	}
+	if !s.virtualIdle() {
+		// A busy transition at this exact instant was processed first.
+		s.ph = phaseWaitIdle
+		s.evaluate()
+		return
+	}
+	s.backoffSlots = 0
+	if len(s.ctrl) > 0 {
+		s.sendBroadcast()
+		return
+	}
+	if s.cfg.UseRTS {
+		s.sendRTS()
+	} else {
+		s.sendData()
+	}
+}
+
+// sendBroadcast transmits the next queued control frame: fire and
+// forget, no handshake, no retry (group-addressed 802.11 semantics).
+func (s *Station) sendBroadcast() {
+	f := s.ctrl[0]
+	s.ctrl = s.ctrl[1:]
+	f.States = s.client.Piggyback()
+	s.ph = phaseTxData
+	air := s.medium.Airtime(f)
+	s.stats.Broadcasts++
+	s.medium.Transmit(s.id, f)
+	s.sched.After(air, func() {
+		if s.ph != phaseTxData {
+			return
+		}
+		s.ph = phaseIdle
+		s.pullNext()
+	})
+}
+
+// exchangeNAV returns the channel reservation that an RTS announces:
+// everything after the RTS itself.
+func (s *Station) exchangeNAV() time.Duration {
+	dataAir := s.par.Airtime(radio.FrameData, s.cur.Pkt.SizeBytes)
+	ctsAir := s.par.Airtime(radio.FrameCTS, 0)
+	ackAir := s.par.Airtime(radio.FrameAck, 0)
+	return 3*s.par.SIFS + ctsAir + dataAir + ackAir
+}
+
+func (s *Station) sendRTS() {
+	s.ph = phaseTxRTS
+	f := &radio.Frame{
+		Kind:     radio.FrameRTS,
+		To:       s.cur.NextHop,
+		LinkFrom: s.id,
+		LinkTo:   s.cur.NextHop,
+		NAV:      s.exchangeNAV(),
+		States:   s.client.Piggyback(),
+		Queue:    s.cur.Queue,
+	}
+	s.stats.RTSSent++
+	air := s.medium.Airtime(f)
+	s.medium.Transmit(s.id, f)
+	s.sched.After(air, func() {
+		if s.ph != phaseTxRTS {
+			return
+		}
+		s.ph = phaseAwaitCTS
+		timeout := s.par.SIFS + s.par.Airtime(radio.FrameCTS, 0) + 2*s.par.SlotTime
+		s.waitTimer = s.sched.After(timeout, s.onExchangeTimeout)
+	})
+}
+
+func (s *Station) sendData() {
+	s.ph = phaseTxData
+	dataAir := s.par.Airtime(radio.FrameData, s.cur.Pkt.SizeBytes)
+	ackAir := s.par.Airtime(radio.FrameAck, 0)
+	f := &radio.Frame{
+		Kind:     radio.FrameData,
+		To:       s.cur.NextHop,
+		LinkFrom: s.id,
+		LinkTo:   s.cur.NextHop,
+		NAV:      s.par.SIFS + ackAir,
+		Data:     s.cur.Pkt,
+		States:   s.client.Piggyback(),
+		Queue:    s.cur.Queue,
+	}
+	s.stats.DataSent++
+	s.medium.Transmit(s.id, f)
+	s.sched.After(dataAir, func() {
+		if s.ph != phaseTxData {
+			return
+		}
+		s.ph = phaseAwaitAck
+		timeout := s.par.SIFS + ackAir + 2*s.par.SlotTime
+		s.waitTimer = s.sched.After(timeout, s.onExchangeTimeout)
+	})
+}
+
+// onExchangeTimeout fires when an expected CTS or ACK did not arrive.
+func (s *Station) onExchangeTimeout() {
+	if s.ph != phaseAwaitCTS && s.ph != phaseAwaitAck {
+		return
+	}
+	s.retries++
+	s.stats.Retries++
+	if s.retries > s.par.RetryLimit {
+		s.stats.Drops++
+		out := s.cur
+		s.cur = nil
+		s.cw = s.par.CWMin
+		s.ph = phaseIdle
+		s.client.OnSendComplete(out, false)
+		if s.cur == nil && s.ph == phaseIdle {
+			s.pullNext()
+		}
+		return
+	}
+	s.cw = min(2*s.cw+1, s.par.CWMax)
+	s.startAccess()
+}
+
+// OnBusy implements radio.Station.
+func (s *Station) OnBusy() { s.freeze() }
+
+// OnIdle implements radio.Station.
+func (s *Station) OnIdle() { s.evaluate() }
+
+// OnFrame implements radio.Station: frame reception and overhearing.
+func (s *Station) OnFrame(f *radio.Frame, ok bool) {
+	if !ok {
+		// Corrupted frames carry no usable information. (EIFS deferral
+		// is not modeled; see DESIGN.md.)
+		return
+	}
+	s.client.OnOverhear(f.From, f.States)
+
+	if f.Kind == radio.FrameBroadcast {
+		if br, ok := s.client.(BroadcastReceiver); ok {
+			br.OnBroadcast(f.From, f.Control)
+		}
+		return
+	}
+	if f.To != s.id {
+		// Overheard frame: honor its channel reservation.
+		if f.NAV > 0 {
+			until := s.sched.Now() + f.NAV
+			if until > s.navUntil {
+				s.navUntil = until
+				s.freeze()
+				if s.ph == phaseWaitIdle {
+					s.armNAVTimer()
+				}
+			}
+		}
+		return
+	}
+
+	switch f.Kind {
+	case radio.FrameRTS:
+		s.handleRTS(f)
+	case radio.FrameCTS:
+		s.handleCTS(f)
+	case radio.FrameData:
+		s.handleData(f)
+	case radio.FrameAck:
+		s.handleAck(f)
+	}
+}
+
+func (s *Station) handleRTS(f *radio.Frame) {
+	// Respond only when free to: NAV clear, medium idle, not mid-exchange.
+	if s.responding || s.medium.Transmitting(s.id) || s.medium.BusyAt(s.id) {
+		return
+	}
+	if s.sched.Now() < s.navUntil {
+		return
+	}
+	if s.ph == phaseTxRTS || s.ph == phaseAwaitCTS || s.ph == phaseTxData || s.ph == phaseAwaitAck {
+		return
+	}
+	if !s.client.AcceptQueue(f.Queue, f.From) {
+		// Congestion-avoidance admission check: no buffer space for the
+		// announced queue, so stay silent and let the sender back off.
+		return
+	}
+	s.freeze()
+	cts := &radio.Frame{
+		Kind:     radio.FrameCTS,
+		To:       f.From,
+		LinkFrom: f.LinkFrom,
+		LinkTo:   f.LinkTo,
+		NAV:      f.NAV - s.par.SIFS - s.par.Airtime(radio.FrameCTS, 0),
+		States:   s.client.Piggyback(),
+	}
+	if cts.NAV < 0 {
+		cts.NAV = 0
+	}
+	s.respond(cts)
+}
+
+func (s *Station) handleCTS(f *radio.Frame) {
+	if s.ph != phaseAwaitCTS || f.From != s.cur.NextHop {
+		return
+	}
+	s.waitTimer.Cancel()
+	s.ph = phaseTxData
+	s.sched.After(s.par.SIFS, func() {
+		if s.ph != phaseTxData {
+			return
+		}
+		s.transmitDataAfterCTS()
+	})
+}
+
+func (s *Station) transmitDataAfterCTS() {
+	dataAir := s.par.Airtime(radio.FrameData, s.cur.Pkt.SizeBytes)
+	ackAir := s.par.Airtime(radio.FrameAck, 0)
+	f := &radio.Frame{
+		Kind:     radio.FrameData,
+		To:       s.cur.NextHop,
+		LinkFrom: s.id,
+		LinkTo:   s.cur.NextHop,
+		NAV:      s.par.SIFS + ackAir,
+		Data:     s.cur.Pkt,
+		States:   s.client.Piggyback(),
+		Queue:    s.cur.Queue,
+	}
+	s.stats.DataSent++
+	s.medium.Transmit(s.id, f)
+	s.sched.After(dataAir, func() {
+		if s.ph != phaseTxData {
+			return
+		}
+		s.ph = phaseAwaitAck
+		timeout := s.par.SIFS + ackAir + 2*s.par.SlotTime
+		s.waitTimer = s.sched.After(timeout, s.onExchangeTimeout)
+	})
+}
+
+func (s *Station) handleData(f *radio.Frame) {
+	ack := &radio.Frame{
+		Kind:     radio.FrameAck,
+		To:       f.From,
+		LinkFrom: f.LinkFrom,
+		LinkTo:   f.LinkTo,
+		States:   s.client.Piggyback(),
+	}
+	s.freeze()
+	s.respond(ack)
+
+	pkt := f.Data
+	last, seen := s.lastSeq[pkt.Flow]
+	if seen && pkt.Seq <= last {
+		s.stats.Duplicates++
+		return
+	}
+	s.lastSeq[pkt.Flow] = pkt.Seq
+	s.stats.DataReceived++
+	s.client.OnReceive(pkt, f.From)
+}
+
+func (s *Station) handleAck(f *radio.Frame) {
+	if s.ph != phaseAwaitAck || f.From != s.cur.NextHop {
+		return
+	}
+	s.waitTimer.Cancel()
+	s.stats.DataAcked++
+	out := s.cur
+	s.cur = nil
+	s.cw = s.par.CWMin
+	s.retries = 0
+	s.ph = phaseIdle
+	s.client.OnSendComplete(out, true)
+	if s.cur == nil && s.ph == phaseIdle {
+		s.pullNext()
+	}
+}
+
+// respond transmits a SIFS-scheduled control response (CTS or ACK).
+func (s *Station) respond(f *radio.Frame) {
+	s.responding = true
+	s.respTimer = s.sched.After(s.par.SIFS, func() {
+		if s.medium.Transmitting(s.id) {
+			// Should not happen: SIFS responses never overlap own tx.
+			s.responding = false
+			return
+		}
+		air := s.medium.Airtime(f)
+		s.medium.Transmit(s.id, f)
+		s.sched.After(air, func() {
+			s.responding = false
+			s.evaluate()
+		})
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,317 @@
+package maxminref
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gmp/internal/clique"
+	"gmp/internal/geom"
+	"gmp/internal/routing"
+	"gmp/internal/topology"
+)
+
+func solve(t *testing.T, p *Problem) []float64 {
+	t.Helper()
+	rates, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rates
+}
+
+func TestSingleConstraintEqualSplit(t *testing.T) {
+	p := &Problem{
+		Weights:    []float64{1, 1, 1},
+		Demands:    []float64{100, 100, 100},
+		Usage:      [][]float64{{1, 1, 1}},
+		Capacities: []float64{30},
+	}
+	for i, r := range solve(t, p) {
+		if math.Abs(r-10) > 1e-9 {
+			t.Errorf("flow %d rate %v, want 10", i, r)
+		}
+	}
+}
+
+func TestWeightedSplit(t *testing.T) {
+	p := &Problem{
+		Weights:    []float64{1, 2, 3},
+		Demands:    []float64{100, 100, 100},
+		Usage:      [][]float64{{1, 1, 1}},
+		Capacities: []float64{60},
+	}
+	want := []float64{10, 20, 30}
+	for i, r := range solve(t, p) {
+		if math.Abs(r-want[i]) > 1e-9 {
+			t.Errorf("flow %d rate %v, want %v", i, r, want[i])
+		}
+	}
+}
+
+func TestDemandCapFreesCapacity(t *testing.T) {
+	// Flow 0 wants only 5; the remaining 25 splits between flows 1, 2.
+	p := &Problem{
+		Weights:    []float64{1, 1, 1},
+		Demands:    []float64{5, 100, 100},
+		Usage:      [][]float64{{1, 1, 1}},
+		Capacities: []float64{30},
+	}
+	rates := solve(t, p)
+	want := []float64{5, 12.5, 12.5}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-9 {
+			t.Errorf("rates = %v, want %v", rates, want)
+			break
+		}
+	}
+}
+
+func TestTwoBottlenecksClassicMaxmin(t *testing.T) {
+	// Classic wired example: flow A crosses both links, flow B link 1,
+	// flow C link 2; link 1 capacity 10, link 2 capacity 20.
+	p := &Problem{
+		Weights: []float64{1, 1, 1},
+		Demands: []float64{100, 100, 100},
+		Usage: [][]float64{
+			{1, 1, 0},
+			{1, 0, 1},
+		},
+		Capacities: []float64{10, 20},
+	}
+	rates := solve(t, p)
+	want := []float64{5, 5, 15}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-9 {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestFig2StructurePrediction(t *testing.T) {
+	// Clique 0 holds flows f1, f2; clique 1 holds f2, f3, f4 (§7.1).
+	// Maxmin: f2=f3=f4=C/3, f1 = C - f2.
+	p := &Problem{
+		Weights: []float64{1, 1, 1, 1},
+		Demands: []float64{800, 800, 800, 800},
+		Usage: [][]float64{
+			{1, 1, 0, 0},
+			{0, 1, 1, 1},
+		},
+		Capacities: []float64{520, 520},
+	}
+	rates := solve(t, p)
+	third := 520.0 / 3
+	want := []float64{520 - third, third, third, third}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-6 {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestFig2WeightedPrediction(t *testing.T) {
+	// Table 2 weights (1,2,1,3): clique-1 rates split 2:1:3.
+	p := &Problem{
+		Weights: []float64{1, 2, 1, 3},
+		Demands: []float64{800, 800, 800, 800},
+		Usage: [][]float64{
+			{1, 1, 0, 0},
+			{0, 1, 1, 1},
+		},
+		Capacities: []float64{520, 520},
+	}
+	rates := solve(t, p)
+	lambda := 520.0 / 6
+	want := []float64{520 - 2*lambda, 2 * lambda, lambda, 3 * lambda}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-6 {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestMultiHopCrossings(t *testing.T) {
+	// One 3-hop flow alone in one clique: rate = C/3 (three serialized
+	// transmissions per packet).
+	p := &Problem{
+		Weights:    []float64{1},
+		Demands:    []float64{800},
+		Usage:      [][]float64{{3}},
+		Capacities: []float64{520},
+	}
+	rates := solve(t, p)
+	if math.Abs(rates[0]-520.0/3) > 1e-9 {
+		t.Errorf("rate = %v, want %v", rates[0], 520.0/3)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []*Problem{
+		{Weights: []float64{1}, Demands: []float64{1, 2}},
+		{Weights: []float64{0}, Demands: []float64{1}},
+		{Weights: []float64{1}, Demands: []float64{-1}},
+		{Weights: []float64{1}, Demands: []float64{1}, Usage: [][]float64{{1}}, Capacities: []float64{0}},
+		{Weights: []float64{1}, Demands: []float64{1}, Usage: [][]float64{{1, 2}}, Capacities: []float64{5}},
+		{Weights: []float64{1}, Demands: []float64{1}, Usage: [][]float64{{-1}}, Capacities: []float64{5}},
+	}
+	for i, p := range bad {
+		if _, err := p.Solve(); err == nil {
+			t.Errorf("case %d: invalid problem accepted", i)
+		}
+	}
+}
+
+// maxminProperties checks feasibility and maxmin optimality of a solution:
+// no constraint violated, and every demand-unsatisfied flow has a
+// bottleneck in the Bertsekas-Gallager sense — a tight constraint on
+// which its normalized rate is maximal, so raising it would necessarily
+// lower an equal-or-poorer flow.
+func maxminProperties(p *Problem, rates []float64) string {
+	const eps = 1e-6
+	for q, row := range p.Usage {
+		load := 0.0
+		for f, u := range row {
+			load += u * rates[f]
+		}
+		if load > p.Capacities[q]+eps {
+			return "constraint violated"
+		}
+	}
+	for f := range rates {
+		if rates[f] > p.Demands[f]+eps {
+			return "demand exceeded"
+		}
+		if rates[f] < -eps {
+			return "negative rate"
+		}
+		if rates[f] >= p.Demands[f]-eps {
+			continue // demand-satisfied flows need no bottleneck
+		}
+		// Unsatisfied flow must cross a tight constraint where every
+		// other flow with positive usage has normalized rate <= its own
+		// (raising f there would only hurt equal-or-poorer flows).
+		mu := rates[f] / p.Weights[f]
+		hasBottleneck := false
+		for q, row := range p.Usage {
+			if row[f] == 0 {
+				continue
+			}
+			load := 0.0
+			for g, u := range row {
+				load += u * rates[g]
+			}
+			if load < p.Capacities[q]-eps {
+				continue // not tight
+			}
+			ok := true
+			for g, u := range row {
+				if g == f || u == 0 {
+					continue
+				}
+				if rates[g]/p.Weights[g] > mu+eps {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hasBottleneck = true
+				break
+			}
+		}
+		if !hasBottleneck {
+			return "flow without a maxmin bottleneck"
+		}
+	}
+	return ""
+}
+
+func TestMaxminOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(6)
+		p := &Problem{
+			Weights:    make([]float64, n),
+			Demands:    make([]float64, n),
+			Usage:      make([][]float64, m),
+			Capacities: make([]float64, m),
+		}
+		for i := 0; i < n; i++ {
+			p.Weights[i] = 0.5 + rng.Float64()*3
+			p.Demands[i] = 50 + rng.Float64()*800
+		}
+		for q := 0; q < m; q++ {
+			p.Usage[q] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					p.Usage[q][i] = float64(1 + rng.Intn(3))
+				}
+			}
+			p.Capacities[q] = 100 + rng.Float64()*900
+		}
+		rates, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if msg := maxminProperties(p, rates); msg != "" {
+			t.Logf("seed %d: %s (rates=%v)", seed, msg, rates)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildProblemOnChain(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 200}, {X: 400}, {X: 600}}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := routing.Build(topo)
+	cliques := clique.Build(topo)
+	flows := []FlowSpec{
+		{Src: 0, Dst: 3, Weight: 1, Demand: 800},
+		{Src: 1, Dst: 3, Weight: 1, Demand: 800},
+		{Src: 2, Dst: 3, Weight: 1, Demand: 800},
+	}
+	p, err := BuildProblem(flows, routes, cliques, func(*clique.Clique) float64 { return 520 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4-node chain has one clique holding all three links; flow 0
+	// crosses it 3 times, flow 1 twice, flow 2 once.
+	if len(p.Usage) != 1 {
+		t.Fatalf("got %d constraints, want 1 (cliques: %d)", len(p.Usage), len(cliques.All()))
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if p.Usage[0][i] != want[i] {
+			t.Fatalf("usage = %v, want %v", p.Usage[0], want)
+		}
+	}
+	rates := solve(t, p)
+	for i, r := range rates {
+		if math.Abs(r-520.0/6) > 1e-9 {
+			t.Errorf("flow %d rate %v, want %v", i, r, 520.0/6)
+		}
+	}
+}
+
+func TestBuildProblemNoRoute(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 1000}}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := routing.Build(topo)
+	cliques := clique.Build(topo)
+	_, err = BuildProblem([]FlowSpec{{Src: 0, Dst: 1, Weight: 1, Demand: 10}}, routes, cliques, func(*clique.Clique) float64 { return 1 })
+	if err == nil {
+		t.Error("unreachable flow accepted")
+	}
+}

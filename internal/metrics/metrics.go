@@ -1,0 +1,72 @@
+// Package metrics computes the evaluation metrics of §7.2: the maxmin
+// fairness index I_mm, the equality (Jain) fairness index I_eq, and the
+// effective network throughput U.
+package metrics
+
+// MaxminIndex returns I_mm = min(rates) / max(rates): the ratio of the
+// smallest to the largest flow rate. It is 1 for perfectly equal rates.
+// Degenerate inputs (no flows, or an all-zero maximum) return 0.
+func MaxminIndex(rates []float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	lo, hi := rates[0], rates[0]
+	for _, r := range rates[1:] {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi <= 0 {
+		return 0
+	}
+	return lo / hi
+}
+
+// EqualityIndex returns Jain's fairness index
+// I_eq = (Σ r)² / (|F| · Σ r²), which approaches 1 as rates equalize.
+// Degenerate inputs return 0.
+func EqualityIndex(rates []float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, r := range rates {
+		sum += r
+		sumSq += r * r
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(rates)) * sumSq)
+}
+
+// EffectiveThroughput returns U = Σ r(f) · l_f, the sum of each flow's
+// end-to-end rate times its hop count. Packets dropped before reaching
+// the destination contribute nothing, so U measures useful spectrum use.
+// rates and hops must be parallel slices.
+func EffectiveThroughput(rates []float64, hops []int) float64 {
+	if len(rates) != len(hops) {
+		panic("metrics: rates and hops length mismatch")
+	}
+	var u float64
+	for i, r := range rates {
+		u += r * float64(hops[i])
+	}
+	return u
+}
+
+// NormalizedRates divides each rate by the corresponding weight,
+// producing the μ(f) values the maxmin objective equalizes (§2.1).
+func NormalizedRates(rates, weights []float64) []float64 {
+	if len(rates) != len(weights) {
+		panic("metrics: rates and weights length mismatch")
+	}
+	out := make([]float64, len(rates))
+	for i, r := range rates {
+		out[i] = r / weights[i]
+	}
+	return out
+}

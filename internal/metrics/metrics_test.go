@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxminIndex(t *testing.T) {
+	tests := []struct {
+		name  string
+		rates []float64
+		want  float64
+	}{
+		{"equal rates", []float64{5, 5, 5}, 1},
+		{"half", []float64{1, 2}, 0.5},
+		{"paper table 3 shape", []float64{80.63, 220.07, 174.09}, 80.63 / 220.07},
+		{"zero min", []float64{0, 10}, 0},
+		{"single flow", []float64{7}, 1},
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MaxminIndex(tt.rates); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("MaxminIndex(%v) = %v, want %v", tt.rates, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEqualityIndex(t *testing.T) {
+	tests := []struct {
+		name  string
+		rates []float64
+		want  float64
+	}{
+		{"equal rates", []float64{3, 3, 3, 3}, 1},
+		{"one active of two", []float64{10, 0}, 0.5},
+		{"single flow", []float64{7}, 1},
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := EqualityIndex(tt.rates); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("EqualityIndex(%v) = %v, want %v", tt.rates, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEqualityIndexMatchesPaperTable3(t *testing.T) {
+	// Table 3 reports I_eq = 0.882 for the 802.11 rates.
+	got := EqualityIndex([]float64{80.63, 220.07, 174.09})
+	if math.Abs(got-0.882) > 0.001 {
+		t.Errorf("I_eq = %.4f, want 0.882 (paper Table 3)", got)
+	}
+}
+
+func TestMaxminIndexMatchesPaperTable4(t *testing.T) {
+	// Table 4 reports I_mm = 0.125 for the 2PP rates.
+	rates := []float64{43.31, 347.81, 43.33, 86.67, 43.39, 86.70, 43.36, 346.96}
+	if got := MaxminIndex(rates); math.Abs(got-0.125) > 0.001 {
+		t.Errorf("I_mm = %.4f, want 0.125 (paper Table 4)", got)
+	}
+}
+
+func TestEffectiveThroughput(t *testing.T) {
+	u := EffectiveThroughput([]float64{100, 50}, []int{3, 1})
+	if u != 350 {
+		t.Errorf("U = %v, want 350", u)
+	}
+}
+
+func TestEffectiveThroughputMatchesPaperTable3(t *testing.T) {
+	// Flows <0,3>, <1,3>, <2,3> have 3, 2, 1 hops; the paper's 802.11
+	// row gives U = 856.11.
+	u := EffectiveThroughput([]float64{80.63, 220.07, 174.09}, []int{3, 2, 1})
+	if math.Abs(u-856.12) > 0.02 {
+		t.Errorf("U = %.2f, want 856.11 (paper Table 3)", u)
+	}
+}
+
+func TestEffectiveThroughputPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	EffectiveThroughput([]float64{1}, []int{1, 2})
+}
+
+func TestNormalizedRates(t *testing.T) {
+	got := NormalizedRates([]float64{100, 200, 300}, []float64{1, 2, 3})
+	for i, want := range []float64{100, 100, 100} {
+		if got[i] != want {
+			t.Errorf("NormalizedRates[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// Properties: both indices live in [0,1]; 1 iff all rates equal (for
+// positive rates); scale-invariance.
+func TestIndexProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rates := make([]float64, len(raw))
+		for i, r := range raw {
+			rates[i] = float64(r) + 1 // strictly positive
+		}
+		imm, ieq := MaxminIndex(rates), EqualityIndex(rates)
+		if imm < 0 || imm > 1+1e-12 || ieq < 0 || ieq > 1+1e-12 {
+			return false
+		}
+		// Scale invariance.
+		scaled := make([]float64, len(rates))
+		for i := range rates {
+			scaled[i] = rates[i] * 3.7
+		}
+		if math.Abs(MaxminIndex(scaled)-imm) > 1e-9 || math.Abs(EqualityIndex(scaled)-ieq) > 1e-9 {
+			return false
+		}
+		// I_mm <= I_eq is not generally true; but I_mm == 1 implies I_eq == 1.
+		if imm == 1 && math.Abs(ieq-1) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

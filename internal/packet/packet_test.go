@@ -1,0 +1,22 @@
+package packet
+
+import "testing"
+
+func TestQueueIDHelpers(t *testing.T) {
+	if QueueForDest(7) != QueueID(7) {
+		t.Error("QueueForDest mismatch")
+	}
+	if QueueForFlow(3) != QueueID(3) {
+		t.Error("QueueForFlow mismatch")
+	}
+	if SharedQueue != QueueID(0) {
+		t.Error("SharedQueue not zero")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Flow: 2, Src: 1, Dst: 5, Seq: 9}
+	if got := p.String(); got != "pkt{f2 1->5 #9}" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,72 @@
+// Package paperdata records the numbers published in the paper's tables
+// (Zhang, Chen, Jian, ICDCS 2008, §7) so that benchmarks and the
+// benchtables tool can print reproduction results side by side with the
+// original values.
+package paperdata
+
+// Table1 is the paper's Table 1: GMP flow rates on the Figure 2 topology
+// with unit weights (pkt/s).
+var Table1 = struct {
+	Flows []string
+	Rates []float64
+}{
+	Flows: []string{"f1", "f2", "f3", "f4"},
+	Rates: []float64{563.96, 196.96, 217.57, 221.41},
+}
+
+// Table2 is the paper's Table 2: weighted maxmin on Figure 2 with weights
+// (1, 2, 1, 3).
+var Table2 = struct {
+	Flows   []string
+	Weights []float64
+	Rates   []float64
+}{
+	Flows:   []string{"f1", "f2", "f3", "f4"},
+	Weights: []float64{1, 2, 1, 3},
+	Rates:   []float64{527.58, 225.40, 121.90, 377.20},
+}
+
+// ProtocolRow holds one protocol's column of Tables 3 and 4.
+type ProtocolRow struct {
+	Rates []float64
+	U     float64
+	Imm   float64
+	Ieq   float64
+}
+
+// Table3 is the paper's Table 3: the three-link chain of Figure 3 under
+// 802.11, 2PP, and GMP. Flow order: <0,3>, <1,3>, <2,3>.
+var Table3 = struct {
+	Flows     []string
+	Protocols map[string]ProtocolRow
+}{
+	Flows: []string{"<0,3>", "<1,3>", "<2,3>"},
+	Protocols: map[string]ProtocolRow{
+		"802.11": {Rates: []float64{80.63, 220.07, 174.09}, U: 856.11, Imm: 0.366, Ieq: 0.882},
+		"2PP":    {Rates: []float64{131.86, 188.76, 240.85}, U: 1013.96, Imm: 0.547, Ieq: 0.946},
+		"GMP":    {Rates: []float64{164.75, 176.04, 179.21}, U: 1025.54, Imm: 0.919, Ieq: 0.999},
+	},
+}
+
+// Table4 is the paper's Table 4: the four-cell topology of Figure 4.
+// Flow order: f1..f8 (odd flows are two-hop, even flows one-hop).
+var Table4 = struct {
+	Flows     []string
+	Protocols map[string]ProtocolRow
+}{
+	Flows: []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8"},
+	Protocols: map[string]ProtocolRow{
+		"802.11": {
+			Rates: []float64{221.81, 221.81, 107.29, 107.28, 106.36, 106.36, 223.39, 223.39},
+			U:     1976.54, Imm: 0.476, Ieq: 0.890,
+		},
+		"2PP": {
+			Rates: []float64{43.31, 347.81, 43.33, 86.67, 43.39, 86.70, 43.36, 346.96},
+			U:     1214.93, Imm: 0.125, Ieq: 0.514,
+		},
+		"GMP": {
+			Rates: []float64{145.46, 145.94, 134.26, 132.38, 135.44, 133.04, 141.69, 149.07},
+			U:     1674.13, Imm: 0.888, Ieq: 0.998,
+		},
+	},
+}

@@ -1,0 +1,447 @@
+// Package radio models the shared wireless channel: frame airtimes, the
+// broadcast medium with carrier sensing, and overlap-based collisions.
+//
+// The model is the standard "protocol model" used by packet-level 802.11
+// simulators: a frame from node s is decodable at node n within the
+// transmission range, and is corrupted at n if any other transmission
+// whose source lies within interference (carrier-sense) range of n
+// overlaps it in time, or if n itself transmits during the reception.
+// Hidden-terminal collisions therefore emerge from geometry rather than
+// being scripted.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gmp/internal/packet"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+	"gmp/internal/trace"
+)
+
+// FrameKind enumerates the four 802.11 DCF frame types the simulator uses.
+type FrameKind int
+
+// Frame kinds, in exchange order, plus the broadcast control frame used
+// by the link-state dissemination protocol (§6.2 step 2).
+const (
+	FrameRTS FrameKind = iota + 1
+	FrameCTS
+	FrameData
+	FrameAck
+	FrameBroadcast
+)
+
+// Broadcast is the pseudo-receiver of broadcast frames.
+const Broadcast topology.NodeID = -1
+
+// String returns the conventional frame-type name.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameRTS:
+		return "RTS"
+	case FrameCTS:
+		return "CTS"
+	case FrameData:
+		return "DATA"
+	case FrameAck:
+		return "ACK"
+	case FrameBroadcast:
+		return "BCAST"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", int(k))
+	}
+}
+
+// Frame is one physical transmission on the channel.
+type Frame struct {
+	Kind FrameKind
+	// From transmits the frame; To is the intended receiver.
+	From topology.NodeID
+	To   topology.NodeID
+	// LinkFrom/LinkTo name the directed data link the frame serves (for
+	// a CTS or ACK this is the reverse of From->To). Used for
+	// channel-occupancy accounting per wireless link (§6.2).
+	LinkFrom topology.NodeID
+	LinkTo   topology.NodeID
+	// NAV is the duration, beyond the end of this frame, for which the
+	// rest of the exchange reserves the channel. Overhearing nodes set
+	// their network-allocation vector from it (virtual carrier sense).
+	NAV time.Duration
+	// Data is the network-layer packet (FrameData only).
+	Data *packet.Packet
+	// Queue names the receiver-side queue the pending data packet will
+	// enter (RTS and DATA frames). The receiver withholds its CTS when
+	// that queue is full — the congestion-avoidance admission check of
+	// ref [3] ("send ... only when j has enough free buffer space").
+	Queue packet.QueueID
+	// States is the transmitter's piggybacked buffer-state advertisement
+	// (§2.2), attached to every frame.
+	States []packet.QueueState
+	// Control is the payload of a FrameBroadcast (link-state records or
+	// other protocol control content); ControlBytes sizes its airtime.
+	Control      any
+	ControlBytes int
+	// ID is unique per transmission, usable for duplicate detection.
+	ID int64
+}
+
+// Station is the per-node MAC entity's view of the channel. The medium
+// invokes these callbacks; all run on the simulation goroutine.
+type Station interface {
+	// OnBusy fires when the medium at this node transitions from idle to
+	// busy due to another node's transmission within carrier-sense range.
+	OnBusy()
+	// OnIdle fires on the reverse transition. The node's own
+	// transmissions are not part of this signal.
+	OnIdle()
+	// OnFrame delivers a frame whose transmitter is within transmission
+	// range, at the instant the transmission ends. ok is false when the
+	// frame was corrupted at this node (collision, self-transmission
+	// overlap, or injected loss). Frames not addressed to the node are
+	// still delivered (overhearing) so it can set its NAV and read
+	// piggybacked state.
+	OnFrame(f *Frame, ok bool)
+}
+
+// Params are the PHY/MAC timing constants.
+type Params struct {
+	DataRateMbps   float64       // payload bit rate (paper: 11 Mbps)
+	CtrlRateMbps   float64       // RTS/CTS/ACK bit rate (basic rate)
+	Preamble       time.Duration // PLCP preamble+header per frame
+	MACHeaderBytes int           // MAC overhead added to data payloads
+	RTSBytes       int
+	CTSBytes       int
+	ACKBytes       int
+	SlotTime       time.Duration
+	SIFS           time.Duration
+	DIFS           time.Duration
+	CWMin          int // initial contention window (slots-1), e.g. 31
+	CWMax          int // maximum contention window, e.g. 1023
+	RetryLimit     int // attempts before a frame is dropped
+	// LossProb corrupts each frame-at-receiver independently with the
+	// given probability (failure injection; 0 in the paper's setup).
+	LossProb float64
+}
+
+// DefaultParams returns IEEE 802.11b DCF constants matching the paper's
+// 11 Mbps channel with 1024-byte data packets.
+func DefaultParams() Params {
+	return Params{
+		DataRateMbps:   11,
+		CtrlRateMbps:   1,
+		Preamble:       96 * time.Microsecond,
+		MACHeaderBytes: 28,
+		RTSBytes:       20,
+		CTSBytes:       14,
+		ACKBytes:       14,
+		SlotTime:       20 * time.Microsecond,
+		SIFS:           10 * time.Microsecond,
+		DIFS:           50 * time.Microsecond,
+		CWMin:          31,
+		CWMax:          1023,
+		RetryLimit:     7,
+	}
+}
+
+// Airtime returns the on-air duration of a frame of the given kind
+// carrying dataBytes of payload (data frames only).
+func (p Params) Airtime(kind FrameKind, dataBytes int) time.Duration {
+	bits := 0
+	rate := p.CtrlRateMbps
+	switch kind {
+	case FrameRTS:
+		bits = p.RTSBytes * 8
+	case FrameCTS:
+		bits = p.CTSBytes * 8
+	case FrameAck:
+		bits = p.ACKBytes * 8
+	case FrameData:
+		bits = (p.MACHeaderBytes + dataBytes) * 8
+		rate = p.DataRateMbps
+	case FrameBroadcast:
+		// Control broadcasts go at the basic rate, like management
+		// frames, so every neighbor can decode them.
+		bits = (p.MACHeaderBytes + dataBytes) * 8
+	default:
+		panic(fmt.Sprintf("radio: unknown frame kind %d", int(kind)))
+	}
+	return p.Preamble + time.Duration(float64(bits)/rate)*time.Microsecond
+}
+
+// SaturationRate estimates the packet rate (packets/second) of a single
+// fully backlogged link with no contenders: one DIFS, the mean initial
+// backoff, and the full frame exchange per packet. It ignores collisions,
+// so it is an upper bound used for capacity estimation (clique capacity in
+// the 2PP baseline and the maxmin reference solver).
+func (p Params) SaturationRate(dataBytes int, useRTS bool) float64 {
+	exchange := p.DIFS +
+		time.Duration(p.CWMin)*p.SlotTime/2 +
+		p.Airtime(FrameData, dataBytes) + p.SIFS + p.Airtime(FrameAck, 0)
+	if useRTS {
+		exchange += p.Airtime(FrameRTS, 0) + p.Airtime(FrameCTS, 0) + 2*p.SIFS
+	}
+	return float64(time.Second) / float64(exchange)
+}
+
+// Stats aggregates channel-level counters for tests and reporting.
+type Stats struct {
+	Transmissions  int64 // frames put on the air
+	Corrupted      int64 // frame deliveries that failed
+	Delivered      int64 // frame deliveries that succeeded (incl. overhears)
+	InjectedLosses int64 // corruptions caused by LossProb
+	// ControlFrames and ControlAirtime account the in-band link-state
+	// dissemination traffic (zero when control runs out of band).
+	ControlFrames  int64
+	ControlAirtime time.Duration
+}
+
+// Medium is the shared broadcast channel.
+type Medium struct {
+	sched    *sim.Scheduler
+	topo     *topology.Topology
+	params   Params
+	rng      *rand.Rand
+	stations []Station
+
+	active       []*transmission
+	busy         []int // per node: count of foreign carriers sensed
+	transmitting []bool
+	frameSeq     int64
+
+	occupancy map[topology.Link]time.Duration
+	stats     Stats
+	observer  func(trace.Event)
+}
+
+// NewMedium builds the channel for the given topology. Stations register
+// afterwards with Register, one per node, before any transmission.
+func NewMedium(sched *sim.Scheduler, topo *topology.Topology, params Params, rng *rand.Rand) *Medium {
+	return &Medium{
+		sched:        sched,
+		topo:         topo,
+		params:       params,
+		rng:          rng,
+		stations:     make([]Station, topo.NumNodes()),
+		busy:         make([]int, topo.NumNodes()),
+		transmitting: make([]bool, topo.NumNodes()),
+		occupancy:    make(map[topology.Link]time.Duration),
+	}
+}
+
+// Register installs the MAC station for node n.
+func (m *Medium) Register(n topology.NodeID, st Station) {
+	if m.stations[n] != nil {
+		panic(fmt.Sprintf("radio: station %d registered twice", n))
+	}
+	m.stations[n] = st
+}
+
+// Params returns the channel constants.
+func (m *Medium) Params() Params { return m.params }
+
+// SetObserver installs a channel-event callback (nil disables). Used by
+// the trace facility; adds no cost when unset.
+func (m *Medium) SetObserver(fn func(trace.Event)) { m.observer = fn }
+
+func (m *Medium) emit(kind trace.Kind, node, peer topology.NodeID, f *Frame) {
+	if m.observer == nil {
+		return
+	}
+	detail := f.Kind.String()
+	if f.Data != nil {
+		detail += " " + f.Data.String()
+	}
+	m.observer(trace.Event{
+		At:     m.sched.Now(),
+		Kind:   kind,
+		Node:   node,
+		Peer:   peer,
+		Detail: detail,
+	})
+}
+
+// Airtime returns the on-air duration of the given frame.
+func (m *Medium) Airtime(f *Frame) time.Duration {
+	dataBytes := 0
+	if f.Data != nil {
+		dataBytes = f.Data.SizeBytes
+	}
+	if f.Kind == FrameBroadcast {
+		dataBytes = f.ControlBytes
+	}
+	return m.params.Airtime(f.Kind, dataBytes)
+}
+
+// BusyAt reports whether node n currently senses a foreign carrier. The
+// node's own transmission does not count.
+func (m *Medium) BusyAt(n topology.NodeID) bool { return m.busy[n] > 0 }
+
+// Transmitting reports whether node n is currently on the air.
+func (m *Medium) Transmitting(n topology.NodeID) bool { return m.transmitting[n] }
+
+// Stats returns a snapshot of the channel counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// TakeOccupancy returns the accumulated per-link airtime since the last
+// call and resets the accumulator. This feeds the per-measurement-period
+// channel-occupancy measurement (§6.2).
+func (m *Medium) TakeOccupancy() map[topology.Link]time.Duration {
+	out := m.occupancy
+	m.occupancy = make(map[topology.Link]time.Duration, len(out))
+	return out
+}
+
+type transmission struct {
+	src       topology.NodeID
+	frame     *Frame
+	start     time.Duration
+	end       time.Duration
+	corrupted map[topology.NodeID]bool
+}
+
+func (t *transmission) corrupt(n topology.NodeID) {
+	if t.corrupted == nil {
+		t.corrupted = make(map[topology.NodeID]bool)
+	}
+	t.corrupted[n] = true
+}
+
+// Transmit puts frame f on the air from node src, immediately. The caller
+// (MAC) is responsible for channel access rules; the medium only models
+// propagation, carrier sensing, and collisions. The frame's ID field is
+// assigned by the medium.
+func (m *Medium) Transmit(src topology.NodeID, f *Frame) {
+	if m.transmitting[src] {
+		panic(fmt.Sprintf("radio: node %d transmit while already transmitting", src))
+	}
+	if m.stations[src] == nil {
+		panic(fmt.Sprintf("radio: node %d transmits before registering", src))
+	}
+	m.frameSeq++
+	f.ID = m.frameSeq
+	f.From = src
+	dur := m.Airtime(f)
+	tx := &transmission{
+		src:   src,
+		frame: f,
+		start: m.sched.Now(),
+		end:   m.sched.Now() + dur,
+	}
+	m.stats.Transmissions++
+	if f.Kind == FrameBroadcast {
+		m.stats.ControlFrames++
+		m.stats.ControlAirtime += dur
+	} else {
+		m.occupancy[topology.Link{From: f.LinkFrom, To: f.LinkTo}] += dur
+	}
+	m.emit(trace.KindTransmit, src, f.To, f)
+
+	// Mark mutual corruption with every in-flight transmission. All
+	// entries of m.active overlap tx in time by construction.
+	for _, other := range m.active {
+		m.markInterference(tx, other)
+		m.markInterference(other, tx)
+	}
+	// A node that starts transmitting corrupts every in-flight reception
+	// at itself (half duplex).
+	for _, other := range m.active {
+		if m.topo.InTxRange(other.src, src) {
+			other.corrupt(src)
+		}
+	}
+	m.active = append(m.active, tx)
+	m.transmitting[src] = true
+
+	// Carrier sensing: raise busy at every foreign node within CS range.
+	for _, n := range m.topo.Nodes() {
+		if n == src || !m.topo.InCSRange(src, n) {
+			continue
+		}
+		m.busy[n]++
+		if m.busy[n] == 1 && !m.transmitting[n] {
+			m.stations[n].OnBusy()
+		}
+	}
+
+	m.sched.At(tx.end, func() { m.finish(tx) })
+}
+
+// markInterference marks victim's frame corrupted at every potential
+// receiver of victim that lies within interference range of source's
+// transmitter.
+func (m *Medium) markInterference(victim, source *transmission) {
+	for _, n := range m.topo.Nodes() {
+		if n == victim.src {
+			continue
+		}
+		if !m.topo.InTxRange(victim.src, n) {
+			continue // n cannot decode victim anyway
+		}
+		if n == source.src || m.topo.InCSRange(source.src, n) {
+			victim.corrupt(n)
+		}
+	}
+}
+
+func (m *Medium) finish(tx *transmission) {
+	// Remove from the active list.
+	for i, t := range m.active {
+		if t == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	m.transmitting[tx.src] = false
+
+	// Lower carrier-sense busy counts first so receivers observe an idle
+	// medium when deciding SIFS responses, but defer OnIdle until after
+	// frame delivery so response scheduling wins over backoff resumption.
+	var nowIdle []topology.NodeID
+	for _, n := range m.topo.Nodes() {
+		if n == tx.src || !m.topo.InCSRange(tx.src, n) {
+			continue
+		}
+		m.busy[n]--
+		if m.busy[n] < 0 {
+			panic("radio: negative busy count")
+		}
+		if m.busy[n] == 0 {
+			nowIdle = append(nowIdle, n)
+		}
+	}
+
+	// Deliver to every node in transmission range (receiver + overhearers).
+	for _, n := range m.topo.Nodes() {
+		if n == tx.src || !m.topo.InTxRange(tx.src, n) {
+			continue
+		}
+		ok := !tx.corrupted[n]
+		if ok && m.transmitting[n] {
+			// Receiver is on the air itself at delivery time.
+			ok = false
+		}
+		if ok && m.params.LossProb > 0 && m.rng.Float64() < m.params.LossProb {
+			ok = false
+			m.stats.InjectedLosses++
+		}
+		if ok {
+			m.stats.Delivered++
+			if n == tx.frame.To {
+				m.emit(trace.KindDeliver, n, tx.src, tx.frame)
+			}
+		} else {
+			m.stats.Corrupted++
+			m.emit(trace.KindCorrupt, n, tx.src, tx.frame)
+		}
+		m.stations[n].OnFrame(tx.frame, ok)
+	}
+
+	for _, n := range nowIdle {
+		if m.busy[n] == 0 { // may have gone busy again during delivery
+			m.stations[n].OnIdle()
+		}
+	}
+}

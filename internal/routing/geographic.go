@@ -1,0 +1,79 @@
+package routing
+
+import (
+	"fmt"
+
+	"gmp/internal/geom"
+	"gmp/internal/topology"
+)
+
+// BuildGeographic computes greedy geographic routing tables (the
+// position-based forwarding of GPSR's greedy mode, ref [9] of the
+// paper): each node forwards toward the neighbor geographically closest
+// to the destination, provided it is strictly closer than the node
+// itself. The paper's network model explicitly allows an implicit
+// routing table under geographic routing (§2.1).
+//
+// Greedy forwarding dead-ends at local minima (voids). Because GMP
+// requires loop-free established routes, BuildGeographic returns an
+// error naming the first (source, destination) pair that dead-ends;
+// callers fall back to shortest-path routing in that case.
+func BuildGeographic(topo *topology.Topology) (*Table, error) {
+	n := topo.NumNodes()
+	t := &Table{
+		next: make([][]topology.NodeID, n),
+		dist: make([][]int, n),
+	}
+	for dest := 0; dest < n; dest++ {
+		t.next[dest] = make([]topology.NodeID, n)
+		t.dist[dest] = make([]int, n)
+		for i := range t.next[dest] {
+			t.next[dest][i] = NoRoute
+			t.dist[dest][i] = -1
+		}
+		t.dist[dest][dest] = 0
+	}
+
+	for dest := 0; dest < n; dest++ {
+		dpos := topo.Position(topology.NodeID(dest))
+		for i := 0; i < n; i++ {
+			if i == dest {
+				continue
+			}
+			self := geom.Dist(topo.Position(topology.NodeID(i)), dpos)
+			best := NoRoute
+			bestDist := self
+			for _, nb := range topo.Neighbors(topology.NodeID(i)) {
+				d := geom.Dist(topo.Position(nb), dpos)
+				if d < bestDist {
+					bestDist = d
+					best = nb
+				}
+			}
+			t.next[dest][i] = best
+		}
+		// Derive hop counts by walking; a dead end or loop fails the
+		// whole table (greedy distances strictly decrease, so loops
+		// cannot actually form, but the walk guards regardless).
+		for i := 0; i < n; i++ {
+			if i == dest {
+				continue
+			}
+			hops := 0
+			cur := topology.NodeID(i)
+			for cur != topology.NodeID(dest) {
+				nh := t.next[dest][cur]
+				if nh == NoRoute {
+					return nil, fmt.Errorf("routing: greedy geographic forwarding dead-ends from %d toward %d at %d", i, dest, cur)
+				}
+				cur = nh
+				hops++
+				if hops > n {
+					return nil, fmt.Errorf("routing: greedy geographic loop from %d toward %d", i, dest)
+				}
+			}
+			t.dist[dest][i] = hops
+		}
+	}
+	return t, nil
+}

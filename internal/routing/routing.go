@@ -1,0 +1,113 @@
+// Package routing builds static shortest-path routing tables for the
+// simulated network. The paper assumes a routing protocol has already
+// established a table at each node (§2.1); any loop-free table works, and
+// minimum-hop routing with deterministic tie-breaking is used here.
+package routing
+
+import (
+	"fmt"
+
+	"gmp/internal/topology"
+)
+
+// NoRoute marks an unreachable (node, destination) pair.
+const NoRoute topology.NodeID = -1
+
+// Table holds, for every destination, each node's next hop and distance.
+type Table struct {
+	next [][]topology.NodeID // [dest][node] -> next hop (NoRoute if none)
+	dist [][]int             // [dest][node] -> hop count (-1 if unreachable)
+}
+
+// Build computes minimum-hop routes between all node pairs via one BFS per
+// destination. Ties break toward the lowest-numbered neighbor, which keeps
+// tables deterministic and, being destination-rooted shortest paths,
+// loop-free (a requirement for the congestion-avoidance scheme, §2.2).
+func Build(topo *topology.Topology) *Table {
+	n := topo.NumNodes()
+	t := &Table{
+		next: make([][]topology.NodeID, n),
+		dist: make([][]int, n),
+	}
+	for dest := 0; dest < n; dest++ {
+		t.next[dest] = make([]topology.NodeID, n)
+		t.dist[dest] = make([]int, n)
+		for i := range t.next[dest] {
+			t.next[dest][i] = NoRoute
+			t.dist[dest][i] = -1
+		}
+		// BFS outward from the destination.
+		t.dist[dest][dest] = 0
+		queue := []topology.NodeID{topology.NodeID(dest)}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range topo.Neighbors(cur) {
+				if t.dist[dest][nb] == -1 {
+					t.dist[dest][nb] = t.dist[dest][cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		// Next hop: the lowest-ID neighbor one step closer to dest.
+		for i := 0; i < n; i++ {
+			if i == dest || t.dist[dest][i] <= 0 {
+				continue
+			}
+			for _, nb := range topo.Neighbors(topology.NodeID(i)) {
+				if t.dist[dest][nb] == t.dist[dest][i]-1 {
+					t.next[dest][i] = nb
+					break // neighbors are sorted ascending
+				}
+			}
+		}
+	}
+	return t
+}
+
+// NextHop returns the next hop from node `from` toward dest. ok is false
+// when dest is unreachable or from == dest.
+func (t *Table) NextHop(from, dest topology.NodeID) (topology.NodeID, bool) {
+	nh := t.next[dest][from]
+	return nh, nh != NoRoute
+}
+
+// HopCount returns the number of hops from node to dest, or -1 if
+// unreachable.
+func (t *Table) HopCount(from, dest topology.NodeID) int {
+	return t.dist[dest][from]
+}
+
+// Path returns the full node sequence from src to dest, inclusive.
+func (t *Table) Path(src, dest topology.NodeID) ([]topology.NodeID, error) {
+	if src == dest {
+		return []topology.NodeID{src}, nil
+	}
+	path := []topology.NodeID{src}
+	cur := src
+	for cur != dest {
+		nh, ok := t.NextHop(cur, dest)
+		if !ok {
+			return nil, fmt.Errorf("routing: no route from %d to %d (stuck at %d)", src, dest, cur)
+		}
+		path = append(path, nh)
+		cur = nh
+		if len(path) > len(t.next)+1 {
+			return nil, fmt.Errorf("routing: loop detected from %d to %d", src, dest)
+		}
+	}
+	return path, nil
+}
+
+// Links returns the directed links of the path from src to dest.
+func (t *Table) Links(src, dest topology.NodeID) ([]topology.Link, error) {
+	path, err := t.Path(src, dest)
+	if err != nil {
+		return nil, err
+	}
+	links := make([]topology.Link, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		links = append(links, topology.Link{From: path[i], To: path[i+1]})
+	}
+	return links, nil
+}

@@ -1,0 +1,259 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gmp/internal/geom"
+	"gmp/internal/topology"
+)
+
+func chainTopo(t *testing.T, n int, spacing float64) *topology.Topology {
+	t.Helper()
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i) * spacing}
+	}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestChainRouting(t *testing.T) {
+	topo := chainTopo(t, 5, 200)
+	tbl := Build(topo)
+	nh, ok := tbl.NextHop(0, 4)
+	if !ok || nh != 1 {
+		t.Fatalf("NextHop(0,4) = %d,%v; want 1,true", nh, ok)
+	}
+	if got := tbl.HopCount(0, 4); got != 4 {
+		t.Errorf("HopCount(0,4) = %d, want 4", got)
+	}
+	path, err := tbl.Path(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topology.NodeID{0, 1, 2, 3, 4}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("Path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestSelfRoute(t *testing.T) {
+	tbl := Build(chainTopo(t, 3, 200))
+	if _, ok := tbl.NextHop(1, 1); ok {
+		t.Error("NextHop to self should not exist")
+	}
+	if got := tbl.HopCount(1, 1); got != 0 {
+		t.Errorf("HopCount(1,1) = %d, want 0", got)
+	}
+	path, err := tbl.Path(1, 1)
+	if err != nil || len(path) != 1 {
+		t.Errorf("Path(1,1) = %v, %v", path, err)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	topo, err := topology.New([]geom.Point{{X: 0}, {X: 1000}}, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Build(topo)
+	if _, ok := tbl.NextHop(0, 1); ok {
+		t.Error("route across partition")
+	}
+	if got := tbl.HopCount(0, 1); got != -1 {
+		t.Errorf("HopCount = %d, want -1", got)
+	}
+	if _, err := tbl.Path(0, 1); err == nil {
+		t.Error("Path across partition did not error")
+	}
+}
+
+func TestShortcutPreferred(t *testing.T) {
+	// Triangle: 0-1, 1-2, 0-2 all in range; direct hop wins.
+	pos := []geom.Point{{X: 0}, {X: 200}, {X: 100, Y: 150}}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Build(topo)
+	if got := tbl.HopCount(0, 2); got != 1 {
+		t.Errorf("HopCount(0,2) = %d, want 1", got)
+	}
+	nh, _ := tbl.NextHop(0, 2)
+	if nh != 2 {
+		t.Errorf("NextHop(0,2) = %d, want 2", nh)
+	}
+}
+
+func TestLinksHelper(t *testing.T) {
+	tbl := Build(chainTopo(t, 4, 200))
+	links, err := tbl.Links(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topology.Link{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}}
+	if len(links) != len(want) {
+		t.Fatalf("Links = %v, want %v", links, want)
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("Links = %v, want %v", links, want)
+		}
+	}
+}
+
+// Property: routes are loop-free, hop counts consistent, and next hops
+// strictly decrease distance — on random connected topologies.
+func TestRoutingInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: rng.Float64() * 700, Y: rng.Float64() * 700}
+		}
+		topo, err := topology.New(pos, topology.DefaultConfig())
+		if err != nil {
+			return false
+		}
+		tbl := Build(topo)
+		for _, src := range topo.Nodes() {
+			for _, dst := range topo.Nodes() {
+				if src == dst {
+					continue
+				}
+				d := tbl.HopCount(src, dst)
+				nh, ok := tbl.NextHop(src, dst)
+				if d == -1 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok {
+					return false
+				}
+				if !topo.InTxRange(src, nh) {
+					return false // next hop must be a neighbor
+				}
+				if tbl.HopCount(nh, dst) != d-1 {
+					return false // distance must strictly decrease
+				}
+				path, err := tbl.Path(src, dst)
+				if err != nil || len(path) != d+1 {
+					return false
+				}
+				seen := make(map[topology.NodeID]bool)
+				for _, p := range path {
+					if seen[p] {
+						return false // loop
+					}
+					seen[p] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Node 0 can reach 3 via 1 or 2 (both 2-hop); the lower ID wins.
+	pos := []geom.Point{
+		{X: 0, Y: 0},
+		{X: 200, Y: 100},
+		{X: 200, Y: -100},
+		{X: 400, Y: 0},
+	}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Build(topo)
+	nh, ok := tbl.NextHop(0, 3)
+	if !ok || nh != 1 {
+		t.Errorf("NextHop(0,3) = %d, want 1 (lowest-ID tie-break)", nh)
+	}
+}
+
+func TestGeographicOnChain(t *testing.T) {
+	topo := chainTopo(t, 5, 200)
+	tbl, err := BuildGeographic(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a chain greedy and shortest-path agree exactly.
+	bfs := Build(topo)
+	for _, src := range topo.Nodes() {
+		for _, dst := range topo.Nodes() {
+			if src == dst {
+				continue
+			}
+			g, _ := tbl.NextHop(src, dst)
+			b, _ := bfs.NextHop(src, dst)
+			if g != b {
+				t.Fatalf("greedy next hop %d->%d = %d, bfs = %d", src, dst, g, b)
+			}
+			if tbl.HopCount(src, dst) != bfs.HopCount(src, dst) {
+				t.Fatalf("hop counts differ for %d->%d", src, dst)
+			}
+		}
+	}
+}
+
+func TestGeographicOnGrid(t *testing.T) {
+	var pos []geom.Point
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			pos = append(pos, geom.Point{X: float64(c) * 200, Y: float64(r) * 200})
+		}
+	}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildGeographic(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pair must be routable and loop-free (verified by Path).
+	for _, src := range topo.Nodes() {
+		for _, dst := range topo.Nodes() {
+			if src == dst {
+				continue
+			}
+			if _, err := tbl.Path(src, dst); err != nil {
+				t.Fatalf("%d->%d: %v", src, dst, err)
+			}
+		}
+	}
+}
+
+func TestGeographicDeadEndDetected(t *testing.T) {
+	// A concave "C" shape: greedy from the lower arm toward the upper
+	// arm dead-ends at the tip (the closest neighbor to the target is
+	// farther than the current node).
+	pos := []geom.Point{
+		{X: 0, Y: 0},     // 0 lower-left
+		{X: 200, Y: 0},   // 1 lower arm tip
+		{X: 0, Y: 200},   // 2 middle of the C
+		{X: 0, Y: 400},   // 3 upper-left
+		{X: 200, Y: 400}, // 4 upper arm tip (target)
+	}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGeographic(topo); err == nil {
+		t.Error("void topology accepted by greedy routing")
+	}
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"gmp/internal/flow"
+	"gmp/internal/geom"
+	"gmp/internal/packet"
+	"gmp/internal/topology"
+)
+
+// fileFormat is the on-disk JSON representation of a scenario.
+//
+//	{
+//	  "name": "my-net",
+//	  "tx_range_m": 250,
+//	  "nodes": [[0,0], [200,0], [400,0]],
+//	  "flows": [
+//	    {"src": 0, "dst": 2, "weight": 2},
+//	    {"src": 1, "dst": 2, "start_s": 100, "stop_s": 300}
+//	  ]
+//	}
+//
+// Omitted flow fields default to the paper's setup: weight 1, desired
+// rate 800 pkt/s, 1024-byte packets, active for the whole session.
+type fileFormat struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	TxRangeM    float64      `json:"tx_range_m,omitempty"`
+	CSRangeM    float64      `json:"cs_range_m,omitempty"`
+	Nodes       [][2]float64 `json:"nodes"`
+	Flows       []fileFlow   `json:"flows"`
+}
+
+type fileFlow struct {
+	Src         int     `json:"src"`
+	Dst         int     `json:"dst"`
+	Weight      float64 `json:"weight,omitempty"`
+	DesiredRate float64 `json:"desired_rate_pps,omitempty"`
+	PacketBytes int     `json:"packet_bytes,omitempty"`
+	StartS      float64 `json:"start_s,omitempty"`
+	StopS       float64 `json:"stop_s,omitempty"`
+}
+
+// Load reads a scenario from its JSON representation.
+func Load(r io.Reader) (Scenario, error) {
+	var ff fileFormat
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ff); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	if len(ff.Nodes) == 0 {
+		return Scenario{}, fmt.Errorf("scenario: file %q has no nodes", ff.Name)
+	}
+	if ff.TxRangeM == 0 {
+		ff.TxRangeM = topology.DefaultConfig().TxRange
+	}
+	if ff.CSRangeM == 0 {
+		ff.CSRangeM = ff.TxRangeM
+	}
+	s := Scenario{
+		Name:        ff.Name,
+		Description: ff.Description,
+		Radio:       topology.Config{TxRange: ff.TxRangeM, CSRange: ff.CSRangeM},
+	}
+	for _, n := range ff.Nodes {
+		s.Positions = append(s.Positions, geom.Point{X: n[0], Y: n[1]})
+	}
+	for i, f := range ff.Flows {
+		spec := flow.Spec{
+			ID:          packet.FlowID(i),
+			Src:         topology.NodeID(f.Src),
+			Dst:         topology.NodeID(f.Dst),
+			Weight:      f.Weight,
+			DesiredRate: f.DesiredRate,
+			SizeBytes:   f.PacketBytes,
+			Start:       time.Duration(f.StartS * float64(time.Second)),
+			Stop:        time.Duration(f.StopS * float64(time.Second)),
+		}
+		if spec.Weight == 0 {
+			spec.Weight = 1
+		}
+		if spec.DesiredRate == 0 {
+			spec.DesiredRate = DefaultDesiredRate
+		}
+		if spec.SizeBytes == 0 {
+			spec.SizeBytes = DefaultPacketBytes
+		}
+		if err := spec.Validate(); err != nil {
+			return Scenario{}, fmt.Errorf("scenario: flow %d: %w", i, err)
+		}
+		s.Flows = append(s.Flows, spec)
+	}
+	return s, nil
+}
+
+// Save writes the scenario as indented JSON.
+func (s Scenario) Save(w io.Writer) error {
+	ff := fileFormat{
+		Name:        s.Name,
+		Description: s.Description,
+		TxRangeM:    s.Radio.TxRange,
+		CSRangeM:    s.Radio.CSRange,
+	}
+	for _, p := range s.Positions {
+		ff.Nodes = append(ff.Nodes, [2]float64{p.X, p.Y})
+	}
+	for _, f := range s.Flows {
+		ff.Flows = append(ff.Flows, fileFlow{
+			Src:         int(f.Src),
+			Dst:         int(f.Dst),
+			Weight:      f.Weight,
+			DesiredRate: f.DesiredRate,
+			PacketBytes: f.SizeBytes,
+			StartS:      f.Start.Seconds(),
+			StopS:       f.Stop.Seconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ff); err != nil {
+		return fmt.Errorf("scenario: encoding: %w", err)
+	}
+	return nil
+}

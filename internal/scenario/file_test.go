@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadMinimalFile(t *testing.T) {
+	input := `{
+	  "name": "tiny",
+	  "nodes": [[0,0], [200,0], [400,0]],
+	  "flows": [{"src": 0, "dst": 2}]
+	}`
+	s, err := Load(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "tiny" || len(s.Positions) != 3 || len(s.Flows) != 1 {
+		t.Fatalf("loaded %+v", s)
+	}
+	f := s.Flows[0]
+	if f.Weight != 1 || f.DesiredRate != DefaultDesiredRate || f.SizeBytes != DefaultPacketBytes {
+		t.Errorf("defaults not applied: %+v", f)
+	}
+	if s.Radio.TxRange != 250 || s.Radio.CSRange != 250 {
+		t.Errorf("radio defaults: %+v", s.Radio)
+	}
+}
+
+func TestLoadFullFile(t *testing.T) {
+	input := `{
+	  "name": "full",
+	  "description": "d",
+	  "tx_range_m": 300,
+	  "cs_range_m": 600,
+	  "nodes": [[0,0], [250,0]],
+	  "flows": [{"src": 0, "dst": 1, "weight": 2.5,
+	             "desired_rate_pps": 50, "packet_bytes": 512,
+	             "start_s": 10, "stop_s": 60}]
+	}`
+	s, err := Load(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Flows[0]
+	if f.Weight != 2.5 || f.DesiredRate != 50 || f.SizeBytes != 512 {
+		t.Errorf("flow fields: %+v", f)
+	}
+	if f.Start != 10*time.Second || f.Stop != 60*time.Second {
+		t.Errorf("churn window: %v-%v", f.Start, f.Stop)
+	}
+	if s.Radio.CSRange != 600 {
+		t.Errorf("cs range: %v", s.Radio.CSRange)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"no nodes":      `{"name": "x", "flows": []}`,
+		"unknown field": `{"name": "x", "nodes": [[0,0]], "bogus": 1}`,
+		"bad flow":      `{"name":"x","nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":0}]}`,
+		"not json":      `hello`,
+	}
+	for name, input := range cases {
+		if _, err := Load(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := Fig1()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != orig.Name || len(loaded.Positions) != len(orig.Positions) {
+		t.Fatalf("round trip lost structure: %+v", loaded)
+	}
+	for i := range orig.Positions {
+		if loaded.Positions[i] != orig.Positions[i] {
+			t.Fatalf("position %d: %v != %v", i, loaded.Positions[i], orig.Positions[i])
+		}
+	}
+	for i := range orig.Flows {
+		if loaded.Flows[i] != orig.Flows[i] {
+			t.Fatalf("flow %d: %+v != %+v", i, loaded.Flows[i], orig.Flows[i])
+		}
+	}
+}

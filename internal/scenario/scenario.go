@@ -1,0 +1,389 @@
+// Package scenario provides the network topologies and flow sets used in
+// the paper's evaluation (Figures 1–4, §7) plus parametric generators
+// (chains, grids, random meshes) for the extended benchmarks.
+//
+// All scenarios use the paper's defaults: 250 m transmission range,
+// 1024-byte packets, 800 pkt/s desired rate, unit weights unless stated.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gmp/internal/flow"
+	"gmp/internal/geom"
+	"gmp/internal/packet"
+	"gmp/internal/topology"
+)
+
+// Defaults from §7.
+const (
+	DefaultDesiredRate = 800  // packets per second
+	DefaultPacketBytes = 1024 // bytes
+)
+
+// Scenario couples a topology with a set of flows.
+type Scenario struct {
+	Name        string
+	Description string
+	Positions   []geom.Point
+	Radio       topology.Config
+	Flows       []flow.Spec
+}
+
+// Topology materializes the scenario's topology.
+func (s Scenario) Topology() (*topology.Topology, error) {
+	return topology.New(s.Positions, s.Radio)
+}
+
+// pair is a (src, dst, weight) triple for flow construction.
+type pair struct {
+	src, dst topology.NodeID
+	weight   float64
+}
+
+func makeFlows(pairs []pair) []flow.Spec {
+	specs := make([]flow.Spec, len(pairs))
+	for i, p := range pairs {
+		specs[i] = flow.Spec{
+			ID:          packet.FlowID(i),
+			Src:         p.src,
+			Dst:         p.dst,
+			Weight:      p.weight,
+			DesiredRate: DefaultDesiredRate,
+			SizeBytes:   DefaultPacketBytes,
+		}
+	}
+	return specs
+}
+
+// Fig1 builds the two-flow topology of Figure 1, used to demonstrate why
+// per-destination queueing is necessary (§5.1). Flow 0 (the paper's f1)
+// travels x→i→j→z→t and is bottlenecked at link (z,t) by a contending
+// interferer flow (p→q, flow 2 here); flow 1 (the paper's f2) travels
+// y→i→j→v and shares only the i→j segment. With a single queue per node,
+// backpressure from (z,t) wrongly throttles flow 1; with per-destination
+// queues it does not.
+//
+// Node order: 0=x 1=y 2=i 3=j 4=z 5=t 6=v 7=p 8=q.
+func Fig1() Scenario {
+	return Scenario{
+		Name: "fig1",
+		Description: "Figure 1: per-destination vs single-queue isolation " +
+			"(f1 bottlenecked at (z,t); f2 unconstrained)",
+		Positions: []geom.Point{
+			{X: 0, Y: 0},     // 0 = x, source of f1
+			{X: 0, Y: 140},   // 1 = y, source of f2
+			{X: 200, Y: 0},   // 2 = i
+			{X: 400, Y: 0},   // 3 = j
+			{X: 600, Y: 0},   // 4 = z
+			{X: 800, Y: 0},   // 5 = t, destination of f1
+			{X: 550, Y: 150}, // 6 = v, destination of f2
+			{X: 800, Y: 200}, // 7 = p, interferer source
+			{X: 960, Y: 200}, // 8 = q, interferer destination
+		},
+		Radio: topology.DefaultConfig(),
+		Flows: makeFlows([]pair{
+			{src: 0, dst: 5, weight: 1}, // f1: x -> t (4 hops)
+			{src: 1, dst: 6, weight: 1}, // f2: y -> v (3 hops)
+			{src: 7, dst: 8, weight: 1}, // interferer creating the (z,t) bottleneck
+		}),
+	}
+}
+
+// Fig2 builds the six-node topology of Figure 2 / Tables 1–2. The link
+// contention structure is exactly the paper's: links (0,1) and (1,2) form
+// clique 0; links (1,2), (3,4) and (4,5) mutually contend and form
+// clique 1. Flows (in paper numbering): f1=0→1, f2=1→2, f3=3→4, f4=4→5.
+// weights assigns the four flow weights (Table 1 uses {1,1,1,1}; Table 2
+// uses {1,2,1,3}).
+func Fig2(weights [4]float64) Scenario {
+	return Scenario{
+		Name: "fig2",
+		Description: "Figure 2: clique0={(0,1),(1,2)}, " +
+			"clique1={(1,2),(3,4),(4,5)}; f1 opportunistically exceeds the clique-1 flows",
+		Positions: []geom.Point{
+			{X: 0, Y: 0},     // 0
+			{X: 200, Y: 0},   // 1
+			{X: 400, Y: 0},   // 2
+			{X: 430, Y: 390}, // 3
+			{X: 430, Y: 150}, // 4
+			{X: 650, Y: 80},  // 5
+		},
+		Radio: topology.DefaultConfig(),
+		Flows: makeFlows([]pair{
+			{src: 0, dst: 1, weight: weights[0]}, // f1
+			{src: 1, dst: 2, weight: weights[1]}, // f2
+			{src: 3, dst: 4, weight: weights[2]}, // f3
+			{src: 4, dst: 5, weight: weights[3]}, // f4
+		}),
+	}
+}
+
+// Fig3 builds the three-link chain of Figure 3 / Table 3: nodes 0–1–2–3
+// spaced 200 m apart, flows ⟨0,3⟩, ⟨1,3⟩ and ⟨2,3⟩ all destined to node 3
+// (the single-destination case of §4). Senders 0 and 2 are hidden from
+// each other, which starves ⟨0,3⟩ under plain 802.11.
+func Fig3() Scenario {
+	return Scenario{
+		Name: "fig3",
+		Description: "Figure 3: 3-link chain to a common sink; " +
+			"hidden terminal between (0,1) and (2,3)",
+		Positions: []geom.Point{
+			{X: 0, Y: 0},
+			{X: 200, Y: 0},
+			{X: 400, Y: 0},
+			{X: 600, Y: 0},
+		},
+		Radio: topology.DefaultConfig(),
+		Flows: makeFlows([]pair{
+			{src: 0, dst: 3, weight: 1}, // <0,3>, 3 hops
+			{src: 1, dst: 3, weight: 1}, // <1,3>, 2 hops
+			{src: 2, dst: 3, weight: 1}, // <2,3>, 1 hop
+		}),
+	}
+}
+
+// Fig4 builds the four-cell topology of Figure 4 / Table 4. Each cell g
+// (g = 0..3) has three nodes A_g–B_g–C_g and two flows: a two-hop flow
+// A_g→C_g (the paper's f1, f3, f5, f7) and a one-hop flow B_g→C_g (f2,
+// f4, f6, f8). Cells are packed tightly enough (420 m pitch) that every
+// link of a cell shares a contention clique with a link of the adjacent
+// cell, so the middle cells compete with neighbors on both sides — the
+// paper's "flows in the middle have lower rates under 802.11" effect —
+// while side cells are still coupled to the interior (Table 4's GMP rates
+// are nearly flat across all eight flows).
+//
+// Node order: cell g occupies nodes 3g, 3g+1, 3g+2 (A, B, C).
+func Fig4() Scenario {
+	var pos []geom.Point
+	var pairs []pair
+	for g := 0; g < 4; g++ {
+		x := float64(g) * 420
+		base := topology.NodeID(3 * g)
+		pos = append(pos,
+			geom.Point{X: x, Y: 0},       // A_g
+			geom.Point{X: x + 180, Y: 0}, // B_g
+			geom.Point{X: x + 360, Y: 0}, // C_g
+		)
+		pairs = append(pairs,
+			pair{src: base, dst: base + 2, weight: 1},     // f_{2g+1}: A->C, 2 hops
+			pair{src: base + 1, dst: base + 2, weight: 1}, // f_{2g+2}: B->C, 1 hop
+		)
+	}
+	return Scenario{
+		Name: "fig4",
+		Description: "Figure 4: four 3-node cells in a line, " +
+			"adjacent cells contend; one 2-hop and one 1-hop flow per cell",
+		Positions: pos,
+		Radio:     topology.DefaultConfig(),
+		Flows:     makeFlows(pairs),
+	}
+}
+
+// Chain builds an n-node chain with the given spacing and one flow from
+// node 0 to node n-1.
+func Chain(n int, spacing float64) (Scenario, error) {
+	if n < 2 {
+		return Scenario{}, fmt.Errorf("scenario: chain needs at least 2 nodes, got %d", n)
+	}
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i) * spacing}
+	}
+	return Scenario{
+		Name:        fmt.Sprintf("chain-%d", n),
+		Description: fmt.Sprintf("%d-node chain, %gm spacing, one end-to-end flow", n, spacing),
+		Positions:   pos,
+		Radio:       topology.DefaultConfig(),
+		Flows:       makeFlows([]pair{{src: 0, dst: topology.NodeID(n - 1), weight: 1}}),
+	}, nil
+}
+
+// Grid builds a rows×cols grid with the given spacing and no flows;
+// callers attach flows with WithFlows.
+func Grid(rows, cols int, spacing float64) (Scenario, error) {
+	if rows < 1 || cols < 1 {
+		return Scenario{}, fmt.Errorf("scenario: invalid grid %dx%d", rows, cols)
+	}
+	pos := make([]geom.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pos = append(pos, geom.Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+		}
+	}
+	return Scenario{
+		Name:        fmt.Sprintf("grid-%dx%d", rows, cols),
+		Description: fmt.Sprintf("%dx%d grid, %gm spacing", rows, cols, spacing),
+		Positions:   pos,
+		Radio:       topology.DefaultConfig(),
+	}, nil
+}
+
+// WithFlows returns a copy of the scenario with flows built from (src,
+// dst, weight) triples.
+func (s Scenario) WithFlows(triples [][3]int) Scenario {
+	pairs := make([]pair, len(triples))
+	for i, t := range triples {
+		w := float64(t[2])
+		if w <= 0 {
+			w = 1
+		}
+		pairs[i] = pair{src: topology.NodeID(t[0]), dst: topology.NodeID(t[1]), weight: w}
+	}
+	out := s
+	out.Flows = makeFlows(pairs)
+	return out
+}
+
+// MeshGateway builds a rows×cols grid in which k nodes (chosen by the
+// seeded RNG) send to a single gateway at node 0 — the wireless mesh
+// workload that motivates per-destination queueing (§1, §5.1: "many flows
+// may destine for the same destination, i.e., the gateway").
+func MeshGateway(rows, cols, k int, spacing float64, seed int64) (Scenario, error) {
+	s, err := Grid(rows, cols, spacing)
+	if err != nil {
+		return Scenario{}, err
+	}
+	n := rows * cols
+	if k >= n {
+		return Scenario{}, fmt.Errorf("scenario: %d senders but only %d non-gateway nodes", k, n-1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n - 1)
+	pairs := make([]pair, 0, k)
+	for _, p := range perm[:k] {
+		pairs = append(pairs, pair{src: topology.NodeID(p + 1), dst: 0, weight: 1})
+	}
+	out := s
+	out.Name = fmt.Sprintf("mesh-gateway-%dx%d-k%d", rows, cols, k)
+	out.Description = fmt.Sprintf("%dx%d mesh, %d flows to gateway node 0", rows, cols, k)
+	out.Flows = makeFlows(pairs)
+	return out, nil
+}
+
+// ParallelChains builds k disjoint chains of n nodes each, stacked
+// vertically with the given gap, one end-to-end flow per chain. With a
+// gap below the carrier-sense range the chains contend (spatial-reuse
+// stress); above it they are independent.
+func ParallelChains(k, n int, spacing, gap float64) (Scenario, error) {
+	if k < 1 || n < 2 {
+		return Scenario{}, fmt.Errorf("scenario: invalid parallel chains %dx%d", k, n)
+	}
+	var pos []geom.Point
+	var pairs []pair
+	for c := 0; c < k; c++ {
+		base := topology.NodeID(c * n)
+		for i := 0; i < n; i++ {
+			pos = append(pos, geom.Point{X: float64(i) * spacing, Y: float64(c) * gap})
+		}
+		pairs = append(pairs, pair{src: base, dst: base + topology.NodeID(n-1), weight: 1})
+	}
+	return Scenario{
+		Name:        fmt.Sprintf("parallel-%dx%d", k, n),
+		Description: fmt.Sprintf("%d parallel %d-node chains, %gm apart", k, n, gap),
+		Positions:   pos,
+		Radio:       topology.DefaultConfig(),
+		Flows:       makeFlows(pairs),
+	}, nil
+}
+
+// Cross builds two chains sharing a middle node (a "+" shape) with one
+// flow along each arm, crossing at the center — the classic
+// intersecting-paths workload.
+func Cross(armLen int, spacing float64) (Scenario, error) {
+	if armLen < 1 {
+		return Scenario{}, fmt.Errorf("scenario: invalid arm length %d", armLen)
+	}
+	// Node 0 is the center; arms extend in four directions.
+	pos := []geom.Point{{X: 0, Y: 0}}
+	arm := func(dx, dy float64) []topology.NodeID {
+		var ids []topology.NodeID
+		for i := 1; i <= armLen; i++ {
+			pos = append(pos, geom.Point{X: dx * float64(i) * spacing, Y: dy * float64(i) * spacing})
+			ids = append(ids, topology.NodeID(len(pos)-1))
+		}
+		return ids
+	}
+	west := arm(-1, 0)
+	east := arm(1, 0)
+	north := arm(0, 1)
+	south := arm(0, -1)
+	pairs := []pair{
+		{src: west[len(west)-1], dst: east[len(east)-1], weight: 1},
+		{src: north[len(north)-1], dst: south[len(south)-1], weight: 1},
+	}
+	return Scenario{
+		Name:        fmt.Sprintf("cross-%d", armLen),
+		Description: fmt.Sprintf("two %d-hop flows crossing at a shared center node", 2*armLen),
+		Positions:   pos,
+		Radio:       topology.DefaultConfig(),
+		Flows:       makeFlows(pairs),
+	}, nil
+}
+
+// Star builds a hub with k leaves, each leaf sending to the hub — the
+// single-destination case of §4 in its purest form.
+func Star(k int, radius float64) (Scenario, error) {
+	if k < 1 {
+		return Scenario{}, fmt.Errorf("scenario: invalid star size %d", k)
+	}
+	pos := []geom.Point{{X: 0, Y: 0}}
+	var pairs []pair
+	for i := 0; i < k; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(k)
+		pos = append(pos, geom.Point{X: radius * math.Cos(angle), Y: radius * math.Sin(angle)})
+		pairs = append(pairs, pair{src: topology.NodeID(i + 1), dst: 0, weight: 1})
+	}
+	return Scenario{
+		Name:        fmt.Sprintf("star-%d", k),
+		Description: fmt.Sprintf("%d leaves sending to a hub", k),
+		Positions:   pos,
+		Radio:       topology.DefaultConfig(),
+		Flows:       makeFlows(pairs),
+	}, nil
+}
+
+// RandomConnected places n nodes uniformly in a width×height field,
+// re-sampling (up to 1000 attempts) until the topology is connected, and
+// attaches k random-pair flows.
+func RandomConnected(n, k int, width, height float64, seed int64) (Scenario, error) {
+	if n < 2 {
+		return Scenario{}, fmt.Errorf("scenario: need at least 2 nodes, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cfg := topology.DefaultConfig()
+	var pos []geom.Point
+	for attempt := 0; ; attempt++ {
+		if attempt >= 1000 {
+			return Scenario{}, fmt.Errorf("scenario: no connected placement of %d nodes in %gx%g after 1000 attempts", n, width, height)
+		}
+		pos = make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: rng.Float64() * width, Y: rng.Float64() * height}
+		}
+		t, err := topology.New(pos, cfg)
+		if err != nil {
+			return Scenario{}, err
+		}
+		if t.Connected() {
+			break
+		}
+	}
+	pairs := make([]pair, 0, k)
+	for len(pairs) < k {
+		src := topology.NodeID(rng.Intn(n))
+		dst := topology.NodeID(rng.Intn(n))
+		if src != dst {
+			pairs = append(pairs, pair{src: src, dst: dst, weight: 1})
+		}
+	}
+	return Scenario{
+		Name:        fmt.Sprintf("random-%d-%d", n, k),
+		Description: fmt.Sprintf("%d random nodes in %gx%gm, %d random flows", n, width, height, k),
+		Positions:   pos,
+		Radio:       cfg,
+		Flows:       makeFlows(pairs),
+	}, nil
+}

@@ -1,0 +1,338 @@
+package scenario
+
+import (
+	"testing"
+
+	"gmp/internal/clique"
+	"gmp/internal/routing"
+	"gmp/internal/topology"
+)
+
+// validate checks the invariants every scenario must satisfy: a valid
+// connected topology and a route for every flow.
+func validate(t *testing.T, s Scenario) (*topology.Topology, *routing.Table) {
+	t.Helper()
+	topo, err := s.Topology()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	routes := routing.Build(topo)
+	for _, f := range s.Flows {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !topo.Valid(f.Src) || !topo.Valid(f.Dst) {
+			t.Fatalf("%s: flow %d endpoints out of range", s.Name, f.ID)
+		}
+		if routes.HopCount(f.Src, f.Dst) <= 0 {
+			t.Fatalf("%s: flow %d has no route", s.Name, f.ID)
+		}
+	}
+	return topo, routes
+}
+
+func TestFig1(t *testing.T) {
+	s := Fig1()
+	topo, routes := validate(t, s)
+	// f1 (x->t) takes 4 hops through i, j, z; f2 (y->v) takes 3 hops.
+	if got := routes.HopCount(s.Flows[0].Src, s.Flows[0].Dst); got != 4 {
+		t.Errorf("f1 hops = %d, want 4", got)
+	}
+	if got := routes.HopCount(s.Flows[1].Src, s.Flows[1].Dst); got != 3 {
+		t.Errorf("f2 hops = %d, want 3", got)
+	}
+	// The interferer (p,q) contends with (z,t) but not with (i,j).
+	if !topo.LinksContend(topology.Link{From: 4, To: 5}, topology.Link{From: 7, To: 8}) {
+		t.Error("interferer does not contend with (z,t)")
+	}
+	if topo.LinksContend(topology.Link{From: 2, To: 3}, topology.Link{From: 7, To: 8}) {
+		t.Error("interferer wrongly contends with (i,j)")
+	}
+	// f1 and f2 share the i->j segment.
+	p1, err := routes.Path(s.Flows[0].Src, s.Flows[0].Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := routes.Path(s.Flows[1].Src, s.Flows[1].Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1[1] != 2 || p1[2] != 3 || p2[1] != 2 || p2[2] != 3 {
+		t.Errorf("paths do not share i->j: %v, %v", p1, p2)
+	}
+}
+
+func TestFig2CliqueStructure(t *testing.T) {
+	s := Fig2([4]float64{1, 1, 1, 1})
+	topo, _ := validate(t, s)
+	set := clique.Build(topo)
+
+	l01 := topology.Link{From: 0, To: 1}
+	l12 := topology.Link{From: 1, To: 2}
+	l34 := topology.Link{From: 3, To: 4}
+	l45 := topology.Link{From: 4, To: 5}
+
+	// The paper's clique 0 {(0,1),(1,2)} and clique 1 {(1,2),(3,4),(4,5)}:
+	// every clique containing (0,1) must exclude (3,4) and (4,5), and
+	// some clique must contain (1,2),(3,4),(4,5) together.
+	foundClique1 := false
+	for _, c := range set.All() {
+		if c.Contains(l01) && (c.Contains(l34) || c.Contains(l45)) {
+			t.Errorf("clique %v mixes (0,1) with clique-1 links", c.Links)
+		}
+		if c.Contains(l12) && c.Contains(l34) && c.Contains(l45) {
+			foundClique1 = true
+		}
+	}
+	if !foundClique1 {
+		t.Error("missing clique {(1,2),(3,4),(4,5)}")
+	}
+	// All four flows are single-hop.
+	for _, f := range s.Flows {
+		if s.Flows[0].DesiredRate != DefaultDesiredRate {
+			t.Errorf("flow %d desire %v", f.ID, f.DesiredRate)
+		}
+	}
+}
+
+func TestFig2Weights(t *testing.T) {
+	s := Fig2([4]float64{1, 2, 1, 3})
+	want := []float64{1, 2, 1, 3}
+	for i, f := range s.Flows {
+		if f.Weight != want[i] {
+			t.Errorf("flow %d weight %v, want %v", i, f.Weight, want[i])
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	s := Fig3()
+	topo, routes := validate(t, s)
+	wantHops := []int{3, 2, 1}
+	for i, f := range s.Flows {
+		if got := routes.HopCount(f.Src, f.Dst); got != wantHops[i] {
+			t.Errorf("flow %d hops = %d, want %d", i, got, wantHops[i])
+		}
+		if f.Dst != 3 {
+			t.Errorf("flow %d dst = %d, want common sink 3", i, f.Dst)
+		}
+	}
+	// Hidden terminal: senders 0 and 2 out of carrier sense.
+	if topo.InCSRange(0, 2) {
+		t.Error("nodes 0 and 2 should be hidden from each other")
+	}
+	// All three links in one clique.
+	set := clique.Build(topo)
+	if len(set.All()) != 1 {
+		t.Errorf("fig3 cliques = %d, want 1", len(set.All()))
+	}
+}
+
+func TestFig4(t *testing.T) {
+	s := Fig4()
+	topo, routes := validate(t, s)
+	if len(s.Flows) != 8 {
+		t.Fatalf("flows = %d, want 8", len(s.Flows))
+	}
+	for g := 0; g < 4; g++ {
+		twoHop := s.Flows[2*g]
+		oneHop := s.Flows[2*g+1]
+		if got := routes.HopCount(twoHop.Src, twoHop.Dst); got != 2 {
+			t.Errorf("cell %d two-hop flow has %d hops", g, got)
+		}
+		if got := routes.HopCount(oneHop.Src, oneHop.Dst); got != 1 {
+			t.Errorf("cell %d one-hop flow has %d hops", g, got)
+		}
+	}
+	// Adjacent cells contend: Lb_g shares a clique with La_{g+1}.
+	set := clique.Build(topo)
+	lb0 := topology.Link{From: 1, To: 2}
+	la1 := topology.Link{From: 3, To: 4}
+	coupled := false
+	for _, c := range set.All() {
+		if c.Contains(lb0) && c.Contains(la1) {
+			coupled = true
+		}
+	}
+	if !coupled {
+		t.Error("adjacent cells do not share a clique")
+	}
+	// Non-adjacent cells must not contend directly.
+	lb3 := topology.Link{From: 10, To: 11}
+	if topo.LinksContend(lb0, lb3) {
+		t.Error("cells 0 and 3 wrongly contend")
+	}
+}
+
+func TestChain(t *testing.T) {
+	s, err := Chain(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, routes := validate(t, s)
+	if got := routes.HopCount(0, 4); got != 4 {
+		t.Errorf("chain hops = %d, want 4", got)
+	}
+	if _, err := Chain(1, 200); err == nil {
+		t.Error("1-node chain accepted")
+	}
+}
+
+func TestGridAndWithFlows(t *testing.T) {
+	g, err := Grid(3, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.WithFlows([][3]int{{0, 8, 1}, {2, 6, 2}})
+	_, routes := validate(t, s)
+	if s.Flows[1].Weight != 2 {
+		t.Error("WithFlows weight lost")
+	}
+	if routes.HopCount(0, 8) < 2 {
+		t.Error("grid corners should be multihop")
+	}
+	if _, err := Grid(0, 3, 200); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestMeshGateway(t *testing.T) {
+	s, err := MeshGateway(4, 4, 6, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate(t, s)
+	if len(s.Flows) != 6 {
+		t.Fatalf("flows = %d, want 6", len(s.Flows))
+	}
+	for _, f := range s.Flows {
+		if f.Dst != 0 {
+			t.Errorf("flow %d dst = %d, want gateway 0", f.ID, f.Dst)
+		}
+		if f.Src == 0 {
+			t.Error("gateway is a source")
+		}
+	}
+	if _, err := MeshGateway(2, 2, 4, 200, 1); err == nil {
+		t.Error("too many senders accepted")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	s, err := RandomConnected(15, 5, 800, 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, _ := validate(t, s)
+	if !topo.Connected() {
+		t.Error("random topology not connected")
+	}
+	if len(s.Flows) != 5 {
+		t.Errorf("flows = %d, want 5", len(s.Flows))
+	}
+	// Determinism: same seed, same placement.
+	s2, err := RandomConnected(15, 5, 800, 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Positions {
+		if s.Positions[i] != s2.Positions[i] {
+			t.Fatal("random scenario not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestRandomConnectedImpossible(t *testing.T) {
+	// 30 nodes in a 10 km square will essentially never connect.
+	if _, err := RandomConnected(30, 2, 10000, 10000, 1); err == nil {
+		t.Error("expected failure for a hopeless placement")
+	}
+}
+
+func TestParallelChains(t *testing.T) {
+	// A 240 m gap puts adjacent chains inside carrier sense of each
+	// other (with cs = tx there is no "contending but unlinked" regime;
+	// routing still keeps each flow inside its own chain).
+	s, err := ParallelChains(3, 4, 200, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, routes := validate(t, s)
+	if len(s.Flows) != 3 {
+		t.Fatalf("flows = %d", len(s.Flows))
+	}
+	for _, f := range s.Flows {
+		if got := routes.HopCount(f.Src, f.Dst); got != 3 {
+			t.Errorf("chain flow hops = %d, want 3", got)
+		}
+	}
+	if !topo.LinksContend(
+		topology.Link{From: 0, To: 1},
+		topology.Link{From: 4, To: 5},
+	) {
+		t.Error("adjacent chains should contend at 240m gap")
+	}
+	// A 600 m gap isolates the chains entirely.
+	far, err := ParallelChains(2, 3, 200, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftopo, err := far.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ftopo.LinksContend(topology.Link{From: 0, To: 1}, topology.Link{From: 3, To: 4}) {
+		t.Error("600m-apart chains should not contend")
+	}
+	if _, err := ParallelChains(0, 4, 200, 300); err == nil {
+		t.Error("invalid chain count accepted")
+	}
+}
+
+func TestCross(t *testing.T) {
+	s, err := Cross(2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, routes := validate(t, s)
+	for _, f := range s.Flows {
+		if got := routes.HopCount(f.Src, f.Dst); got != 4 {
+			t.Errorf("cross flow hops = %d, want 4", got)
+		}
+	}
+	// Both flows route through the center node 0.
+	for _, f := range s.Flows {
+		path, err := routes.Path(f.Src, f.Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		through := false
+		for _, n := range path {
+			if n == 0 {
+				through = true
+			}
+		}
+		if !through {
+			t.Errorf("flow %d->%d avoids the center: %v", f.Src, f.Dst, path)
+		}
+	}
+	if _, err := Cross(0, 200); err == nil {
+		t.Error("invalid arm length accepted")
+	}
+}
+
+func TestStar(t *testing.T) {
+	s, err := Star(6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, routes := validate(t, s)
+	for _, f := range s.Flows {
+		if f.Dst != 0 || routes.HopCount(f.Src, f.Dst) != 1 {
+			t.Errorf("star flow %d->%d not a 1-hop spoke", f.Src, f.Dst)
+		}
+	}
+	if _, err := Star(0, 200); err == nil {
+		t.Error("invalid star accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package sim implements the discrete-event simulation kernel used by the
+// wireless network simulator: a virtual clock, an event heap with stable
+// FIFO ordering among simultaneous events, and cancellable timers.
+//
+// The kernel is single-threaded by design. All protocol state machines run
+// as event callbacks on one goroutine, which makes simulations fully
+// deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Scheduler owns the virtual clock and the pending event queue.
+//
+// The zero value is not usable; construct with NewScheduler.
+type Scheduler struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+}
+
+// NewScheduler returns a scheduler with the clock at zero and no pending
+// events.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration {
+	return s.now
+}
+
+// Pending returns the number of scheduled events that have not yet fired
+// or been cancelled.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t earlier than Now) is a programming error and panics. Events scheduled
+// for the same instant fire in scheduling order.
+func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v in the past (now %v)", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations panic.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the earliest pending event and advances the clock to its
+// timestamp. It returns false when no events remain.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		ev, _ := heap.Pop(&s.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events in timestamp order until the queue drains or the next
+// event lies beyond until. The clock finishes exactly at until (if events
+// drained earlier the clock is still advanced to until).
+func (s *Scheduler) Run(until time.Duration) {
+	if until < s.now {
+		panic(fmt.Sprintf("sim: Run until %v is before now %v", until, s.now))
+	}
+	s.stopped = false
+	for !s.stopped && s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if ev.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		ev.fn()
+	}
+	if !s.stopped && s.now < until {
+		s.now = until
+	}
+}
+
+// Stop aborts a Run in progress after the current event callback returns.
+func (s *Scheduler) Stop() {
+	s.stopped = true
+}
+
+// Timer is a handle to a scheduled event that allows cancellation.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from firing. Cancelling an already
+// fired or already cancelled timer is a no-op. It reports whether the
+// callback was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer's callback has neither fired nor been
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// NewRand returns a deterministic pseudo-random source for the simulation.
+// Every stochastic component of the simulator draws from a *rand.Rand so
+// that runs are reproducible for a given seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+	fired     bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("sim: eventQueue.Push called with non-event")
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	ev.fired = true
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerFiresInTimestampOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run(time.Second)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerFIFOAmongSimultaneousEvents(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerClockAdvancesToEventTime(t *testing.T) {
+	s := NewScheduler()
+	var at time.Duration
+	s.At(42*time.Millisecond, func() { at = s.Now() })
+	s.Run(time.Second)
+	if at != 42*time.Millisecond {
+		t.Errorf("callback saw Now() = %v, want 42ms", at)
+	}
+	if s.Now() != time.Second {
+		t.Errorf("after Run, Now() = %v, want 1s", s.Now())
+	}
+}
+
+func TestSchedulerRunStopsAtBoundary(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(2*time.Second, func() { fired = true })
+	s.Run(time.Second)
+	if fired {
+		t.Error("event beyond Run boundary fired")
+	}
+	if s.Now() != time.Second {
+		t.Errorf("Now() = %v, want 1s", s.Now())
+	}
+	s.Run(3 * time.Second)
+	if !fired {
+		t.Error("event not fired by later Run")
+	}
+}
+
+func TestSchedulerAfterIsRelative(t *testing.T) {
+	s := NewScheduler()
+	var second time.Duration
+	s.At(100*time.Millisecond, func() {
+		s.After(50*time.Millisecond, func() { second = s.Now() })
+	})
+	s.Run(time.Second)
+	if second != 150*time.Millisecond {
+		t.Errorf("After fired at %v, want 150ms", second)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.At(10*time.Millisecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Error("timer should be pending before firing")
+	}
+	if !tm.Cancel() {
+		t.Error("first Cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	s.Run(time.Second)
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	s := NewScheduler()
+	tm := s.At(10*time.Millisecond, func() {})
+	s.Run(time.Second)
+	if tm.Pending() {
+		t.Error("fired timer still pending")
+	}
+	if tm.Cancel() {
+		t.Error("Cancel after fire should report false")
+	}
+}
+
+func TestNilTimerSafe(t *testing.T) {
+	var tm *Timer
+	if tm.Pending() {
+		t.Error("nil timer pending")
+	}
+	if tm.Cancel() {
+		t.Error("nil timer cancel reported true")
+	}
+}
+
+func TestSchedulerStep(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.At(time.Millisecond, func() { n++ })
+	s.At(2*time.Millisecond, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !s.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.At(time.Millisecond, func() { n++; s.Stop() })
+	s.At(2*time.Millisecond, func() { n++ })
+	s.Run(time.Second)
+	if n != 1 {
+		t.Errorf("Stop did not abort Run: n=%d", n)
+	}
+}
+
+func TestSchedulerPanicsOnPastEvent(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	s.Run(time.Second)
+}
+
+func TestSchedulerPanicsOnNilCallback(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	NewScheduler().At(0, nil)
+}
+
+func TestSchedulerPending(t *testing.T) {
+	s := NewScheduler()
+	a := s.At(time.Millisecond, func() {})
+	s.At(2*time.Millisecond, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	a.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() after cancel = %d, want 1", got)
+	}
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 100 {
+			depth++
+			s.After(time.Millisecond, recurse)
+		}
+	}
+	s.After(time.Millisecond, recurse)
+	s.Run(time.Second)
+	if depth != 100 {
+		t.Errorf("chained events: depth = %d, want 100", depth)
+	}
+}
+
+// Property: for any set of event times, callbacks observe a
+// non-decreasing clock and every event within the horizon fires.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler()
+		var seen []time.Duration
+		for _, off := range offsets {
+			s.At(time.Duration(off)*time.Microsecond, func() { seen = append(seen, s.Now()) })
+		}
+		s.Run(time.Second)
+		if len(seen) != len(offsets) {
+			return false
+		}
+		if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random interleavings of scheduling and cancellation never fire
+// a cancelled event and always fire the rest.
+func TestSchedulerCancellationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		fired := make([]bool, 50)
+		timers := make([]*Timer, 50)
+		cancelled := make([]bool, 50)
+		for i := 0; i < 50; i++ {
+			i := i
+			timers[i] = s.At(time.Duration(rng.Intn(1000))*time.Microsecond, func() { fired[i] = true })
+		}
+		for i := 0; i < 50; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = timers[i].Cancel()
+			}
+		}
+		s.Run(time.Second)
+		for i := 0; i < 50; i++ {
+			if cancelled[i] == fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestRunBoundaryEventFires(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(time.Second, func() { fired = true })
+	s.Run(time.Second) // event exactly at the boundary fires
+	if !fired {
+		t.Error("event at Run boundary did not fire")
+	}
+}
+
+func TestAfterZeroDuration(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(0, func() { fired = true })
+	s.Run(time.Millisecond)
+	if !fired {
+		t.Error("zero-delay event did not fire")
+	}
+}
+
+func TestRunBackwardsPanics(t *testing.T) {
+	s := NewScheduler()
+	s.Run(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("Run into the past did not panic")
+		}
+	}()
+	s.Run(time.Millisecond)
+}

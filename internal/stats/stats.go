@@ -1,0 +1,59 @@
+// Package stats provides the small summary statistics the benchmark
+// tools report across seeds: mean, sample standard deviation, and a
+// normal-approximation 95% confidence half-width.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// observations).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// MinMax returns the sample extremes (0, 0 for an empty sample).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean of 1,2,3")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Sample stddev of {2,4,4,4,5,5,7,9} is ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.1380899) > 1e-6 {
+		t.Errorf("stddev = %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-sample stddev")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{10, 12, 11, 13, 9, 10, 12, 11}
+	want := 1.96 * StdDev(xs) / math.Sqrt(8)
+	if !approx(CI95(xs), want) {
+		t.Error("ci95")
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("single-sample ci")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("minmax = %v, %v", lo, hi)
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		if StdDev(xs) < 0 {
+			return false
+		}
+		lo, hi := MinMax(xs)
+		m := Mean(xs)
+		if len(xs) > 0 && (m < lo-1e-9 || m > hi+1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package topology models the static layout of a multihop wireless
+// network: node positions, radio ranges, the resulting neighbor relation,
+// two-hop neighborhoods, and the greedy dominating sets that the GMP
+// dissemination protocol uses to flood link state two hops out.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gmp/internal/geom"
+)
+
+// NodeID identifies a physical node. IDs are dense, starting at zero.
+type NodeID int
+
+// Link is a directed wireless link between two neighboring nodes.
+type Link struct {
+	From NodeID
+	To   NodeID
+}
+
+// String renders the link in the paper's "(i,j)" notation.
+func (l Link) String() string {
+	return fmt.Sprintf("(%d,%d)", l.From, l.To)
+}
+
+// Reverse returns the link in the opposite direction.
+func (l Link) Reverse() Link {
+	return Link{From: l.To, To: l.From}
+}
+
+// Undirected returns a canonical ordering of the link's endpoints, used
+// when a link should be treated without direction (e.g. contention).
+func (l Link) Undirected() Link {
+	if l.From > l.To {
+		return Link{From: l.To, To: l.From}
+	}
+	return l
+}
+
+// Config carries the radio ranges that define connectivity and contention.
+type Config struct {
+	// TxRange is the maximum distance in meters at which a frame can be
+	// decoded. The paper uses 250 m.
+	TxRange float64
+	// CSRange is the carrier-sense / interference range in meters. The
+	// paper's scenarios behave as if CSRange equals TxRange (hidden
+	// terminals exist two hops apart); a larger value may be configured.
+	CSRange float64
+}
+
+// DefaultConfig mirrors the paper's setup (§7): 250 m transmission range
+// with carrier sensing at the same distance.
+func DefaultConfig() Config {
+	return Config{TxRange: 250, CSRange: 250}
+}
+
+// Topology is an immutable placement of nodes plus derived adjacency.
+type Topology struct {
+	pos       []geom.Point
+	cfg       Config
+	neighbors [][]NodeID
+}
+
+// ErrNoNodes is returned when constructing a topology with no nodes.
+var ErrNoNodes = errors.New("topology: no nodes")
+
+// New builds a topology from node positions. Node i is located at
+// positions[i]. The position slice is copied.
+func New(positions []geom.Point, cfg Config) (*Topology, error) {
+	if len(positions) == 0 {
+		return nil, ErrNoNodes
+	}
+	if cfg.TxRange <= 0 {
+		return nil, fmt.Errorf("topology: non-positive tx range %v", cfg.TxRange)
+	}
+	if cfg.CSRange < cfg.TxRange {
+		return nil, fmt.Errorf("topology: carrier-sense range %v below tx range %v", cfg.CSRange, cfg.TxRange)
+	}
+	t := &Topology{
+		pos: append([]geom.Point(nil), positions...),
+		cfg: cfg,
+	}
+	t.neighbors = make([][]NodeID, len(positions))
+	for i := range positions {
+		for j := range positions {
+			if i == j {
+				continue
+			}
+			if geom.WithinRange(positions[i], positions[j], cfg.TxRange) {
+				t.neighbors[i] = append(t.neighbors[i], NodeID(j))
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New for static scenario tables; it panics on error.
+func MustNew(positions []geom.Point, cfg Config) *Topology {
+	t, err := New(positions, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.pos) }
+
+// Nodes returns all node IDs in ascending order.
+func (t *Topology) Nodes() []NodeID {
+	ids := make([]NodeID, len(t.pos))
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	return ids
+}
+
+// Position returns node n's coordinates.
+func (t *Topology) Position(n NodeID) geom.Point { return t.pos[n] }
+
+// Config returns the radio configuration.
+func (t *Topology) Config() Config { return t.cfg }
+
+// Valid reports whether n names a node in this topology.
+func (t *Topology) Valid(n NodeID) bool {
+	return n >= 0 && int(n) < len(t.pos)
+}
+
+// InTxRange reports whether a transmission from a can be decoded at b.
+func (t *Topology) InTxRange(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	return geom.WithinRange(t.pos[a], t.pos[b], t.cfg.TxRange)
+}
+
+// InCSRange reports whether a transmission from a is sensed (or interferes)
+// at b.
+func (t *Topology) InCSRange(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	return geom.WithinRange(t.pos[a], t.pos[b], t.cfg.CSRange)
+}
+
+// Neighbors returns the nodes within transmission range of n, ascending.
+// The returned slice is shared; callers must not modify it.
+func (t *Topology) Neighbors(n NodeID) []NodeID { return t.neighbors[n] }
+
+// AreNeighbors reports whether a and b can exchange frames directly.
+func (t *Topology) AreNeighbors(a, b NodeID) bool { return t.InTxRange(a, b) }
+
+// Links returns every directed link in the network.
+func (t *Topology) Links() []Link {
+	var links []Link
+	for i := range t.pos {
+		for _, j := range t.neighbors[i] {
+			links = append(links, Link{From: NodeID(i), To: j})
+		}
+	}
+	return links
+}
+
+// TwoHopNeighbors returns all nodes reachable from n in one or two hops,
+// excluding n itself, in ascending order. This is the scope of GMP's link
+// state dissemination (§6.2 step 2).
+func (t *Topology) TwoHopNeighbors(n NodeID) []NodeID {
+	seen := make(map[NodeID]bool)
+	for _, m := range t.neighbors[n] {
+		seen[m] = true
+		for _, k := range t.neighbors[m] {
+			if k != n {
+				seen[k] = true
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DominatingSet returns a minimal-ish subset of n's one-hop neighbors whose
+// neighborhoods jointly cover every strict two-hop neighbor of n. GMP uses
+// this set to rebroadcast link state so it reaches the full two-hop
+// neighborhood (§6.2). The greedy set-cover heuristic is used; ties break
+// toward smaller node IDs for determinism.
+func (t *Topology) DominatingSet(n NodeID) []NodeID {
+	oneHop := make(map[NodeID]bool, len(t.neighbors[n]))
+	for _, m := range t.neighbors[n] {
+		oneHop[m] = true
+	}
+	// Strict two-hop neighbors: reachable in two hops but not one.
+	uncovered := make(map[NodeID]bool)
+	for _, m := range t.neighbors[n] {
+		for _, k := range t.neighbors[m] {
+			if k != n && !oneHop[k] {
+				uncovered[k] = true
+			}
+		}
+	}
+	var set []NodeID
+	for len(uncovered) > 0 {
+		best := NodeID(-1)
+		bestCover := 0
+		for _, m := range t.neighbors[n] {
+			cover := 0
+			for _, k := range t.neighbors[m] {
+				if uncovered[k] {
+					cover++
+				}
+			}
+			if cover > bestCover || (cover == bestCover && cover > 0 && (best == -1 || m < best)) {
+				best = m
+				bestCover = cover
+			}
+		}
+		if best == -1 {
+			break // isolated two-hop nodes cannot happen, but stay safe
+		}
+		set = append(set, best)
+		for _, k := range t.neighbors[best] {
+			delete(uncovered, k)
+		}
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return set
+}
+
+// Connected reports whether the network graph is connected.
+func (t *Topology) Connected() bool {
+	if len(t.pos) == 0 {
+		return false
+	}
+	seen := make([]bool, len(t.pos))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range t.neighbors[n] {
+			if !seen[m] {
+				seen[m] = true
+				count++
+				stack = append(stack, m)
+			}
+		}
+	}
+	return count == len(t.pos)
+}
+
+// LinksContend reports whether two wireless links contend, i.e. cannot
+// carry successful transmissions simultaneously. Two links contend when
+// they share a node or when any endpoint of one is within carrier-sense /
+// interference range of any endpoint of the other. This is the standard
+// "protocol model" contention relation used to build contention cliques.
+func (t *Topology) LinksContend(a, b Link) bool {
+	if a.From == b.From || a.From == b.To || a.To == b.From || a.To == b.To {
+		return true
+	}
+	ends := [2]NodeID{a.From, a.To}
+	others := [2]NodeID{b.From, b.To}
+	for _, x := range ends {
+		for _, y := range others {
+			if t.InCSRange(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,287 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gmp/internal/geom"
+)
+
+// chain returns an n-node chain with the given spacing.
+func chain(t *testing.T, n int, spacing float64) *Topology {
+	t.Helper()
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i) * spacing}
+	}
+	topo, err := New(pos, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("no nodes accepted")
+	}
+	if _, err := New([]geom.Point{{}}, Config{TxRange: 0, CSRange: 0}); err == nil {
+		t.Error("zero tx range accepted")
+	}
+	if _, err := New([]geom.Point{{}}, Config{TxRange: 250, CSRange: 100}); err == nil {
+		t.Error("cs range below tx range accepted")
+	}
+}
+
+func TestNeighborsOnChain(t *testing.T) {
+	topo := chain(t, 4, 200)
+	tests := []struct {
+		node NodeID
+		want []NodeID
+	}{
+		{0, []NodeID{1}},
+		{1, []NodeID{0, 2}},
+		{2, []NodeID{1, 3}},
+		{3, []NodeID{2}},
+	}
+	for _, tt := range tests {
+		got := topo.Neighbors(tt.node)
+		if len(got) != len(tt.want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", tt.node, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v", tt.node, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestInTxRangeBoundaryInclusive(t *testing.T) {
+	topo, err := New([]geom.Point{{X: 0}, {X: 250}}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.InTxRange(0, 1) {
+		t.Error("exactly-at-range nodes should be neighbors")
+	}
+	if topo.InTxRange(0, 0) {
+		t.Error("node in range of itself")
+	}
+}
+
+func TestTwoHopNeighbors(t *testing.T) {
+	topo := chain(t, 5, 200)
+	got := topo.TwoHopNeighbors(0)
+	want := []NodeID{1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("TwoHopNeighbors(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TwoHopNeighbors(0) = %v, want %v", got, want)
+		}
+	}
+	mid := topo.TwoHopNeighbors(2)
+	if len(mid) != 4 {
+		t.Fatalf("TwoHopNeighbors(2) = %v, want 4 nodes", mid)
+	}
+}
+
+func TestDominatingSetCoversTwoHop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(15)
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: rng.Float64() * 800, Y: rng.Float64() * 800}
+		}
+		topo, err := New(pos, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range topo.Nodes() {
+			ds := topo.DominatingSet(v)
+			// Every dominating-set member must be a one-hop neighbor.
+			oneHop := make(map[NodeID]bool)
+			for _, m := range topo.Neighbors(v) {
+				oneHop[m] = true
+			}
+			covered := make(map[NodeID]bool)
+			for _, d := range ds {
+				if !oneHop[d] {
+					t.Fatalf("dominating set of %d contains non-neighbor %d", v, d)
+				}
+				for _, m := range topo.Neighbors(d) {
+					covered[m] = true
+				}
+			}
+			// Every strict two-hop neighbor must be covered.
+			for _, u := range topo.TwoHopNeighbors(v) {
+				if oneHop[u] || u == v {
+					continue
+				}
+				if !covered[u] {
+					t.Fatalf("node %d: two-hop neighbor %d not covered by dominating set %v", v, u, ds)
+				}
+			}
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !chain(t, 5, 200).Connected() {
+		t.Error("chain should be connected")
+	}
+	topo, err := New([]geom.Point{{X: 0}, {X: 1000}}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Connected() {
+		t.Error("disconnected pair reported connected")
+	}
+}
+
+func TestLinksContendSharedNode(t *testing.T) {
+	topo := chain(t, 4, 200)
+	if !topo.LinksContend(Link{0, 1}, Link{1, 2}) {
+		t.Error("links sharing a node must contend")
+	}
+}
+
+func TestLinksContendByProximity(t *testing.T) {
+	// Chain 0-1-2-3 with 200 m spacing: links (0,1) and (2,3) share no
+	// node but nodes 1 and 2 are 200 m apart, inside carrier sense.
+	topo := chain(t, 4, 200)
+	if !topo.LinksContend(Link{0, 1}, Link{2, 3}) {
+		t.Error("(0,1) and (2,3) should contend via nodes 1-2 proximity")
+	}
+}
+
+func TestLinksDoNotContendWhenFar(t *testing.T) {
+	topo := chain(t, 6, 200)
+	if topo.LinksContend(Link{0, 1}, Link{4, 5}) {
+		t.Error("far-apart links should not contend")
+	}
+}
+
+func TestLinksContendSymmetry(t *testing.T) {
+	topo := chain(t, 6, 200)
+	links := topo.Links()
+	for _, a := range links {
+		for _, b := range links {
+			if topo.LinksContend(a, b) != topo.LinksContend(b, a) {
+				t.Fatalf("contention not symmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestLinkHelpers(t *testing.T) {
+	l := Link{From: 3, To: 1}
+	if l.Undirected() != (Link{From: 1, To: 3}) {
+		t.Errorf("Undirected() = %v", l.Undirected())
+	}
+	if l.Reverse() != (Link{From: 1, To: 3}) {
+		t.Errorf("Reverse() = %v", l.Reverse())
+	}
+	if l.String() != "(3,1)" {
+		t.Errorf("String() = %q", l.String())
+	}
+}
+
+func TestLinksAreSymmetricPairs(t *testing.T) {
+	topo := chain(t, 5, 200)
+	links := topo.Links()
+	set := make(map[Link]bool, len(links))
+	for _, l := range links {
+		set[l] = true
+	}
+	for _, l := range links {
+		if !set[l.Reverse()] {
+			t.Fatalf("link %v present without its reverse", l)
+		}
+	}
+}
+
+// Property: neighbor relation is symmetric for random placements.
+func TestNeighborSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		}
+		topo, err := New(pos, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for _, a := range topo.Nodes() {
+			for _, b := range topo.Nodes() {
+				if topo.InTxRange(a, b) != topo.InTxRange(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	topo := chain(t, 3, 200)
+	if !topo.Valid(0) || !topo.Valid(2) {
+		t.Error("valid IDs rejected")
+	}
+	if topo.Valid(-1) || topo.Valid(3) {
+		t.Error("invalid IDs accepted")
+	}
+}
+
+func TestPositionsAreCopied(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 100}}
+	topo, err := New(pos, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos[0].X = 999
+	if topo.Position(0).X != 0 {
+		t.Error("topology aliases caller's position slice")
+	}
+}
+
+func TestMustNewPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with no nodes did not panic")
+		}
+	}()
+	MustNew(nil, DefaultConfig())
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{TxRange: 100, CSRange: 220}
+	topo, err := New([]geom.Point{{X: 0}, {X: 90}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Config() != cfg {
+		t.Errorf("Config() = %+v", topo.Config())
+	}
+	// CS range beyond tx range: nodes 0,1 are neighbors; a node at 200
+	// is sensed but not linked.
+	topo2, err := New([]geom.Point{{X: 0}, {X: 90}, {X: 200}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo2.InTxRange(0, 2) {
+		t.Error("200m apart linked at 100m tx range")
+	}
+	if !topo2.InCSRange(0, 2) {
+		t.Error("200m apart not sensed at 220m cs range")
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(i int) Event {
+	return Event{At: time.Duration(i) * time.Millisecond, Kind: KindTransmit, Node: 1, Peer: 2, Detail: "RTS"}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(10)
+	for i := 0; i < 3; i++ {
+		r.Record(ev(i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if e.At != time.Duration(i)*time.Millisecond {
+			t.Fatalf("order wrong: %v", events)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(ev(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	events := r.Events()
+	want := []int{6, 7, 8, 9}
+	for i, e := range events {
+		if e.At != time.Duration(want[i])*time.Millisecond {
+			t.Fatalf("events = %v, want ms offsets %v", events, want)
+		}
+	}
+}
+
+func TestRingExactWrap(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 3; i++ {
+		r.Record(ev(i))
+	}
+	events := r.Events()
+	if len(events) != 3 || events[0].At != 0 {
+		t.Fatalf("exact-capacity events = %v", events)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRing(2)
+	r.Record(Event{At: time.Second, Kind: KindCorrupt, Node: 3, Peer: 0, Detail: "DATA pkt{f0 0->3 #7}"})
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"col", "n3", "DATA", "#7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump %q missing %q", out, want)
+		}
+	}
+}
+
+func TestNewRingValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity accepted")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindTransmit: "tx", KindDeliver: "rx", KindCorrupt: "col", KindDrop: "drop",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q", int(k), k.String())
+		}
+	}
+}
