@@ -20,51 +20,53 @@ package gmp
 // full paper-vs-measured comparison.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
+
+	"gmp/internal/stats"
 )
 
-// benchRun executes one simulation per benchmark iteration and reports
-// the paper's metrics from the last run.
-func benchRun(b *testing.B, cfg Config) *Result {
+// benchRun executes one simulation per benchmark iteration (seed i+1)
+// and reports the cross-iteration mean of the paper's metrics, so the
+// reported numbers average over every seed the benchmark ran instead of
+// echoing only the last one. It returns the cross-seed summary plus the
+// individual results for callers that need per-run fields.
+func benchRun(b *testing.B, cfg Config) (SweepSummary, []*Result) {
 	b.Helper()
-	var res *Result
-	var err error
+	results := make([]*Result, 0, b.N)
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		res, err = Run(cfg)
+		res, err := Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
+		results = append(results, res)
 	}
-	b.ReportMetric(res.Imm, "Imm")
-	b.ReportMetric(res.Ieq, "Ieq")
-	b.ReportMetric(res.U, "U_pps")
-	minRate := res.Rates[0]
-	for _, r := range res.Rates {
-		if r < minRate {
-			minRate = r
-		}
-	}
-	b.ReportMetric(minRate, "minRate")
-	return res
+	sum := Summarize(results)
+	b.ReportMetric(sum.Imm.Mean, "Imm")
+	b.ReportMetric(sum.Ieq.Mean, "Ieq")
+	b.ReportMetric(sum.U.Mean, "U_pps")
+	b.ReportMetric(sum.MinRate.Mean, "minRate")
+	return sum, results
 }
 
 // BenchmarkTable1Fig2Maxmin regenerates Table 1: GMP on the Figure 2
 // topology with unit weights. Paper: f1=563.96 with f2..f4 equal around
 // 197-221 (f1 opportunistically exceeds the clique-1 flows by ~2.6x).
 func BenchmarkTable1Fig2Maxmin(b *testing.B) {
-	res := benchRun(b, Config{Scenario: Fig2Scenario(), Protocol: ProtocolGMP})
-	b.ReportMetric(res.Rates[0]/res.Rates[1], "f1/f2")
+	sum, _ := benchRun(b, Config{Scenario: Fig2Scenario(), Protocol: ProtocolGMP})
+	b.ReportMetric(sum.FlowRates[0].Mean/sum.FlowRates[1].Mean, "f1/f2")
 }
 
 // BenchmarkTable2Fig2Weighted regenerates Table 2: weighted maxmin with
 // weights (1,2,1,3). Paper: clique-1 rates 225/122/377 ~ 2:1:3.
 func BenchmarkTable2Fig2Weighted(b *testing.B) {
-	res := benchRun(b, Config{Scenario: Fig2WeightedScenario(), Protocol: ProtocolGMP})
-	b.ReportMetric(res.Rates[1]/res.Rates[2], "f2/f3")
-	b.ReportMetric(res.Rates[3]/res.Rates[2], "f4/f3")
+	sum, _ := benchRun(b, Config{Scenario: Fig2WeightedScenario(), Protocol: ProtocolGMP})
+	b.ReportMetric(sum.FlowRates[1].Mean/sum.FlowRates[2].Mean, "f2/f3")
+	b.ReportMetric(sum.FlowRates[3].Mean/sum.FlowRates[2].Mean, "f4/f3")
 }
 
 // Tables 3 and 4 compare three protocols; one sub-benchmark each so the
@@ -104,12 +106,12 @@ func BenchmarkFig1QueueIsolation(b *testing.B) {
 		{"PerDestination", ProtocolBackpressure},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			res := benchRun(b, Config{
+			sum, _ := benchRun(b, Config{
 				Scenario: Fig1Scenario(),
 				Protocol: tc.protocol,
 				Duration: 200 * time.Second,
 			})
-			b.ReportMetric(res.Rates[1]/res.Rates[0], "f2/f1")
+			b.ReportMetric(sum.FlowRates[1].Mean/sum.FlowRates[0].Mean, "f2/f1")
 		})
 	}
 }
@@ -164,19 +166,21 @@ func BenchmarkRandomTopologyVsReference(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res := benchRun(b, Config{Scenario: sc, Protocol: ProtocolGMP})
+	sum, results := benchRun(b, Config{Scenario: sc, Protocol: ProtocolGMP})
+	// The reference allocation is seed-independent; compare it against
+	// the cross-seed mean rates.
+	reference := results[len(results)-1].Reference
 	dev := 0.0
-	for i, r := range res.Rates {
-		ref := res.Reference[i]
-		if ref > 0 {
-			d := (r - ref) / ref
+	for i, fr := range sum.FlowRates {
+		if ref := reference[i]; ref > 0 {
+			d := (fr.Mean - ref) / ref
 			if d < 0 {
 				d = -d
 			}
 			dev += d
 		}
 	}
-	b.ReportMetric(dev/float64(len(res.Rates)), "refDist")
+	b.ReportMetric(dev/float64(len(sum.FlowRates)), "refDist")
 }
 
 // BenchmarkMeshGateway (A5) scales GMP to a 4x4 mesh with six flows
@@ -221,9 +225,45 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tx = res.Channel.Transmissions
+		tx += res.Channel.Transmissions
 	}
-	b.ReportMetric(float64(tx)/float64(b.Elapsed().Seconds())*float64(b.N), "frames/s")
+	b.ReportMetric(float64(tx)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkParallelSweep measures the experiment runner's fan-out: one
+// op is a complete 16-seed sweep of the Figure 3 scenario, executed
+// serially (Workers=1) and across all CPUs. On an N-core machine the
+// parallel variant approaches min(N, 16)× speedup because runs are
+// independent single-threaded simulations; on one core the two are
+// equal. The runs/s metric is the cross-variant comparable number.
+func BenchmarkParallelSweep(b *testing.B) {
+	cfgs := SeedSweep(Config{
+		Scenario: Fig3Scenario(),
+		Protocol: ProtocolGMP,
+		Duration: 30 * time.Second,
+		Warmup:   15 * time.Second,
+	}, 16)
+	variants := []struct {
+		name    string
+		workers int
+	}{
+		{"Serial", 1},
+		{fmt.Sprintf("AllCPUs=%d", runtime.GOMAXPROCS(0)), 0},
+	}
+	for _, tc := range variants {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := RunMany(context.Background(), cfgs, RunManyOptions{Workers: tc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum := Summarize(results); sum.Runs != len(cfgs) {
+					b.Fatalf("aggregated %d of %d runs", sum.Runs, len(cfgs))
+				}
+			}
+			b.ReportMetric(float64(len(cfgs)*b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
 }
 
 // BenchmarkFlowChurn measures GMP's adaptivity to dynamic flow sets (an
@@ -233,10 +273,10 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkFlowChurn(b *testing.B) {
 	sc := Fig3Scenario()
 	sc.Flows[2].Stop = 200 * time.Second
-	var res *Result
-	var err error
+	r0 := make([]float64, 0, b.N)
+	r1 := make([]float64, 0, b.N)
 	for i := 0; i < b.N; i++ {
-		res, err = Run(Config{
+		res, err := Run(Config{
 			Scenario: sc,
 			Protocol: ProtocolGMP,
 			Warmup:   250 * time.Second,
@@ -245,23 +285,28 @@ func BenchmarkFlowChurn(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		r0 = append(r0, res.Rates[0])
+		r1 = append(r1, res.Rates[1])
 	}
-	survivors := res.Rates[:2]
-	b.ReportMetric(survivors[0], "r0_pps")
-	b.ReportMetric(survivors[1], "r1_pps")
+	b.ReportMetric(stats.Mean(r0), "r0_pps")
+	b.ReportMetric(stats.Mean(r1), "r1_pps")
 }
 
 // BenchmarkInBandControl runs GMP with the §6.2 link-state dissemination
 // executed on the channel itself (dominating-set relays included) and
 // reports the measured control overhead as a fraction of airtime.
 func BenchmarkInBandControl(b *testing.B) {
-	res := benchRun(b, Config{
+	sum, results := benchRun(b, Config{
 		Scenario:      Fig4Scenario(),
 		Protocol:      ProtocolGMP,
 		InBandControl: true,
 	})
-	b.ReportMetric(res.ControlOverhead, "ctrlFrac")
-	b.ReportMetric(float64(res.Channel.ControlFrames), "ctrlFrames")
+	b.ReportMetric(sum.ControlOverhead.Mean, "ctrlFrac")
+	frames := make([]float64, len(results))
+	for i, res := range results {
+		frames[i] = float64(res.Channel.ControlFrames)
+	}
+	b.ReportMetric(stats.Mean(frames), "ctrlFrames")
 }
 
 // BenchmarkDistributedRuntime compares the centrally-evaluated engine
@@ -284,9 +329,9 @@ func BenchmarkDistributedRuntime(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
-			res := benchRun(b, Config{Scenario: tc.sc, Protocol: tc.proto, InBandControl: tc.inband})
+			sum, _ := benchRun(b, Config{Scenario: tc.sc, Protocol: tc.proto, InBandControl: tc.inband})
 			if tc.inband {
-				b.ReportMetric(res.ControlOverhead, "ctrlFrac")
+				b.ReportMetric(sum.ControlOverhead.Mean, "ctrlFrac")
 			}
 		})
 	}
@@ -304,19 +349,19 @@ func BenchmarkConvergenceTime(b *testing.B) {
 		{"Fig4", Fig4Scenario()},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			var at time.Duration
+			secs := make([]float64, 0, b.N)
 			for i := 0; i < b.N; i++ {
 				res, err := Run(Config{Scenario: tc.sc, Protocol: ProtocolGMP, Seed: int64(i + 1)})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if got, ok := ConvergenceTime(res.Trace, 0.3); ok {
-					at = got
-				} else {
+				at, ok := ConvergenceTime(res.Trace, 0.3)
+				if !ok {
 					at = res.Trace[len(res.Trace)-1].Time
 				}
+				secs = append(secs, at.Seconds())
 			}
-			b.ReportMetric(at.Seconds(), "convergeSec")
+			b.ReportMetric(stats.Mean(secs), "convergeSec")
 		})
 	}
 }

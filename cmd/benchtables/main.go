@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +21,6 @@ import (
 
 	"gmp"
 	"gmp/internal/paperdata"
-	"gmp/internal/stats"
 )
 
 func main() {
@@ -35,16 +35,21 @@ func run(args []string) error {
 	table := fs.Int("table", 0, "table to regenerate (1-4; 0 = all)")
 	duration := fs.Duration("duration", 400*time.Second, "simulated session length")
 	seeds := fs.Int("seeds", 1, "number of seeds to average over")
+	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = all CPUs, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *seeds < 1 {
 		return fmt.Errorf("need at least one seed, got %d", *seeds)
 	}
+	if *parallel < 0 {
+		return fmt.Errorf("negative parallelism %d", *parallel)
+	}
+	opts := options{duration: *duration, seeds: *seeds, workers: *parallel}
 
 	runs := []struct {
 		id int
-		fn func(time.Duration, int) error
+		fn func(options) error
 	}{
 		{1, table1}, {2, table2}, {3, table3}, {4, table4},
 	}
@@ -52,55 +57,31 @@ func run(args []string) error {
 		if *table != 0 && *table != r.id {
 			continue
 		}
-		if err := r.fn(*duration, *seeds); err != nil {
+		if err := r.fn(opts); err != nil {
 			return fmt.Errorf("table %d: %w", r.id, err)
 		}
 	}
 	return nil
 }
 
-// aggregate holds per-flow mean rates plus mean and spread of the
-// summary metrics over the seeds.
-type aggregate struct {
-	rates     []float64 // per-flow means
-	normRates []float64 // per-flow normalized-rate means
-	u, uCI    float64
-	imm       float64
-	immCI     float64
-	ieq       float64
-	ieqCI     float64
+// options carries the shared run parameters to the table generators.
+type options struct {
+	duration time.Duration
+	seeds    int
+	workers  int
 }
 
-// runSeeds executes the scenario under one protocol for each seed
-// 1..seeds and aggregates.
-func runSeeds(sc gmp.Scenario, p gmp.Protocol, duration time.Duration, seeds int) (*aggregate, error) {
-	n := len(sc.Flows)
-	perFlow := make([][]float64, n)
-	perNorm := make([][]float64, n)
-	var us, imms, ieqs []float64
-	for s := 1; s <= seeds; s++ {
-		res, err := gmp.Run(gmp.Config{Scenario: sc, Protocol: p, Duration: duration, Seed: int64(s)})
-		if err != nil {
-			return nil, err
-		}
-		for i, r := range res.Rates {
-			perFlow[i] = append(perFlow[i], r)
-			perNorm[i] = append(perNorm[i], res.Flows[i].NormRate)
-		}
-		us = append(us, res.U)
-		imms = append(imms, res.Imm)
-		ieqs = append(ieqs, res.Ieq)
+// runSeeds executes the scenario under one protocol for seeds 1..N
+// through the parallel experiment runner and aggregates the cross-seed
+// statistics (Student-t 95% confidence half-widths).
+func runSeeds(sc gmp.Scenario, p gmp.Protocol, o options) (*gmp.SweepSummary, error) {
+	cfgs := gmp.SeedSweep(gmp.Config{Scenario: sc, Protocol: p, Duration: o.duration}, o.seeds)
+	results, err := gmp.RunMany(context.Background(), cfgs, gmp.RunManyOptions{Workers: o.workers})
+	if err != nil {
+		return nil, err
 	}
-	agg := &aggregate{
-		u: stats.Mean(us), uCI: stats.CI95(us),
-		imm: stats.Mean(imms), immCI: stats.CI95(imms),
-		ieq: stats.Mean(ieqs), ieqCI: stats.CI95(ieqs),
-	}
-	for i := 0; i < n; i++ {
-		agg.rates = append(agg.rates, stats.Mean(perFlow[i]))
-		agg.normRates = append(agg.normRates, stats.Mean(perNorm[i]))
-	}
-	return agg, nil
+	sum := gmp.Summarize(results)
+	return &sum, nil
 }
 
 func withCI(mean, ci float64) string {
@@ -110,10 +91,10 @@ func withCI(mean, ci float64) string {
 	return fmt.Sprintf("%.3f±%.3f", mean, ci)
 }
 
-func table1(duration time.Duration, seeds int) error {
+func table1(o options) error {
 	fmt.Println("Table 1 — GMP on the Figure 2 topology, unit weights")
 	sc := gmp.Fig2Scenario()
-	agg, err := runSeeds(sc, gmp.ProtocolGMP, duration, seeds)
+	agg, err := runSeeds(sc, gmp.ProtocolGMP, o)
 	if err != nil {
 		return err
 	}
@@ -126,19 +107,20 @@ func table1(duration time.Duration, seeds int) error {
 	fmt.Fprintln(w, "flow\tpaper(pkt/s)\tmeasured(pkt/s)\treference(water-filling)")
 	for i, name := range paperdata.Table1.Flows {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n",
-			name, paperdata.Table1.Rates[i], agg.rates[i], ref.Reference[i])
+			name, paperdata.Table1.Rates[i], agg.FlowRates[i].Mean, ref.Reference[i])
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
 	fmt.Printf("shape: paper f1/f2 = %.2f, measured f1/f2 = %.2f\n\n",
-		paperdata.Table1.Rates[0]/paperdata.Table1.Rates[1], agg.rates[0]/agg.rates[1])
+		paperdata.Table1.Rates[0]/paperdata.Table1.Rates[1],
+		agg.FlowRates[0].Mean/agg.FlowRates[1].Mean)
 	return nil
 }
 
-func table2(duration time.Duration, seeds int) error {
+func table2(o options) error {
 	fmt.Println("Table 2 — weighted maxmin on Figure 2, weights (1,2,1,3)")
-	agg, err := runSeeds(gmp.Fig2WeightedScenario(), gmp.ProtocolGMP, duration, seeds)
+	agg, err := runSeeds(gmp.Fig2WeightedScenario(), gmp.ProtocolGMP, o)
 	if err != nil {
 		return err
 	}
@@ -147,20 +129,20 @@ func table2(duration time.Duration, seeds int) error {
 	for i, name := range paperdata.Table2.Flows {
 		fmt.Fprintf(w, "%s\t%g\t%.2f\t%.2f\t%.2f\n",
 			name, paperdata.Table2.Weights[i], paperdata.Table2.Rates[i],
-			agg.rates[i], agg.normRates[i])
+			agg.FlowRates[i].Mean, agg.FlowNormRates[i].Mean)
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
 	fmt.Printf("shape: clique-1 rates should split ~2:1:3 (measured %.0f:%.0f:%.0f)\n\n",
-		agg.rates[1], agg.rates[2], agg.rates[3])
+		agg.FlowRates[1].Mean, agg.FlowRates[2].Mean, agg.FlowRates[3].Mean)
 	return nil
 }
 
 func comparisonTable(title string, sc gmp.Scenario, paper struct {
 	Flows     []string
 	Protocols map[string]paperdata.ProtocolRow
-}, duration time.Duration, seeds int) error {
+}, o options) error {
 	fmt.Println(title)
 	protocols := []struct {
 		name string
@@ -170,9 +152,9 @@ func comparisonTable(title string, sc gmp.Scenario, paper struct {
 		{"2PP", gmp.Protocol2PP},
 		{"GMP", gmp.ProtocolGMP},
 	}
-	results := make(map[string]*aggregate, len(protocols))
+	results := make(map[string]*gmp.SweepSummary, len(protocols))
 	for _, pr := range protocols {
-		agg, err := runSeeds(sc, pr.p, duration, seeds)
+		agg, err := runSeeds(sc, pr.p, o)
 		if err != nil {
 			return err
 		}
@@ -187,21 +169,21 @@ func comparisonTable(title string, sc gmp.Scenario, paper struct {
 	for i, name := range paper.Flows {
 		fmt.Fprint(w, name)
 		for _, pr := range protocols {
-			fmt.Fprintf(w, "\t%.2f\t%.2f", paper.Protocols[pr.name].Rates[i], results[pr.name].rates[i])
+			fmt.Fprintf(w, "\t%.2f\t%.2f", paper.Protocols[pr.name].Rates[i], results[pr.name].FlowRates[i].Mean)
 		}
 		fmt.Fprintln(w)
 	}
 	for _, row := range []struct {
 		label string
 		paper func(paperdata.ProtocolRow) float64
-		meas  func(*aggregate) string
+		meas  func(*gmp.SweepSummary) string
 	}{
 		{"U", func(r paperdata.ProtocolRow) float64 { return r.U },
-			func(a *aggregate) string { return withCI(a.u, a.uCI) }},
+			func(a *gmp.SweepSummary) string { return withCI(a.U.Mean, a.U.CI95) }},
 		{"I_mm", func(r paperdata.ProtocolRow) float64 { return r.Imm },
-			func(a *aggregate) string { return withCI(a.imm, a.immCI) }},
+			func(a *gmp.SweepSummary) string { return withCI(a.Imm.Mean, a.Imm.CI95) }},
 		{"I_eq", func(r paperdata.ProtocolRow) float64 { return r.Ieq },
-			func(a *aggregate) string { return withCI(a.ieq, a.ieqCI) }},
+			func(a *gmp.SweepSummary) string { return withCI(a.Ieq.Mean, a.Ieq.CI95) }},
 	} {
 		fmt.Fprint(w, row.label)
 		for _, pr := range protocols {
@@ -216,14 +198,14 @@ func comparisonTable(title string, sc gmp.Scenario, paper struct {
 	return nil
 }
 
-func table3(duration time.Duration, seeds int) error {
+func table3(o options) error {
 	return comparisonTable(
 		"Table 3 — Figure 3 three-link chain: 802.11 vs 2PP vs GMP",
-		gmp.Fig3Scenario(), paperdata.Table3, duration, seeds)
+		gmp.Fig3Scenario(), paperdata.Table3, o)
 }
 
-func table4(duration time.Duration, seeds int) error {
+func table4(o options) error {
 	return comparisonTable(
 		"Table 4 — Figure 4 four-cell topology: 802.11 vs 2PP vs GMP",
-		gmp.Fig4Scenario(), paperdata.Table4, duration, seeds)
+		gmp.Fig4Scenario(), paperdata.Table4, o)
 }

@@ -7,7 +7,7 @@ func TestTablesRunShort(t *testing.T) {
 		t.Skip("full table regeneration")
 	}
 	// A short session exercises every code path of all four tables.
-	if err := run([]string{"-duration", "4s", "-seeds", "2"}); err != nil {
+	if err := run([]string{"-duration", "4s", "-seeds", "2", "-parallel", "4"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -15,5 +15,8 @@ func TestTablesRunShort(t *testing.T) {
 func TestRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-seeds", "0"}); err == nil {
 		t.Error("zero seeds accepted")
+	}
+	if err := run([]string{"-parallel", "-2"}); err == nil {
+		t.Error("negative parallelism accepted")
 	}
 }

@@ -1,17 +1,26 @@
 // Command sweep runs a one-dimensional parameter sweep over repeated
-// simulations and writes the results as CSV (one row per run), ready for
-// plotting. It automates the ablation studies listed in DESIGN.md.
+// simulations and writes the results as CSV, ready for plotting. It
+// automates the ablation studies listed in DESIGN.md.
+//
+// The whole value × seed grid executes through the parallel experiment
+// runner (gmp.RunMany): -parallel sets the worker count (default all
+// CPUs) and results are byte-identical whatever that count is. By
+// default the CSV has one row per run; -ci aggregates the seeds of each
+// parameter value into one row of mean and Student-t 95% confidence
+// half-width columns.
 //
 // Usage:
 //
 //	sweep -scenario fig3 -param beta -values 0.05,0.1,0.2 -seeds 5
 //	sweep -scenario fig4 -param additive -values 2,4,8 -out fig4_additive.csv
 //	sweep -scenario fig3 -param loss -values 0,0.01,0.05 -protocol gmp
+//	sweep -scenario fig3 -param beta -values 0.05,0.1 -seeds 16 -ci -parallel 8
 //
 // Supported parameters: beta, period_s, additive, omega, queue, loss.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -39,6 +48,9 @@ func run(args []string, stdout io.Writer) error {
 	values := fs.String("values", "0.05,0.10,0.20", "comma-separated parameter values")
 	seeds := fs.Int("seeds", 3, "seeds per value")
 	duration := fs.Duration("duration", 400*time.Second, "session length")
+	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = all CPUs, 1 = serial)")
+	ci := fs.Bool("ci", false, "aggregate seeds: one row per value with mean and 95% CI columns")
+	timeout := fs.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 	out := fs.String("out", "", "CSV output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +71,34 @@ func run(args []string, stdout io.Writer) error {
 	if *seeds < 1 {
 		return fmt.Errorf("need at least one seed")
 	}
+	if *parallel < 0 {
+		return fmt.Errorf("negative parallelism %d", *parallel)
+	}
+
+	// Build the full value × seed grid, then fan it out in one batch so
+	// the worker pool stays busy across value boundaries.
+	var cfgs []gmp.Config
+	for _, v := range vals {
+		for seed := 1; seed <= *seeds; seed++ {
+			cfg := gmp.Config{
+				Scenario: sc,
+				Protocol: protocol,
+				Duration: *duration,
+				Seed:     int64(seed),
+			}
+			if err := applyParam(&cfg, *param, v); err != nil {
+				return err
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := gmp.RunMany(context.Background(), cfgs, gmp.RunManyOptions{
+		Workers: *parallel,
+		Timeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
 
 	w := stdout
 	if *out != "" {
@@ -74,26 +114,27 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 	cw := csv.NewWriter(w)
+	if *ci {
+		err = writeAggregated(cw, sc.Name, protocol.String(), *param, vals, *seeds, results)
+	} else {
+		err = writePerRun(cw, sc.Name, protocol.String(), *param, vals, *seeds, results)
+	}
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writePerRun emits the historical one-row-per-run format.
+func writePerRun(cw *csv.Writer, scenario, protocol, param string, vals []float64, seeds int, results []*gmp.Result) error {
 	header := []string{"scenario", "protocol", "param", "value", "seed", "i_mm", "i_eq", "u_pps", "min_rate_pps"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-
-	for _, v := range vals {
-		for seed := 1; seed <= *seeds; seed++ {
-			cfg := gmp.Config{
-				Scenario: sc,
-				Protocol: protocol,
-				Duration: *duration,
-				Seed:     int64(seed),
-			}
-			if err := applyParam(&cfg, *param, v); err != nil {
-				return err
-			}
-			res, err := gmp.Run(cfg)
-			if err != nil {
-				return err
-			}
+	for vi, v := range vals {
+		for seed := 1; seed <= seeds; seed++ {
+			res := results[vi*seeds+seed-1]
 			minRate := res.Rates[0]
 			for _, r := range res.Rates {
 				if r < minRate {
@@ -101,7 +142,7 @@ func run(args []string, stdout io.Writer) error {
 				}
 			}
 			row := []string{
-				sc.Name, protocol.String(), *param,
+				scenario, protocol, param,
 				strconv.FormatFloat(v, 'g', -1, 64),
 				strconv.Itoa(seed),
 				fmt.Sprintf("%.4f", res.Imm),
@@ -114,8 +155,36 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return nil
+}
+
+// writeAggregated emits one row per parameter value: across-seed means
+// with Student-t 95% confidence half-widths (gmp.Summarize).
+func writeAggregated(cw *csv.Writer, scenario, protocol, param string, vals []float64, seeds int, results []*gmp.Result) error {
+	header := []string{
+		"scenario", "protocol", "param", "value", "seeds",
+		"i_mm", "i_mm_ci95", "i_eq", "i_eq_ci95",
+		"u_pps", "u_pps_ci95", "min_rate_pps", "min_rate_ci95",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for vi, v := range vals {
+		sum := gmp.Summarize(results[vi*seeds : (vi+1)*seeds])
+		row := []string{
+			scenario, protocol, param,
+			strconv.FormatFloat(v, 'g', -1, 64),
+			strconv.Itoa(sum.Runs),
+			fmt.Sprintf("%.4f", sum.Imm.Mean), fmt.Sprintf("%.4f", sum.Imm.CI95),
+			fmt.Sprintf("%.4f", sum.Ieq.Mean), fmt.Sprintf("%.4f", sum.Ieq.CI95),
+			fmt.Sprintf("%.2f", sum.U.Mean), fmt.Sprintf("%.2f", sum.U.CI95),
+			fmt.Sprintf("%.2f", sum.MinRate.Mean), fmt.Sprintf("%.2f", sum.MinRate.CI95),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func pickScenario(name string) (gmp.Scenario, error) {

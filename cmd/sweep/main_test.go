@@ -44,6 +44,55 @@ func TestSweepWritesFile(t *testing.T) {
 	}
 }
 
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{
+			"-scenario", "fig3", "-protocol", "gmp",
+			"-param", "beta", "-values", "0.1,0.2",
+			"-seeds", "2", "-duration", "8s", "-parallel", parallel,
+		}
+	}
+	var serial, parallel bytes.Buffer
+	if err := run(args("1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("8"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel sweep CSV differs from serial:\n%s\nvs\n%s", serial.String(), parallel.String())
+	}
+}
+
+func TestSweepAggregatedCI(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-scenario", "fig3", "-protocol", "802.11",
+		"-param", "queue", "-values", "5,10",
+		"-seeds", "3", "-duration", "4s", "-ci",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + one aggregated row per value.
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "scenario,protocol,param,value,seeds,i_mm,i_mm_ci95") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		fields := strings.Split(l, ",")
+		if len(fields) != 13 {
+			t.Fatalf("row has %d fields, want 13: %q", len(fields), l)
+		}
+		if fields[4] != "3" {
+			t.Errorf("seeds column = %q, want 3", fields[4])
+		}
+	}
+}
+
 func TestSweepRejectsBadInput(t *testing.T) {
 	cases := [][]string{
 		{"-scenario", "bogus"},
@@ -51,6 +100,7 @@ func TestSweepRejectsBadInput(t *testing.T) {
 		{"-param", "bogus", "-duration", "2s"},
 		{"-values", "abc"},
 		{"-seeds", "0"},
+		{"-parallel", "-1"},
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

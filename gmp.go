@@ -19,6 +19,7 @@
 package gmp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -293,6 +294,18 @@ type Result struct {
 // Run simulates the scenario under the selected protocol and reports the
 // resulting allocation. It is deterministic for a given Config.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation checks
+// ctx once per simulated second (a no-op event that consumes no
+// randomness, so results are byte-identical to Run) and aborts with
+// ctx's error when it is cancelled or times out. RunMany uses it to
+// enforce per-run timeouts.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gmp: run aborted before start: %w", err)
+	}
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -444,8 +457,27 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	if done := ctx.Done(); done != nil {
+		// Poll for cancellation on the virtual clock. The poll event
+		// touches no protocol state and no random source, so enabling
+		// it cannot change the outcome of an uncancelled run.
+		var poll func()
+		poll = func() {
+			select {
+			case <-done:
+				sched.Stop()
+			default:
+				sched.After(time.Second, poll)
+			}
+		}
+		sched.After(time.Second, poll)
+	}
+
 	sched.At(cfg.Warmup, func() { registry.Mark(cfg.Warmup) })
 	sched.Run(cfg.Duration)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gmp: run aborted at t=%v: %w", sched.Now(), err)
+	}
 
 	reference, err := referenceAllocation(refFlows, routes, cliques, capacity)
 	if err != nil {

@@ -1,0 +1,185 @@
+package maxminref
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property-based tests: on randomized problems the solver's allocation
+// must be (1) feasible, (2) weighted-maxmin — no flow's rate can be
+// raised without lowering a flow of equal or smaller normalized rate —
+// and (3) invariant under permutation of the flows.
+
+const (
+	feasEps = 1e-6 // absolute slack tolerated on capacities/demands
+	relEps  = 1e-6 // relative tolerance when comparing normalized rates
+)
+
+// randomProblem generates a valid Problem with up to 8 flows and 6
+// constraints. Usage entries are small integers (a flow crossing a
+// clique on k links consumes k units), with at least one constraint
+// touching at least one flow.
+func randomProblem(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(8)
+	m := 1 + rng.Intn(6)
+	p := &Problem{
+		Weights: make([]float64, n),
+		Demands: make([]float64, n),
+	}
+	for f := 0; f < n; f++ {
+		p.Weights[f] = 0.25 + 4*rng.Float64()
+		p.Demands[f] = 1 + 999*rng.Float64()
+	}
+	for q := 0; q < m; q++ {
+		row := make([]float64, n)
+		used := false
+		for f := 0; f < n; f++ {
+			switch rng.Intn(4) {
+			case 0:
+				row[f] = 1
+				used = true
+			case 1:
+				row[f] = float64(1 + rng.Intn(3))
+				used = true
+			}
+		}
+		if !used {
+			row[rng.Intn(n)] = 1
+		}
+		p.Usage = append(p.Usage, row)
+		p.Capacities = append(p.Capacities, 10+1990*rng.Float64())
+	}
+	return p
+}
+
+// load returns Σ_f usage[q][f]·r_f for constraint q.
+func load(p *Problem, q int, rates []float64) float64 {
+	sum := 0.0
+	for f, u := range p.Usage[q] {
+		sum += u * rates[f]
+	}
+	return sum
+}
+
+func assertFeasible(t *testing.T, p *Problem, rates []float64) {
+	t.Helper()
+	for f, r := range rates {
+		if r < 0 {
+			t.Fatalf("flow %d: negative rate %v", f, r)
+		}
+		if r > p.Demands[f]+feasEps {
+			t.Fatalf("flow %d: rate %v exceeds demand %v", f, r, p.Demands[f])
+		}
+	}
+	for q := range p.Usage {
+		if l := load(p, q, rates); l > p.Capacities[q]+feasEps {
+			t.Fatalf("constraint %d: load %v exceeds capacity %v", q, l, p.Capacities[q])
+		}
+	}
+}
+
+// assertMaxmin checks the bottleneck condition: every flow not capped
+// by its demand must cross a saturated constraint in which its
+// normalized rate is maximal. That is exactly the weighted-maxmin
+// optimality certificate — raising such a flow forces a decrease on a
+// flow whose normalized rate is no larger.
+func assertMaxmin(t *testing.T, p *Problem, rates []float64) {
+	t.Helper()
+	norm := func(f int) float64 { return rates[f] / p.Weights[f] }
+	for f := range rates {
+		if rates[f] >= p.Demands[f]-feasEps {
+			continue // demand-capped: cannot be raised at all
+		}
+		bottlenecked := false
+		for q, row := range p.Usage {
+			if row[f] == 0 {
+				continue
+			}
+			if load(p, q, rates) < p.Capacities[q]-feasEps {
+				continue // slack constraint cannot block f
+			}
+			maximal := true
+			for g, u := range row {
+				if u > 0 && norm(g) > norm(f)*(1+relEps)+feasEps {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			t.Fatalf("flow %d (rate %v, norm %v) has no saturated bottleneck where it is maximal:\nrates %v\nproblem %+v",
+				f, rates[f], norm(f), rates, p)
+		}
+	}
+}
+
+func TestSolvePropertyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20080619)) // ICDCS'08, deterministic corpus
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng)
+		rates, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(rates) != len(p.Weights) {
+			t.Fatalf("trial %d: %d rates for %d flows", trial, len(rates), len(p.Weights))
+		}
+		assertFeasible(t, p, rates)
+		assertMaxmin(t, p, rates)
+	}
+}
+
+// permuteProblem returns a copy of p with flows reordered by perm
+// (column f of the copy is column perm[f] of the original).
+func permuteProblem(p *Problem, perm []int) *Problem {
+	n := len(p.Weights)
+	q := &Problem{
+		Weights:    make([]float64, n),
+		Demands:    make([]float64, n),
+		Capacities: append([]float64(nil), p.Capacities...),
+	}
+	for f, src := range perm {
+		q.Weights[f] = p.Weights[src]
+		q.Demands[f] = p.Demands[src]
+	}
+	for _, row := range p.Usage {
+		newRow := make([]float64, n)
+		for f, src := range perm {
+			newRow[f] = row[src]
+		}
+		q.Usage = append(q.Usage, newRow)
+	}
+	return q
+}
+
+func TestSolveOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng)
+		base, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(len(p.Weights))
+		permuted, err := permuteProblem(p, perm).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f, src := range perm {
+			got, want := permuted[f], base[src]
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			tol := relEps * (1 + want)
+			if diff > tol {
+				t.Fatalf("trial %d: flow %d (orig %d) rate %v != %v under permutation %v",
+					trial, f, src, got, want, perm)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package runner executes batches of independent jobs across a worker
+// pool. It is the experiment engine behind gmp.RunMany: N simulation
+// configurations (seeds × scenarios × protocols × parameter values) fan
+// out over GOMAXPROCS goroutines while the results stay byte-identical
+// to a serial execution.
+//
+// The determinism contract has three legs:
+//
+//   - Seed derivation depends only on (base seed, job index) — see
+//     DeriveSeed — never on worker count or completion order.
+//   - Results are collected into a slice indexed by job position, so the
+//     caller observes them in submission order.
+//   - Jobs must not share mutable state; the pool adds none of its own.
+//
+// A panicking job is captured (PanicError carries the value and stack)
+// instead of taking the process down, so one corrupt configuration in a
+// thousand-run sweep costs one result, not the batch.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// DeriveSeed derives the simulation seed for the job at the given index
+// from a base seed using the splitmix64 finalizer. The derivation is a
+// pure function of (base, index): results cannot depend on how many
+// workers ran the batch or in what order jobs completed. Distinct
+// indices map to distinct seeds (splitmix64 is a bijection on the
+// 64-bit state), and the returned seed is never 0, so it survives
+// "zero means default" config fields.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15 // golden-ratio increment
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return int64(z)
+}
+
+// Job is one unit of work. The context is cancelled when the batch is
+// cancelled or the per-job timeout elapses; long-running jobs should
+// honor it.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Options configures a batch execution.
+type Options struct {
+	// Workers is the pool size. Zero (or negative) means
+	// runtime.GOMAXPROCS(0). Workers has no effect on results, only on
+	// wall-clock time.
+	Workers int
+	// Timeout bounds each job's execution (0 = unbounded). A job that
+	// overruns gets context.DeadlineExceeded as its Result.Err.
+	Timeout time.Duration
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result pairs one job's outcome with its submission index.
+type Result[T any] struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Value is the job's return value (zero when Err is non-nil).
+	Value T
+	// Err is the job's error, a PanicError if it panicked, or the
+	// context error if the batch was cancelled before or while it ran.
+	Err error
+	// Elapsed is the job's wall-clock execution time (0 for jobs never
+	// started). Diagnostic only — not covered by the determinism
+	// contract.
+	Elapsed time.Duration
+}
+
+// PanicError is the Result.Err of a job that panicked.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v", e.Value)
+}
+
+// Map executes the jobs across the worker pool and returns one Result
+// per job, ordered by job index regardless of completion order. Map
+// itself returns an error only when ctx is cancelled (jobs that never
+// ran carry ctx.Err() in their Result.Err); per-job failures are
+// reported in the corresponding Result only.
+func Map[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Result[T], error) {
+	results := make([]Result[T], len(jobs))
+	for i := range results {
+		results[i].Index = i
+	}
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	workers := opts.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i] = runOne(ctx, i, jobs[i], opts.Timeout)
+			}
+		}()
+	}
+
+dispatch:
+	for i := range jobs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			// Jobs not yet dispatched fail with the batch's error.
+			for j := i; j < len(jobs); j++ {
+				if results[j].Err == nil {
+					results[j].Err = ctx.Err()
+				}
+			}
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// runOne executes a single job with panic capture and the optional
+// per-job deadline.
+func runOne[T any](ctx context.Context, index int, job Job[T], timeout time.Duration) (res Result[T]) {
+	res.Index = index
+	if job == nil {
+		res.Err = fmt.Errorf("runner: job %d is nil", index)
+		return res
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			res.Value = *new(T)
+			res.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	res.Value, res.Err = job(ctx)
+	return res
+}

@@ -1,0 +1,242 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	for _, base := range []int64{0, 1, -7, 1 << 40} {
+		for i := 0; i < 100; i++ {
+			a := DeriveSeed(base, i)
+			b := DeriveSeed(base, i)
+			if a != b {
+				t.Fatalf("DeriveSeed(%d, %d) not stable: %d vs %d", base, i, a, b)
+			}
+			if a == 0 {
+				t.Fatalf("DeriveSeed(%d, %d) = 0 (collides with config defaults)", base, i)
+			}
+		}
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 10000; i++ {
+		s := DeriveSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("indices %d and %d derive the same seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	// Different bases must decorrelate.
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("bases 1 and 2 derive the same seed for index 0")
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	const n = 50
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) { return i * i, nil }
+	}
+	for _, workers := range []int{1, 4, 16} {
+		res, err := Map(context.Background(), jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res), n)
+		}
+		for i, r := range res {
+			if r.Index != i || r.Err != nil || r.Value != i*i {
+				t.Fatalf("workers=%d: result %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestMapWorkerCountIndependence(t *testing.T) {
+	jobs := make([]Job[int64], 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int64, error) { return DeriveSeed(9, i), nil }
+	}
+	serial, err := Map(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(context.Background(), jobs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Value != parallel[i].Value {
+			t.Fatalf("job %d: serial %d != parallel %d", i, serial[i].Value, parallel[i].Value)
+		}
+	}
+}
+
+func TestMapCapturesPanic(t *testing.T) {
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { panic("boom") },
+		func(context.Context) (int, error) { return 3, nil },
+	}
+	res, err := Map(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Errorf("healthy jobs failed: %v / %v", res[0].Err, res[2].Err)
+	}
+	var pe *PanicError
+	if !errors.As(res[1].Err, &pe) {
+		t.Fatalf("panicking job's error = %v, want PanicError", res[1].Err)
+	}
+	if pe.Value != "boom" || !strings.Contains(string(pe.Stack), "runner") {
+		t.Errorf("panic capture lost detail: %v", pe)
+	}
+}
+
+func TestMapPerJobErrors(t *testing.T) {
+	sentinel := errors.New("bad config")
+	jobs := []Job[string]{
+		func(context.Context) (string, error) { return "", sentinel },
+		func(context.Context) (string, error) { return "ok", nil },
+	}
+	res, err := Map(context.Background(), jobs, Options{})
+	if err != nil {
+		t.Fatalf("per-job failure escalated to batch failure: %v", err)
+	}
+	if !errors.Is(res[0].Err, sentinel) || res[1].Err != nil || res[1].Value != "ok" {
+		t.Fatalf("results %+v", res)
+	}
+}
+
+func TestMapTimeout(t *testing.T) {
+	jobs := []Job[int]{
+		func(ctx context.Context) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return 1, nil
+			}
+		},
+		func(context.Context) (int, error) { return 2, nil },
+	}
+	res, err := Map(context.Background(), jobs, Options{Workers: 2, Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Errorf("slow job error = %v, want deadline exceeded", res[0].Err)
+	}
+	if res[1].Err != nil || res[1].Value != 2 {
+		t.Errorf("fast job suffered from sibling timeout: %+v", res[1])
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	release := make(chan struct{})
+	jobs := make([]Job[int], 32)
+	for i := range jobs {
+		jobs[i] = func(ctx context.Context) (int, error) {
+			if started.Add(1) == 1 {
+				cancel() // cancel the batch as soon as the first job runs
+			}
+			<-release
+			return 0, ctx.Err()
+		}
+	}
+	done := make(chan struct{})
+	var res []Result[int]
+	var err error
+	go func() {
+		res, err = Map(ctx, jobs, Options{Workers: 2})
+		close(done)
+	}()
+	// Unblock the in-flight jobs once cancellation has propagated.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map error = %v, want context.Canceled", err)
+	}
+	undispatched := 0
+	for _, r := range res {
+		if errors.Is(r.Err, context.Canceled) && r.Elapsed == 0 {
+			undispatched++
+		}
+	}
+	if undispatched == 0 {
+		t.Error("cancellation dispatched every job anyway")
+	}
+}
+
+func TestMapNilJob(t *testing.T) {
+	res, err := Map(context.Background(), []Job[int]{nil}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err == nil {
+		t.Error("nil job accepted")
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	res, err := Map[int](context.Background(), nil, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}
+
+func TestMapParallelism(t *testing.T) {
+	// With W workers, at least min(W, n) jobs must be in flight
+	// simultaneously: each job waits until `peak` reaches 2.
+	var inFlight, peak atomic.Int32
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = func(ctx context.Context) (int, error) {
+			cur := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for peak.Load() < 2 {
+				if time.Now().After(deadline) {
+					return 0, fmt.Errorf("never saw 2 concurrent jobs")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return 0, nil
+		}
+	}
+	res, err := Map(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"gmp/internal/flow"
@@ -45,7 +46,17 @@ type fileFlow struct {
 	StopS       float64 `json:"stop_s,omitempty"`
 }
 
-// Load reads a scenario from its JSON representation.
+// maxScheduleSeconds bounds flow start/stop times in scenario files.
+// The limit (11.5 simulated days) is far beyond any session the tools
+// run, and it keeps the seconds → time.Duration conversion exact: below
+// 1e15 ns the float64 rounding error stays under half a nanosecond, so
+// Save → Load round-trips Start and Stop bit-for-bit.
+const maxScheduleSeconds = 1e6
+
+// Load reads a scenario from its JSON representation. Malformed input
+// of any kind — syntax errors, unknown fields, out-of-range node
+// references, unrepresentable times, trailing garbage — yields an
+// error, never a panic.
 func Load(r io.Reader) (Scenario, error) {
 	var ff fileFormat
 	dec := json.NewDecoder(r)
@@ -53,8 +64,14 @@ func Load(r io.Reader) (Scenario, error) {
 	if err := dec.Decode(&ff); err != nil {
 		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
 	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Scenario{}, fmt.Errorf("scenario: trailing data after document")
+	}
 	if len(ff.Nodes) == 0 {
 		return Scenario{}, fmt.Errorf("scenario: file %q has no nodes", ff.Name)
+	}
+	if ff.TxRangeM < 0 || ff.CSRangeM < 0 {
+		return Scenario{}, fmt.Errorf("scenario: negative radio range (%v m, %v m)", ff.TxRangeM, ff.CSRangeM)
 	}
 	if ff.TxRangeM == 0 {
 		ff.TxRangeM = topology.DefaultConfig().TxRange
@@ -71,6 +88,12 @@ func Load(r io.Reader) (Scenario, error) {
 		s.Positions = append(s.Positions, geom.Point{X: n[0], Y: n[1]})
 	}
 	for i, f := range ff.Flows {
+		if f.Src < 0 || f.Src >= len(ff.Nodes) || f.Dst < 0 || f.Dst >= len(ff.Nodes) {
+			return Scenario{}, fmt.Errorf("scenario: flow %d endpoints (%d,%d) outside nodes [0,%d)", i, f.Src, f.Dst, len(ff.Nodes))
+		}
+		if f.StartS < 0 || f.StartS > maxScheduleSeconds || f.StopS < 0 || f.StopS > maxScheduleSeconds {
+			return Scenario{}, fmt.Errorf("scenario: flow %d start/stop outside [0, %g] s", i, float64(maxScheduleSeconds))
+		}
 		spec := flow.Spec{
 			ID:          packet.FlowID(i),
 			Src:         topology.NodeID(f.Src),
@@ -78,8 +101,8 @@ func Load(r io.Reader) (Scenario, error) {
 			Weight:      f.Weight,
 			DesiredRate: f.DesiredRate,
 			SizeBytes:   f.PacketBytes,
-			Start:       time.Duration(f.StartS * float64(time.Second)),
-			Stop:        time.Duration(f.StopS * float64(time.Second)),
+			Start:       secondsToDuration(f.StartS),
+			Stop:        secondsToDuration(f.StopS),
 		}
 		if spec.Weight == 0 {
 			spec.Weight = 1
@@ -96,6 +119,14 @@ func Load(r io.Reader) (Scenario, error) {
 		s.Flows = append(s.Flows, spec)
 	}
 	return s, nil
+}
+
+// secondsToDuration converts a seconds value from a scenario file to a
+// Duration, rounding to the nearest nanosecond. Truncation would drift
+// downward on every Save → Load cycle (1/1e9 is not a binary fraction);
+// rounding makes the conversion a bijection for |t| ≤ maxScheduleSeconds.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(math.Round(s * float64(time.Second)))
 }
 
 // Save writes the scenario as indented JSON.

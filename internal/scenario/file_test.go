@@ -58,10 +58,16 @@ func TestLoadFullFile(t *testing.T) {
 
 func TestLoadRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
-		"no nodes":      `{"name": "x", "flows": []}`,
-		"unknown field": `{"name": "x", "nodes": [[0,0]], "bogus": 1}`,
-		"bad flow":      `{"name":"x","nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":0}]}`,
-		"not json":      `hello`,
+		"no nodes":         `{"name": "x", "flows": []}`,
+		"unknown field":    `{"name": "x", "nodes": [[0,0]], "bogus": 1}`,
+		"bad flow":         `{"name":"x","nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":0}]}`,
+		"not json":         `hello`,
+		"src out of range": `{"nodes":[[0,0],[1,0]],"flows":[{"src":5,"dst":1}]}`,
+		"negative src":     `{"nodes":[[0,0],[1,0]],"flows":[{"src":-1,"dst":1}]}`,
+		"negative start":   `{"nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":1,"start_s":-2}]}`,
+		"huge stop":        `{"nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":1,"stop_s":1e18}]}`,
+		"negative range":   `{"tx_range_m":-250,"nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":1}]}`,
+		"trailing data":    `{"nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":1}]} extra`,
 	}
 	for name, input := range cases {
 		if _, err := Load(strings.NewReader(input)); err == nil {

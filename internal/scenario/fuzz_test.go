@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoadScenario fuzzes the JSON scenario loader. Two invariants:
+//
+//  1. Malformed input returns an error — Load never panics, whatever
+//     the bytes are.
+//  2. Anything Load accepts survives a Save → Load round trip exactly:
+//     the reloaded Scenario is deeply equal to the first (defaults are
+//     applied by Load, so its output is a fixed point).
+func FuzzLoadScenario(f *testing.F) {
+	seeds := []string{
+		// Minimal valid file.
+		`{"name":"tiny","nodes":[[0,0],[200,0],[400,0]],"flows":[{"src":0,"dst":2}]}`,
+		// Every field populated.
+		`{"name":"full","description":"d","tx_range_m":300,"cs_range_m":600,
+		  "nodes":[[0,0],[250,0]],
+		  "flows":[{"src":0,"dst":1,"weight":2.5,"desired_rate_pps":50,
+		            "packet_bytes":512,"start_s":10,"stop_s":60}]}`,
+		// Fractional times (exercise the seconds conversion).
+		`{"nodes":[[0,0],[1,1]],"flows":[{"src":0,"dst":1,"start_s":0.1,"stop_s":0.30000000000000004}]}`,
+		// Broken inputs the loader must reject gracefully.
+		`{"nodes":[[0,0]],"flows":[{"src":0,"dst":5}]}`,
+		`{"nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":1,"start_s":-3}]}`,
+		`{"nodes":[[0,0],[1,0]],"flows":[{"src":0,"dst":1,"weight":-1}]}`,
+		`{"nodes":[[0,0],[1,0]],"bogus":true}`,
+		`{"nodes":[[0,0],[1,0]],"flows":[]} trailing garbage`,
+		`[1,2,3]`,
+		`not json at all`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — that is the contract
+		}
+		// Everything Load accepted must serialize...
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("loaded scenario does not save: %v\ninput: %q", err, data)
+		}
+		// ...and reload to exactly the same value.
+		reloaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("saved scenario does not reload: %v\nsaved: %s\ninput: %q", err, buf.Bytes(), data)
+		}
+		if !reflect.DeepEqual(s, reloaded) {
+			t.Fatalf("round trip not identical:\nfirst:    %#v\nreloaded: %#v\nsaved: %s", s, reloaded, buf.Bytes())
+		}
+	})
+}

@@ -30,12 +30,48 @@ func TestStdDev(t *testing.T) {
 
 func TestCI95(t *testing.T) {
 	xs := []float64{10, 12, 11, 13, 9, 10, 12, 11}
-	want := 1.96 * StdDev(xs) / math.Sqrt(8)
+	// Student-t with 7 degrees of freedom: t = 2.365.
+	want := 2.365 * StdDev(xs) / math.Sqrt(8)
 	if !approx(CI95(xs), want) {
 		t.Error("ci95")
 	}
 	if CI95([]float64{1}) != 0 {
 		t.Error("single-sample ci")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{0: 0, 1: 12.706, 7: 2.365, 30: 2.042, 45: 2.000, 1000: 1.960}
+	for df, want := range cases {
+		if got := TCritical95(df); got != want {
+			t.Errorf("TCritical95(%d) = %v, want %v", df, got, want)
+		}
+	}
+	// The critical value must decrease monotonically toward 1.96.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		got := TCritical95(df)
+		if got > prev {
+			t.Fatalf("TCritical95 not monotone at df=%d: %v > %v", df, got, prev)
+		}
+		if got < 1.960 {
+			t.Fatalf("TCritical95(%d) = %v below the normal quantile", df, got)
+		}
+		prev = got
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{4, 8, 6, 2}
+	s := Summarize(xs)
+	if s.N != 4 || !approx(s.Mean, 5) || s.Min != 2 || s.Max != 8 {
+		t.Errorf("summary %+v", s)
+	}
+	if !approx(s.StdDev, StdDev(xs)) || !approx(s.CI95, CI95(xs)) {
+		t.Errorf("summary spread %+v", s)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Errorf("empty summary %+v", got)
 	}
 }
 

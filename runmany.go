@@ -1,0 +1,186 @@
+package gmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"gmp/internal/runner"
+	"gmp/internal/stats"
+)
+
+// MetricSummary aggregates one metric across repeated runs: mean,
+// sample standard deviation, Student-t 95% confidence half-width
+// (interval = Mean ± CI95), and extremes.
+type MetricSummary = stats.Summary
+
+// RunManyOptions configures a RunMany batch.
+type RunManyOptions struct {
+	// Workers is the number of simulations executed concurrently. Zero
+	// means GOMAXPROCS. The worker count never affects results — only
+	// wall-clock time. Every simulation is single-threaded; parallelism
+	// is across independent runs.
+	Workers int
+	// Timeout bounds each run's wall-clock execution (0 = unbounded).
+	// A run that overruns fails with context.DeadlineExceeded. Timeouts
+	// are inherently load-dependent: a batch that completes on an idle
+	// machine may time out on a loaded one, so leave this zero when
+	// byte-identical reruns matter more than bounded latency.
+	Timeout time.Duration
+	// BaseSeed seeds the deterministic per-run derivation: a config
+	// with Seed == 0 at index i runs with splitmix64(BaseSeed, i)
+	// (see internal/runner.DeriveSeed). Zero means base seed 1.
+	// Configs with an explicit Seed keep it.
+	BaseSeed int64
+	// KeepGoing reports all per-run errors at the end instead of
+	// returning after the batch with the first one. Regardless of this
+	// flag every run is attempted and successful results are returned.
+	KeepGoing bool
+}
+
+// RunMany executes the configurations across a worker pool and returns
+// one Result per config, in config order. It is the batch counterpart
+// of Run for seed sweeps and parameter studies.
+//
+// Determinism: results are byte-identical to calling Run serially on
+// the same (seed-resolved) configs, regardless of Workers and of the
+// order in which runs happen to finish. Seeds for configs that leave
+// Seed zero are derived from BaseSeed and the config's index only.
+//
+// Errors: a run that fails (invalid config, panic, timeout) yields a
+// nil entry in the returned slice; the error describes the first
+// failure (all of them with KeepGoing). The slice is returned even on
+// error so callers can use the successful runs.
+func RunMany(ctx context.Context, cfgs []Config, opts RunManyOptions) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base := opts.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	jobs := make([]runner.Job[*Result], len(cfgs))
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		if cfg.Seed == 0 {
+			cfg.Seed = runner.DeriveSeed(base, i)
+		}
+		jobs[i] = func(ctx context.Context) (*Result, error) {
+			return RunContext(ctx, cfg)
+		}
+	}
+	raw, ctxErr := runner.Map(ctx, jobs, runner.Options{
+		Workers: opts.Workers,
+		Timeout: opts.Timeout,
+	})
+
+	results := make([]*Result, len(cfgs))
+	var errs []error
+	for i, r := range raw {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("run %d: %w", i, r.Err))
+			continue
+		}
+		results[i] = r.Value
+	}
+	switch {
+	case ctxErr != nil:
+		return results, fmt.Errorf("gmp: batch cancelled: %w", ctxErr)
+	case len(errs) == 0:
+		return results, nil
+	case opts.KeepGoing:
+		return results, fmt.Errorf("gmp: %d of %d runs failed: %w", len(errs), len(cfgs), errors.Join(errs...))
+	default:
+		return results, fmt.Errorf("gmp: %d of %d runs failed; first: %w", len(errs), len(cfgs), errs[0])
+	}
+}
+
+// SeedSweep returns n copies of cfg with Seed set to 1..n — the
+// conventional replication set used by the paper-table tools. Feed the
+// result to RunMany (the explicit seeds make BaseSeed irrelevant, so
+// serial and parallel executions agree with the historical serial
+// sweep output).
+func SeedSweep(cfg Config, n int) []Config {
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = int64(i + 1)
+	}
+	return cfgs
+}
+
+// SweepSummary holds cross-seed statistics for the paper's evaluation
+// metrics over a batch of runs of one scenario.
+type SweepSummary struct {
+	// Runs is the number of (non-nil) results aggregated.
+	Runs int
+	// Imm, Ieq and U summarize the §7.2 fairness indices and the
+	// effective network throughput across runs.
+	Imm MetricSummary
+	Ieq MetricSummary
+	U   MetricSummary
+	// MinRate summarizes each run's smallest flow rate (the quantity
+	// maxmin allocation raises).
+	MinRate MetricSummary
+	// ControlOverhead summarizes the control-airtime fraction
+	// (meaningful under Config.InBandControl only).
+	ControlOverhead MetricSummary
+	// FlowRates and FlowNormRates summarize each flow's rate and
+	// weight-normalized rate across runs, indexed like Result.Flows.
+	FlowRates     []MetricSummary
+	FlowNormRates []MetricSummary
+}
+
+// Summarize aggregates a batch of results (for example the output of
+// RunMany) into cross-seed statistics. Nil results — failed runs — are
+// skipped. All aggregated results must describe the same flow set;
+// mixing scenarios with different flow counts panics.
+func Summarize(results []*Result) SweepSummary {
+	var (
+		imm, ieq, u, minRate, ctrl []float64
+		perFlow, perNorm           [][]float64
+	)
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if perFlow == nil {
+			perFlow = make([][]float64, len(res.Flows))
+			perNorm = make([][]float64, len(res.Flows))
+		}
+		if len(res.Flows) != len(perFlow) {
+			panic(fmt.Sprintf("gmp: Summarize mixing %d-flow and %d-flow results", len(perFlow), len(res.Flows)))
+		}
+		imm = append(imm, res.Imm)
+		ieq = append(ieq, res.Ieq)
+		u = append(u, res.U)
+		ctrl = append(ctrl, res.ControlOverhead)
+		mr := math.Inf(1)
+		for i, f := range res.Flows {
+			perFlow[i] = append(perFlow[i], f.Rate)
+			perNorm[i] = append(perNorm[i], f.NormRate)
+			if f.Rate < mr {
+				mr = f.Rate
+			}
+		}
+		if len(res.Flows) == 0 {
+			mr = 0
+		}
+		minRate = append(minRate, mr)
+	}
+	sum := SweepSummary{
+		Runs:            len(imm),
+		Imm:             stats.Summarize(imm),
+		Ieq:             stats.Summarize(ieq),
+		U:               stats.Summarize(u),
+		MinRate:         stats.Summarize(minRate),
+		ControlOverhead: stats.Summarize(ctrl),
+	}
+	for i := range perFlow {
+		sum.FlowRates = append(sum.FlowRates, stats.Summarize(perFlow[i]))
+		sum.FlowNormRates = append(sum.FlowNormRates, stats.Summarize(perNorm[i]))
+	}
+	return sum
+}

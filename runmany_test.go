@@ -1,0 +1,231 @@
+package gmp
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shortCfg returns a test-friendly configuration of the given scenario.
+func shortCfg(sc Scenario) Config {
+	return Config{
+		Scenario: sc,
+		Protocol: ProtocolGMP,
+		Duration: 24 * time.Second,
+		Warmup:   12 * time.Second,
+	}
+}
+
+// assertIdenticalResults fails unless a and b are byte-identical. Both
+// reflect.DeepEqual (exact, field by field, including NaN/Inf-free
+// float equality) and the printed representation are compared so a
+// mismatch reports where the structs diverged.
+func assertIdenticalResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if reflect.DeepEqual(a, b) {
+		return
+	}
+	av, bv := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b)
+	if av == bv {
+		t.Fatalf("%s: results differ in a way %%+v does not show (DeepEqual false)", label)
+	}
+	t.Fatalf("%s: results diverged:\n serial:   %.400s\n parallel: %.400s", label, av, bv)
+}
+
+// TestRunManyMatchesSerial is the determinism regression test: the same
+// configurations executed serially via Run and concurrently via RunMany
+// with 8 workers must produce byte-identical Result structs. A failure
+// here means runs share mutable state (a package-level variable, a
+// cached slice, a shared rand.Rand) and the parallel runner is corrupting
+// experiments.
+func TestRunManyMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sc   Scenario
+	}{
+		{"Fig2", Fig2Scenario()},
+		{"Fig3", Fig3Scenario()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfgs := SeedSweep(shortCfg(tc.sc), 8)
+			serial := make([]*Result, len(cfgs))
+			for i, cfg := range cfgs {
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial[i] = res
+			}
+			parallel, err := RunMany(context.Background(), cfgs, RunManyOptions{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cfgs {
+				assertIdenticalResults(t, fmt.Sprintf("seed %d", cfgs[i].Seed), serial[i], parallel[i])
+			}
+		})
+	}
+}
+
+// TestRunManyWorkerCountInvariant asserts the acceptance criterion
+// directly: with derived seeds (Seed left zero) and the same base seed,
+// Workers: 8 and Workers: 1 produce identical results.
+func TestRunManyWorkerCountInvariant(t *testing.T) {
+	cfg := shortCfg(Fig3Scenario())
+	cfgs := make([]Config, 6)
+	for i := range cfgs {
+		cfgs[i] = cfg // Seed stays 0: derived from BaseSeed and index
+	}
+	opts := func(w int) RunManyOptions { return RunManyOptions{Workers: w, BaseSeed: 17} }
+	one, err := RunMany(context.Background(), cfgs, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := RunMany(context.Background(), cfgs, opts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		assertIdenticalResults(t, fmt.Sprintf("index %d", i), one[i], eight[i])
+	}
+
+	// The derivation must separate runs: same config, different index,
+	// different outcome (else the "sweep" is one run repeated).
+	if reflect.DeepEqual(one[0].Rates, one[1].Rates) {
+		t.Error("indices 0 and 1 produced identical rates: seed derivation is not separating runs")
+	}
+
+	// And a different base seed must change the outcomes.
+	other, err := RunMany(context.Background(), cfgs[:2], RunManyOptions{Workers: 2, BaseSeed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(one[0].Rates, other[0].Rates) {
+		t.Error("base seeds 17 and 18 produced identical rates (suspicious)")
+	}
+}
+
+func TestRunManyReportsFailures(t *testing.T) {
+	good := shortCfg(Fig3Scenario())
+	bad := good
+	bad.LossProb = 2 // rejected by validation
+	results, err := RunMany(context.Background(), []Config{good, bad, good}, RunManyOptions{Workers: 3})
+	if err == nil {
+		t.Fatal("invalid config did not fail the batch")
+	}
+	if !strings.Contains(err.Error(), "run 1") {
+		t.Errorf("error does not name the failing run: %v", err)
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Error("healthy runs were dropped alongside the failing one")
+	}
+	if results[1] != nil {
+		t.Error("failed run produced a result")
+	}
+
+	// KeepGoing reports every failure, not just the first.
+	_, err = RunMany(context.Background(), []Config{bad, good, bad}, RunManyOptions{KeepGoing: true})
+	if err == nil || !strings.Contains(err.Error(), "run 0") || !strings.Contains(err.Error(), "run 2") {
+		t.Errorf("KeepGoing error missing failures: %v", err)
+	}
+}
+
+func TestRunManyTimeout(t *testing.T) {
+	cfg := shortCfg(Fig3Scenario())
+	cfg.Duration = time.Hour // far more simulated time than the timeout allows
+	cfg.Warmup = 30 * time.Minute
+	results, err := RunMany(context.Background(), []Config{cfg}, RunManyOptions{
+		Workers: 1,
+		Timeout: 50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("hour-long run finished within 50ms timeout")
+	}
+	if !strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		t.Errorf("timeout error = %v", err)
+	}
+	if results[0] != nil {
+		t.Error("timed-out run produced a result")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, shortCfg(Fig3Scenario())); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := shortCfg(Fig3Scenario())
+	cfg.Seed = 3
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A context with a (generous) deadline enables the cancellation
+	// poll; it must not perturb the simulation.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b, err := RunContext(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalResults(t, "poll events", a, b)
+}
+
+func TestSeedSweep(t *testing.T) {
+	cfg := shortCfg(Fig3Scenario())
+	cfgs := SeedSweep(cfg, 4)
+	if len(cfgs) != 4 {
+		t.Fatalf("len = %d", len(cfgs))
+	}
+	for i, c := range cfgs {
+		if c.Seed != int64(i+1) {
+			t.Errorf("cfg %d seed = %d", i, c.Seed)
+		}
+		c.Seed = cfg.Seed
+		if !reflect.DeepEqual(c, cfg) {
+			t.Errorf("cfg %d mutated beyond the seed", i)
+		}
+	}
+}
+
+func TestSummarizeSweep(t *testing.T) {
+	cfgs := SeedSweep(shortCfg(Fig3Scenario()), 4)
+	results, err := RunMany(context.Background(), cfgs, RunManyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results)
+	if sum.Runs != 4 {
+		t.Fatalf("runs = %d", sum.Runs)
+	}
+	if len(sum.FlowRates) != len(Fig3Scenario().Flows) {
+		t.Fatalf("flow summaries = %d", len(sum.FlowRates))
+	}
+	if sum.U.Mean <= 0 || sum.Imm.Mean <= 0 || sum.Imm.Mean > 1 {
+		t.Errorf("implausible summary %+v", sum)
+	}
+	if sum.MinRate.Min > sum.MinRate.Mean || sum.MinRate.Mean > sum.MinRate.Max {
+		t.Errorf("min rate summary out of order: %+v", sum.MinRate)
+	}
+	for i, fr := range sum.FlowRates {
+		if fr.N != 4 || fr.Min > fr.Max {
+			t.Errorf("flow %d summary %+v", i, fr)
+		}
+	}
+
+	// Nil results (failed runs) are skipped, not counted.
+	sum = Summarize([]*Result{nil, results[0], nil})
+	if sum.Runs != 1 || sum.Imm.N != 1 {
+		t.Errorf("nil-tolerant summary %+v", sum)
+	}
+	if empty := Summarize(nil); empty.Runs != 0 {
+		t.Errorf("empty summary %+v", empty)
+	}
+}
