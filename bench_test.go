@@ -419,3 +419,42 @@ func BenchmarkFairAggregation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFaultRecovery measures GMP under the fault-injection
+// subsystem (beyond the paper): a relay on the 2x3 grid crashes at the
+// warmup boundary and revives after the given outage, and the benchmark
+// reports how long the allocation takes to re-settle after the revival
+// alongside the usual fairness metrics. The recovery_s metric is the
+// cross-seed mean over runs whose post-fault trace settled.
+func BenchmarkFaultRecovery(b *testing.B) {
+	sc, err := GridScenario(2, 3, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc = sc.WithFlows([][3]int{{0, 2, 1}, {3, 5, 1}})
+	for _, outage := range []time.Duration{10 * time.Second, 30 * time.Second} {
+		b.Run(fmt.Sprintf("outage=%s", outage), func(b *testing.B) {
+			cfg := Config{
+				Scenario: sc,
+				Protocol: ProtocolGMP,
+				Duration: 200 * time.Second,
+				Warmup:   40 * time.Second,
+				Faults: []FaultEvent{
+					{At: 40 * time.Second, Kind: FaultNodeDown, Node: 1},
+					{At: 40*time.Second + outage, Kind: FaultNodeUp, Node: 1},
+				},
+			}
+			_, results := benchRun(b, cfg)
+			var rec []float64
+			for _, res := range results {
+				if res.Recovered {
+					rec = append(rec, res.RecoveryTime.Seconds())
+				}
+			}
+			if len(rec) > 0 {
+				b.ReportMetric(stats.Mean(rec), "recovery_s")
+			}
+			b.ReportMetric(float64(len(rec))/float64(len(results)), "recovered_frac")
+		})
+	}
+}

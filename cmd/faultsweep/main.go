@@ -1,0 +1,232 @@
+// Command faultsweep measures GMP's resilience: it sweeps a fault
+// intensity over repeated seeded simulations and reports the fairness
+// indices, the maxmin floor, and the post-fault recovery time with
+// Student-t 95% confidence half-widths, as CSV ready for plotting.
+//
+// Two fault modes share the intensity axis:
+//
+//   - churn: a relay node crashes at the warmup boundary and is revived
+//     after intensity × (duration − warmup) / 2 of outage. Intensity 0
+//     is the fault-free baseline; 1 keeps the node down for half the
+//     measured session.
+//   - loss: a loss episode of probability = intensity opens on one
+//     directed link at the warmup boundary and closes after half the
+//     measured session. Intensity 0 is again the baseline.
+//
+// Every run is deterministic: the fault engine draws no randomness, so
+// rows depend only on (scenario, mode, intensity, seed).
+//
+// Usage:
+//
+//	faultsweep -scenario fig3 -mode churn -node 1 -intensities 0,0.25,0.5,1 -seeds 8
+//	faultsweep -scenario grid23 -mode churn -node 1 -seeds 16 -out churn.csv
+//	faultsweep -scenario fig3 -mode loss -from 1 -to 2 -intensities 0,0.2,0.4
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gmp"
+	"gmp/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("faultsweep", flag.ContinueOnError)
+	scenarioName := fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4|grid23")
+	mode := fs.String("mode", "churn", "fault mode: churn|loss")
+	node := fs.Int("node", 1, "node to crash (churn mode)")
+	from := fs.Int("from", 1, "degraded link source (loss mode)")
+	to := fs.Int("to", 2, "degraded link destination (loss mode)")
+	intensities := fs.String("intensities", "0,0.25,0.5,1", "comma-separated fault intensities in [0,1]")
+	seeds := fs.Int("seeds", 5, "seeds per intensity")
+	duration := fs.Duration("duration", 200*time.Second, "session length")
+	warmup := fs.Duration("warmup", 40*time.Second, "warmup (faults start here)")
+	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = all CPUs, 1 = serial)")
+	out := fs.String("out", "", "CSV output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := pickScenario(*scenarioName)
+	if err != nil {
+		return err
+	}
+	vals, err := parseIntensities(*intensities)
+	if err != nil {
+		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("need at least one seed")
+	}
+	if *warmup >= *duration {
+		return fmt.Errorf("warmup %v must be shorter than duration %v", *warmup, *duration)
+	}
+
+	var cfgs []gmp.Config
+	for _, v := range vals {
+		cfg := gmp.Config{
+			Scenario: sc,
+			Protocol: gmp.ProtocolGMP,
+			Duration: *duration,
+			Warmup:   *warmup,
+		}
+		cfg.Faults, err = schedule(*mode, v, *node, *from, *to, *warmup, *duration)
+		if err != nil {
+			return err
+		}
+		cfgs = append(cfgs, gmp.SeedSweep(cfg, *seeds)...)
+	}
+	results, err := gmp.RunMany(context.Background(), cfgs, gmp.RunManyOptions{Workers: *parallel})
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "faultsweep: closing output:", cerr)
+			}
+		}()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	if err := write(cw, sc.Name, *mode, vals, *seeds, results); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// schedule builds the fault schedule for one intensity. Intensity 0 is
+// the fault-free baseline in both modes.
+func schedule(mode string, intensity float64, node, from, to int, warmup, duration time.Duration) ([]gmp.FaultEvent, error) {
+	if intensity < 0 || intensity > 1 {
+		return nil, fmt.Errorf("intensity %v outside [0,1]", intensity)
+	}
+	if intensity == 0 {
+		return nil, nil
+	}
+	window := time.Duration(intensity * 0.5 * float64(duration-warmup))
+	switch mode {
+	case "churn":
+		return []gmp.FaultEvent{
+			{At: warmup, Kind: gmp.FaultNodeDown, Node: gmp.NodeID(node)},
+			{At: warmup + window, Kind: gmp.FaultNodeUp, Node: gmp.NodeID(node)},
+		}, nil
+	case "loss":
+		// Loss probabilities live in (0,1); cap just below 1.
+		p := intensity
+		if p >= 1 {
+			p = 0.99
+		}
+		return []gmp.FaultEvent{
+			{At: warmup, Kind: gmp.FaultLinkDegrade, From: gmp.NodeID(from), To: gmp.NodeID(to), LossProb: p},
+			{At: warmup + (duration-warmup)/2, Kind: gmp.FaultLinkRestore, From: gmp.NodeID(from), To: gmp.NodeID(to)},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// write emits one row per intensity: cross-seed means with 95% CI
+// half-widths, plus the fraction of runs whose post-fault trace
+// re-settled and the recovery time over those runs.
+func write(cw *csv.Writer, scenario, mode string, vals []float64, seeds int, results []*gmp.Result) error {
+	header := []string{
+		"scenario", "mode", "intensity", "seeds",
+		"i_mm", "i_mm_ci95", "i_eq", "i_eq_ci95",
+		"u_pps", "u_pps_ci95", "min_rate_pps", "min_rate_ci95",
+		"recovered_frac", "recovery_s", "recovery_s_ci95",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for vi, v := range vals {
+		batch := results[vi*seeds : (vi+1)*seeds]
+		sum := gmp.Summarize(batch)
+		var rec []float64
+		for _, res := range batch {
+			if res != nil && res.Recovered {
+				rec = append(rec, res.RecoveryTime.Seconds())
+			}
+		}
+		recSum := stats.Summarize(rec)
+		row := []string{
+			scenario, mode,
+			strconv.FormatFloat(v, 'g', -1, 64),
+			strconv.Itoa(sum.Runs),
+			fmt.Sprintf("%.4f", sum.Imm.Mean), fmt.Sprintf("%.4f", sum.Imm.CI95),
+			fmt.Sprintf("%.4f", sum.Ieq.Mean), fmt.Sprintf("%.4f", sum.Ieq.CI95),
+			fmt.Sprintf("%.2f", sum.U.Mean), fmt.Sprintf("%.2f", sum.U.CI95),
+			fmt.Sprintf("%.2f", sum.MinRate.Mean), fmt.Sprintf("%.2f", sum.MinRate.CI95),
+			fmt.Sprintf("%.2f", float64(len(rec))/float64(sum.Runs)),
+			fmt.Sprintf("%.2f", recSum.Mean), fmt.Sprintf("%.2f", recSum.CI95),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pickScenario(name string) (gmp.Scenario, error) {
+	switch name {
+	case "fig1":
+		return gmp.Fig1Scenario(), nil
+	case "fig2":
+		return gmp.Fig2Scenario(), nil
+	case "fig2w":
+		return gmp.Fig2WeightedScenario(), nil
+	case "fig3":
+		return gmp.Fig3Scenario(), nil
+	case "fig4":
+		return gmp.Fig4Scenario(), nil
+	case "grid23":
+		// The 2x3 grid with flow 0→2: crashing node 1 leaves the
+		// alternate path 0-3-4-5-2, so churn exercises route repair
+		// rather than a partition.
+		sc, err := gmp.GridScenario(2, 3, 200)
+		if err != nil {
+			return gmp.Scenario{}, err
+		}
+		return sc.WithFlows([][3]int{{0, 2, 1}}), nil
+	default:
+		return gmp.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+func parseIntensities(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	vals := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad intensity %q: %w", p, err)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("no intensities")
+	}
+	return vals, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sweep(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// fastArgs keeps the sim window small enough for a unit test while
+// leaving room for a post-fault trace.
+func fastArgs(extra ...string) []string {
+	base := []string{"-duration", "48s", "-warmup", "12s", "-seeds", "2"}
+	return append(base, extra...)
+}
+
+func TestChurnSweepOutput(t *testing.T) {
+	out := sweep(t, fastArgs("-scenario", "fig3", "-mode", "churn", "-node", "1", "-intensities", "0,0.5")...)
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want header + 2 intensities:\n%s", len(rows), out)
+	}
+	if rows[0][0] != "scenario" || rows[0][len(rows[0])-1] != "recovery_s_ci95" {
+		t.Errorf("header: %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if row[0] != "fig3" || row[1] != "churn" {
+			t.Errorf("row labels: %v", row)
+		}
+		if row[3] != "2" {
+			t.Errorf("seed count column: %v", row)
+		}
+		frac, err := strconv.ParseFloat(row[12], 64)
+		if err != nil || frac < 0 || frac > 1 {
+			t.Errorf("recovered_frac %q", row[12])
+		}
+	}
+	// The baseline (intensity 0) must run fault-free and keep all flows
+	// alive; the faulted row starves <0,3> during the outage, so its
+	// maxmin floor cannot exceed the baseline's.
+	base, err := strconv.ParseFloat(rows[1][10], 64)
+	if err != nil || base <= 0 {
+		t.Fatalf("baseline min rate %q", rows[1][10])
+	}
+	faulted, err := strconv.ParseFloat(rows[2][10], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted > base {
+		t.Errorf("min rate rose under churn: baseline %.2f, faulted %.2f", base, faulted)
+	}
+}
+
+func TestLossSweepOutput(t *testing.T) {
+	out := sweep(t, fastArgs("-mode", "loss", "-from", "1", "-to", "2", "-intensities", "0.4")...)
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1][1] != "loss" {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+// TestSweepIsDeterministic reruns an identical sweep: the CSV must be
+// byte-identical — the acceptance contract extended to the tool.
+func TestSweepIsDeterministic(t *testing.T) {
+	args := fastArgs("-mode", "churn", "-intensities", "0.5", "-parallel", "2")
+	if a, b := sweep(t, args...), sweep(t, args...); a != b {
+		t.Errorf("reruns differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "nope"},
+		{"-mode", "meteor", "-intensities", "0.5"},
+		{"-intensities", "2"},
+		{"-intensities", "x"},
+		{"-seeds", "0"},
+		{"-duration", "10s", "-warmup", "20s"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,19 +1,29 @@
-// Command topoviz renders a scenario's topology as ASCII art and prints
-// its structural analysis: links, the contention graph, the proper
-// contention cliques (with the paper's owner.seq identifiers), routing
-// paths, dominating sets, and the water-filling reference allocation.
-// It reproduces the structural content of the paper's Figures 1-4.
+// Command topoviz renders a scenario's topology as ASCII art or SVG and
+// prints its structural analysis: links, the contention graph, the
+// proper contention cliques (with the paper's owner.seq identifiers),
+// routing paths, dominating sets, and the water-filling reference
+// allocation. It reproduces the structural content of the paper's
+// Figures 1-4.
+//
+// With -down the named nodes are rendered as crashed and routes are
+// recomputed around them (the fault subsystem's route repair), showing
+// which flows survive a failure; the reference allocation is omitted
+// because severed flows have no path to price.
 //
 // Usage:
 //
 //	topoviz -scenario fig2
 //	topoviz -scenario fig4 -width 100
+//	topoviz -scenario fig3 -down 1
+//	topoviz -scenario fig2 -format svg -out fig2.svg
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"gmp"
@@ -27,17 +37,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "topoviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("topoviz", flag.ContinueOnError)
 	name := fs.String("scenario", "fig2", "scenario: fig1|fig2|fig3|fig4|chain|mesh")
 	width := fs.Int("width", 78, "canvas width in characters")
 	seed := fs.Int64("seed", 1, "seed (mesh scenario)")
+	downList := fs.String("down", "", "comma-separated crashed nodes to render and route around")
+	format := fs.String("format", "ascii", "output format: ascii|svg")
+	out := fs.String("out", "", "output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,49 +85,118 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scenario %s — %s\n\n", sc.Name, sc.Description)
-	drawCanvas(sc, topo, *width)
+	down, err := parseDown(*downList, topo.NumNodes())
+	if err != nil {
+		return err
+	}
 
-	routes := routing.Build(topo)
-	fmt.Println("\nflows:")
-	for _, f := range sc.Flows {
-		path, err := routes.Path(f.Src, f.Dst)
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  f%d: %s  (weight %g, desire %g pkt/s)\n",
-			f.ID+1, pathString(path), f.Weight, f.DesiredRate)
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "topoviz: closing output:", cerr)
+			}
+		}()
+		w = f
+	}
+
+	switch *format {
+	case "ascii":
+		return renderText(w, sc, topo, down, *width)
+	case "svg":
+		return renderSVG(w, sc, topo, down)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// parseDown parses the -down list into a down mask (nil when empty).
+func parseDown(s string, numNodes int) ([]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	down := make([]bool, numNodes)
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad node %q: %w", part, err)
+		}
+		if id < 0 || id >= numNodes {
+			return nil, fmt.Errorf("node %d outside [0,%d)", id, numNodes)
+		}
+		down[id] = true
+	}
+	return down, nil
+}
+
+func isDown(down []bool, n topology.NodeID) bool { return down != nil && down[n] }
+
+func renderText(w io.Writer, sc gmp.Scenario, topo *topology.Topology, down []bool, width int) error {
+	fmt.Fprintf(w, "scenario %s — %s\n\n", sc.Name, sc.Description)
+	drawCanvas(w, sc, topo, down, width)
+	if down != nil {
+		var ids []string
+		for n := range down {
+			if down[n] {
+				ids = append(ids, fmt.Sprint(n))
+			}
+		}
+		fmt.Fprintf(w, "\ncrashed nodes: %s (routes repaired around them)\n", strings.Join(ids, ", "))
+	}
+
+	routes := routing.BuildExcluding(topo, down)
+	fmt.Fprintln(w, "\nflows:")
+	for _, f := range sc.Flows {
+		path, err := routes.Path(f.Src, f.Dst)
+		switch {
+		case isDown(down, f.Src) || isDown(down, f.Dst):
+			fmt.Fprintf(w, "  f%d: endpoint down\n", f.ID+1)
+		case err != nil:
+			fmt.Fprintf(w, "  f%d: no route\n", f.ID+1)
+		default:
+			fmt.Fprintf(w, "  f%d: %s  (weight %g, desire %g pkt/s)\n",
+				f.ID+1, pathString(path), f.Weight, f.DesiredRate)
+		}
 	}
 
 	links := undirectedLinks(topo)
-	fmt.Printf("\nwireless links (%d):\n  ", len(links))
+	fmt.Fprintf(w, "\nwireless links (%d):\n  ", len(links))
 	for i, l := range links {
 		if i > 0 {
-			fmt.Print("  ")
+			fmt.Fprint(w, "  ")
 		}
-		fmt.Print(l)
+		fmt.Fprint(w, l)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	set := clique.Build(topo)
-	fmt.Printf("\nproper contention cliques (%d):\n", len(set.All()))
+	fmt.Fprintf(w, "\nproper contention cliques (%d):\n", len(set.All()))
 	for _, c := range set.All() {
 		parts := make([]string, len(c.Links))
 		for i, l := range c.Links {
 			parts[i] = l.String()
 		}
-		fmt.Printf("  clique %s: {%s}\n", c.ID, strings.Join(parts, ", "))
+		fmt.Fprintf(w, "  clique %s: {%s}\n", c.ID, strings.Join(parts, ", "))
 	}
 
-	fmt.Println("\ndominating sets (for two-hop dissemination):")
+	fmt.Fprintln(w, "\ndominating sets (for two-hop dissemination):")
 	for _, n := range topo.Nodes() {
 		ds := topo.DominatingSet(n)
 		if len(ds) == 0 {
 			continue
 		}
-		fmt.Printf("  node %d -> %v\n", n, ds)
+		fmt.Fprintf(w, "  node %d -> %v\n", n, ds)
 	}
 
+	// The reference allocation prices every flow's path; with crashed
+	// nodes some flows have none, so the section only applies intact.
+	if down != nil {
+		return nil
+	}
 	par := radio.DefaultParams()
 	capacity := par.SaturationRate(scenario.DefaultPacketBytes, true)
 	refFlows := make([]maxminref.FlowSpec, len(sc.Flows))
@@ -129,9 +211,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nweighted maxmin reference (clique capacity %.0f pkt/s):\n", capacity)
+	fmt.Fprintf(w, "\nweighted maxmin reference (clique capacity %.0f pkt/s):\n", capacity)
 	for i, r := range ref {
-		fmt.Printf("  f%d: %8.2f pkt/s  (normalized %.2f)\n", i+1, r, r/sc.Flows[i].Weight)
+		fmt.Fprintf(w, "  f%d: %8.2f pkt/s  (normalized %.2f)\n", i+1, r, r/sc.Flows[i].Weight)
 	}
 	return nil
 }
@@ -158,8 +240,8 @@ func undirectedLinks(topo *topology.Topology) []topology.Link {
 }
 
 // drawCanvas scales node positions onto a character grid and overlays
-// node IDs.
-func drawCanvas(sc gmp.Scenario, topo *topology.Topology, width int) {
+// node IDs. Crashed nodes render as #id.
+func drawCanvas(w io.Writer, sc gmp.Scenario, topo *topology.Topology, down []bool, width int) {
 	minX, maxX := sc.Positions[0].X, sc.Positions[0].X
 	minY, maxY := sc.Positions[0].Y, sc.Positions[0].Y
 	for _, p := range sc.Positions {
@@ -179,15 +261,85 @@ func drawCanvas(sc gmp.Scenario, topo *topology.Topology, width int) {
 		x := int(float64(width-1) * (p.X - minX) / spanX)
 		y := int(float64(height) * (p.Y - minY) / spanY)
 		label := fmt.Sprint(id)
+		if isDown(down, topology.NodeID(id)) {
+			label = "#" + label
+		}
 		for k, r := range label {
 			if x+k < len(grid[y]) {
 				grid[y][x+k] = r
 			}
 		}
 	}
-	fmt.Printf("layout (%.0fx%.0f m, tx range %.0f m):\n", spanX, spanY, topo.Config().TxRange)
+	fmt.Fprintf(w, "layout (%.0fx%.0f m, tx range %.0f m):\n", spanX, spanY, topo.Config().TxRange)
 	for _, row := range grid {
 		line := strings.TrimRight(string(row), " ")
-		fmt.Println("  " + line)
+		fmt.Fprintln(w, "  "+line)
 	}
+}
+
+// renderSVG draws the topology: links as gray lines (dashed when an
+// endpoint is crashed), repaired flow paths as green overlays, live
+// nodes as filled circles, and crashed nodes as red crossed circles.
+func renderSVG(w io.Writer, sc gmp.Scenario, topo *topology.Topology, down []bool) error {
+	const pad, scale, r = 40.0, 0.5, 12.0
+	minX, maxX := sc.Positions[0].X, sc.Positions[0].X
+	minY, maxY := sc.Positions[0].Y, sc.Positions[0].Y
+	for _, p := range sc.Positions {
+		minX, maxX = min(minX, p.X), max(maxX, p.X)
+		minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+	}
+	px := func(x float64) float64 { return pad + (x-minX)*scale }
+	py := func(y float64) float64 { return pad + (y-minY)*scale }
+	width := px(maxX) + pad
+	height := py(maxY) + pad
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, "  <title>%s</title>\n", sc.Name)
+
+	for _, l := range undirectedLinks(topo) {
+		a, b := sc.Positions[l.From], sc.Positions[l.To]
+		style := `stroke="#999" stroke-width="1.5"`
+		if isDown(down, l.From) || isDown(down, l.To) {
+			style = `stroke="#ddd" stroke-width="1.5" stroke-dasharray="4 3"`
+		}
+		fmt.Fprintf(w, `  <line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" %s/>`+"\n",
+			px(a.X), py(a.Y), px(b.X), py(b.Y), style)
+	}
+
+	routes := routing.BuildExcluding(topo, down)
+	for _, f := range sc.Flows {
+		if isDown(down, f.Src) || isDown(down, f.Dst) {
+			continue
+		}
+		path, err := routes.Path(f.Src, f.Dst)
+		if err != nil {
+			continue
+		}
+		for i := 0; i+1 < len(path); i++ {
+			a, b := sc.Positions[path[i]], sc.Positions[path[i+1]]
+			fmt.Fprintf(w, `  <line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#2a7" stroke-width="2.5" opacity="0.6"/>`+"\n",
+				px(a.X), py(a.Y), px(b.X), py(b.Y))
+		}
+	}
+
+	for id, p := range sc.Positions {
+		x, y := px(p.X), py(p.Y)
+		if isDown(down, topology.NodeID(id)) {
+			fmt.Fprintf(w, `  <circle cx="%.1f" cy="%.1f" r="%.0f" fill="#fff" stroke="#c33" stroke-width="2"/>`+"\n", x, y, r)
+			d := r * 0.7071
+			fmt.Fprintf(w, `  <line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#c33" stroke-width="2"/>`+"\n",
+				x-d, y-d, x+d, y+d)
+			fmt.Fprintf(w, `  <line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#c33" stroke-width="2"/>`+"\n",
+				x-d, y+d, x+d, y-d)
+			fmt.Fprintf(w, `  <text x="%.1f" y="%.1f" text-anchor="middle" font-size="11" fill="#c33">%d</text>`+"\n",
+				x, y+r+12, id)
+		} else {
+			fmt.Fprintf(w, `  <circle cx="%.1f" cy="%.1f" r="%.0f" fill="#369" stroke="#134" stroke-width="1.5"/>`+"\n", x, y, r)
+			fmt.Fprintf(w, `  <text x="%.1f" y="%.1f" text-anchor="middle" font-size="11" fill="#fff">%d</text>`+"\n",
+				x, y+4, id)
+		}
+	}
+	fmt.Fprintln(w, "</svg>")
+	return nil
 }

@@ -1,17 +1,114 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func render(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update after intended changes):\n got: %q\nwant: %q",
+			path, got, want)
+	}
+}
+
+func TestGoldenFig2ASCII(t *testing.T) {
+	checkGolden(t, "fig2_ascii.golden", render(t, "-scenario", "fig2"))
+}
+
+func TestGoldenFig2SVG(t *testing.T) {
+	checkGolden(t, "fig2_svg.golden", render(t, "-scenario", "fig2", "-format", "svg"))
+}
+
+func TestGoldenFig3DownASCII(t *testing.T) {
+	checkGolden(t, "fig3_down1_ascii.golden", render(t, "-scenario", "fig3", "-down", "1"))
+}
+
+func TestGoldenFig3DownSVG(t *testing.T) {
+	checkGolden(t, "fig3_down1_svg.golden", render(t, "-scenario", "fig3", "-down", "1", "-format", "svg"))
+}
 
 func TestAllScenariosRender(t *testing.T) {
 	for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "chain", "mesh"} {
-		if err := run([]string{"-scenario", name}); err != nil {
-			t.Errorf("%s: %v", name, err)
+		if out := render(t, "-scenario", name); !strings.Contains(out, "cliques") {
+			t.Errorf("%s: missing clique section", name)
 		}
 	}
 }
 
-func TestRejectsUnknownScenario(t *testing.T) {
-	if err := run([]string{"-scenario", "bogus"}); err == nil {
-		t.Error("unknown scenario accepted")
+func TestDownRendering(t *testing.T) {
+	out := render(t, "-scenario", "fig3", "-down", "1")
+	if !strings.Contains(out, "#1") {
+		t.Error("crashed node not marked on the canvas")
+	}
+	if !strings.Contains(out, "crashed nodes: 1") {
+		t.Error("crashed-node summary missing")
+	}
+	// Node 0's only neighbor is 1, so f1 loses its route; f3 survives.
+	if !strings.Contains(out, "f1: no route") {
+		t.Errorf("expected f1 to lose its route:\n%s", out)
+	}
+	if !strings.Contains(out, "f3: 2 -> 3") {
+		t.Errorf("expected f3 to survive:\n%s", out)
+	}
+	if strings.Contains(out, "maxmin reference") {
+		t.Error("reference allocation printed despite crashed nodes")
+	}
+	// f2's source is the crashed node itself.
+	if !strings.Contains(out, "f2: endpoint down") {
+		t.Errorf("expected f2 flagged endpoint-down:\n%s", out)
+	}
+}
+
+func TestSVGDownRendering(t *testing.T) {
+	out := render(t, "-scenario", "fig3", "-down", "1", "-format", "svg")
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("links to the crashed node are not dashed")
+	}
+	if !strings.Contains(out, `stroke="#c33"`) {
+		t.Error("crashed node not drawn in the fault color")
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "bogus"},
+		{"-format", "png"},
+		{"-scenario", "fig3", "-down", "9"},
+		{"-scenario", "fig3", "-down", "x"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

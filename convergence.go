@@ -7,6 +7,26 @@ import (
 	"gmp/internal/stats"
 )
 
+// ConvergenceReport is the result of convergence analysis over a trace:
+// when the run settled and what it settled to.
+type ConvergenceReport struct {
+	// Time is the virtual time of the earliest round from which the
+	// trace stays settled (zero when Settled is false).
+	Time time.Duration
+	// Settled reports whether the trace converged at all.
+	Settled bool
+	// TailMeans are the per-flow mean rates over the second half of the
+	// trace — the regime the run settled into (valid even when Settled
+	// is false, as long as the trace was long enough to analyze).
+	TailMeans []float64
+}
+
+// DefaultRecoveryTol is the rate-band tolerance used by Run when
+// computing RecoveryTime. Poisson sources make per-period rates noisy,
+// so tolerances below ~0.15 rarely report convergence; 0.25 matches the
+// guidance on ConvergenceTime.
+const DefaultRecoveryTol = 0.25
+
 // ConvergenceTime estimates when a GMP run settled: the earliest trace
 // round from which at least 90% of the remaining rounds keep every
 // flow's per-period rate within tol (fractionally) of its settled mean
@@ -15,14 +35,23 @@ import (
 //
 // Poisson sources make per-period rates noisy, so tolerances below ~0.15
 // rarely report convergence; 0.25-0.3 is a reasonable range for the
-// paper's scenarios.
+// paper's scenarios. For the settled per-flow means alongside the time,
+// use Convergence.
 func ConvergenceTime(trace []Round, tol float64) (time.Duration, bool) {
+	rep := Convergence(trace, tol)
+	return rep.Time, rep.Settled
+}
+
+// Convergence runs the analysis behind ConvergenceTime and additionally
+// returns the settled per-flow tail means, so recovery-time analysis
+// does not recompute them.
+func Convergence(trace []Round, tol float64) ConvergenceReport {
 	if len(trace) < 4 || tol <= 0 {
-		return 0, false
+		return ConvergenceReport{}
 	}
 	flows := len(trace[0].Rates)
 	if flows == 0 {
-		return 0, false
+		return ConvergenceReport{}
 	}
 
 	// Tail means per flow, computed over the last half of the trace —
@@ -36,6 +65,7 @@ func ConvergenceTime(trace []Round, tol float64) (time.Duration, bool) {
 		}
 		means[f] = stats.Mean(vals)
 	}
+	rep := ConvergenceReport{TailMeans: means}
 
 	inBand := func(r Round) bool {
 		for f := 0; f < flows; f++ {
@@ -64,8 +94,30 @@ func ConvergenceTime(trace []Round, tol float64) (time.Duration, bool) {
 	for i := 0; i < len(trace)-2; i++ {
 		n := len(trace) - i
 		if float64(bad[i]) <= 0.1*float64(n) {
-			return trace[i].Time, true
+			rep.Time = trace[i].Time
+			rep.Settled = true
+			return rep
 		}
 	}
-	return 0, false
+	return rep
+}
+
+// RecoveryReport measures re-convergence after a perturbation: it runs
+// Convergence over only the rounds recorded strictly after the given
+// time (the last fault of a schedule) and reports the settle time
+// relative to that instant. The report's Time is therefore the recovery
+// duration, not an absolute trace time. It returns an unsettled report
+// when too few post-fault rounds exist to judge.
+func RecoveryReport(trace []Round, after time.Duration, tol float64) ConvergenceReport {
+	var post []Round
+	for _, r := range trace {
+		if r.Time > after {
+			post = append(post, r)
+		}
+	}
+	rep := Convergence(post, tol)
+	if rep.Settled {
+		rep.Time -= after
+	}
+	return rep
 }

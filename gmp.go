@@ -30,6 +30,7 @@ import (
 	"gmp/internal/clique"
 	"gmp/internal/core"
 	"gmp/internal/dissemination"
+	"gmp/internal/faults"
 	"gmp/internal/flow"
 	"gmp/internal/forwarding"
 	"gmp/internal/geom"
@@ -69,6 +70,32 @@ type (
 	// TraceEvent is one recorded channel/network event (see
 	// Config.EventTrace).
 	TraceEvent = trace.Event
+	// FaultEvent is one scheduled fault (node churn or loss episode; see
+	// internal/faults).
+	FaultEvent = faults.Event
+	// FaultKind selects a fault event's type.
+	FaultKind = faults.Kind
+	// DropReason classifies packet losses.
+	DropReason = forwarding.DropReason
+)
+
+// Fault kinds, re-exported for schedule construction.
+const (
+	FaultNodeDown    = faults.NodeDown
+	FaultNodeUp      = faults.NodeUp
+	FaultLinkDegrade = faults.LinkDegrade
+	FaultLinkRestore = faults.LinkRestore
+	FaultNodeDegrade = faults.NodeDegrade
+	FaultNodeRestore = faults.NodeRestore
+)
+
+// Drop reasons, re-exported for FlowResult.DropsByReason.
+const (
+	DropOverflow = forwarding.DropOverflow
+	DropTail     = forwarding.DropTail
+	DropRetry    = forwarding.DropRetry
+	DropNoRoute  = forwarding.DropNoRoute
+	DropNodeDown = forwarding.DropNodeDown
 )
 
 // Protocol selects the end-to-end bandwidth allocation mechanism.
@@ -188,6 +215,21 @@ type Config struct {
 	// this option makes the protocol's control cost measurable as
 	// Result.ControlOverhead.
 	InBandControl bool
+	// Faults schedules node churn and loss episodes during the run (see
+	// internal/faults). When empty, the scenario's own Faults (loadable
+	// from scenario JSON) apply; setting this field overrides them. The
+	// engine draws no randomness, so the same schedule with the same
+	// seed reproduces the run byte for byte.
+	Faults []FaultEvent
+}
+
+// faultSchedule returns the effective fault schedule: Config.Faults
+// when set, else the scenario's.
+func (c *Config) faultSchedule() []FaultEvent {
+	if len(c.Faults) > 0 {
+		return c.Faults
+	}
+	return c.Scenario.Faults
 }
 
 func (c *Config) setDefaults() {
@@ -239,6 +281,9 @@ func (c *Config) validate() error {
 	if c.LossProb < 0 || c.LossProb >= 1 {
 		return fmt.Errorf("gmp: loss probability %v outside [0,1)", c.LossProb)
 	}
+	if err := faults.ValidateSchedule(c.faultSchedule(), len(c.Scenario.Positions)); err != nil {
+		return fmt.Errorf("gmp: fault schedule: %w", err)
+	}
 	return nil
 }
 
@@ -255,6 +300,10 @@ type FlowResult struct {
 	// Delivered and Dropped count packets over the whole session.
 	Delivered int64
 	Dropped   int64
+	// DropsByReason classifies Dropped by cause (overflow, retry limit,
+	// no route, node crash, ...), so fault experiments can separate
+	// crash losses from congestion losses.
+	DropsByReason map[DropReason]int64
 	// Limit is the final self-imposed rate limit (+Inf when none).
 	Limit float64
 }
@@ -289,6 +338,16 @@ type Result struct {
 	// ControlOverhead is the fraction of the session's airtime consumed
 	// by link-state broadcasts (Config.InBandControl only).
 	ControlOverhead float64
+	// FaultEvents is the applied fault schedule, sorted by time (nil in
+	// fault-free runs).
+	FaultEvents []FaultEvent
+	// RecoveryTime measures re-convergence after the last fault: how
+	// long after it the trace settled back into a steady allocation
+	// (RecoveryReport with DefaultRecoveryTol). Recovered is false when
+	// the post-fault trace never settled, was too short to judge, or
+	// the protocol records no trace.
+	RecoveryTime time.Duration
+	Recovered    bool
 }
 
 // Run simulates the scenario under the selected protocol and reports the
@@ -394,6 +453,33 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		startInBandControl(sched, topo, nodes, stations, cfg.Period, sim.NewRand(master.Int63()))
 	}
 
+	// Fault injection. The engine draws no randomness and registers all
+	// events up front, so a run with an empty schedule is byte-identical
+	// to one without this block.
+	var fengine *faults.Engine
+	if events := cfg.faultSchedule(); len(events) > 0 {
+		rebuild := func(down []bool) *routing.Table {
+			if cfg.GeographicRouting {
+				if t, gerr := routing.BuildGeographicExcluding(topo, down); gerr == nil {
+					return t
+				}
+				// The crash opened a greedy void: GPSR-style fallback to
+				// shortest-path repair.
+			}
+			return routing.BuildExcluding(topo, down)
+		}
+		fengine, err = faults.Start(sched, topo.NumNodes(), events, faults.Hooks{
+			Medium:   medium,
+			Stations: stations,
+			Nodes:    nodes,
+			Sources:  registry.Sources(),
+			Rebuild:  rebuild,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gmp: fault schedule: %w", err)
+		}
+	}
+
 	cliques := clique.Build(topo)
 	capacity := par.SaturationRate(packetBytes(cfg.Scenario.Flows), !cfg.DisableRTS)
 	refFlows := make([]maxminref.FlowSpec, len(cfg.Scenario.Flows))
@@ -457,6 +543,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	if fengine != nil {
+		if engine != nil {
+			engine.SetFaultProbe(fengine.DownNodes)
+		}
+		if dist != nil {
+			dist.SetFaultProbe(fengine.DownNodes)
+		}
+	}
+
 	if done := ctx.Done(); done != nil {
 		// Poll for cancellation on the virtual clock. The poll event
 		// touches no protocol state and no random source, so enabling
@@ -509,13 +604,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		hops[i] = routes.HopCount(spec.Src, spec.Dst)
 		res.Flows = append(res.Flows, FlowResult{
-			Spec:      spec,
-			Rate:      rates[i],
-			NormRate:  rates[i] / spec.Weight,
-			Hops:      hops[i],
-			Delivered: registry.Delivered(spec.ID),
-			Dropped:   registry.Dropped(spec.ID),
-			Limit:     limit,
+			Spec:          spec,
+			Rate:          rates[i],
+			NormRate:      rates[i] / spec.Weight,
+			Hops:          hops[i],
+			Delivered:     registry.Delivered(spec.ID),
+			Dropped:       registry.Dropped(spec.ID),
+			DropsByReason: registry.DroppedBy(spec.ID),
+			Limit:         limit,
 		})
 	}
 	res.Imm = metrics.MaxminIndex(rates)
@@ -526,6 +622,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if dist != nil {
 		res.Trace = dist.Trace()
+	}
+	if fengine != nil {
+		res.FaultEvents = fengine.Schedule()
+		if len(res.Trace) > 0 {
+			rep := RecoveryReport(res.Trace, fengine.LastFaultTime(), DefaultRecoveryTol)
+			res.RecoveryTime, res.Recovered = rep.Time, rep.Settled
+		}
 	}
 	return res, nil
 }

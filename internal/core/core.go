@@ -104,6 +104,9 @@ type Round struct {
 	Requests int
 	// SaturatedVNodes counts buffer-saturated virtual nodes observed.
 	SaturatedVNodes int
+	// DownNodes lists the nodes crashed by fault injection at the moment
+	// the round closed (nil in fault-free runs).
+	DownNodes []topology.NodeID
 }
 
 // Engine drives GMP over a running simulation.
@@ -122,6 +125,10 @@ type Engine struct {
 	// unsaturated source queue; the limit is removed only after two, so a
 	// single noisy period cannot unleash a burst.
 	slack map[packet.FlowID]int
+
+	// faultProbe, when set, reports the currently crashed nodes so each
+	// trace Round records the fault state it was measured under.
+	faultProbe func() []topology.NodeID
 
 	trace []Round
 }
@@ -151,6 +158,10 @@ func (e *Engine) Start() {
 
 // Trace returns the recorded adjustment rounds.
 func (e *Engine) Trace() []Round { return e.trace }
+
+// SetFaultProbe installs a callback reporting the currently crashed
+// nodes (fault injection); each recorded Round carries its result.
+func (e *Engine) SetFaultProbe(fn func() []topology.NodeID) { e.faultProbe = fn }
 
 func (e *Engine) onBoundary() {
 	e.boundary++
@@ -484,11 +495,15 @@ func (e *Engine) apply(reqs map[packet.FlowID]Request, rates []float64, snap *me
 			limits[i] = math.Inf(1)
 		}
 	}
-	e.trace = append(e.trace, Round{
+	round := Round{
 		Time:            e.sched.Now(),
 		Rates:           rates,
 		Limits:          limits,
 		Requests:        len(reqs),
 		SaturatedVNodes: e.lastSat,
-	})
+	}
+	if e.faultProbe != nil {
+		round.DownNodes = e.faultProbe()
+	}
+	e.trace = append(e.trace, round)
 }

@@ -616,12 +616,21 @@ func (a *Agent) deliverAll(flows map[packet.FlowID]topology.NodeID, req Request)
 type Distributed struct {
 	Agents []*Agent
 	trace  []Round
+
+	// faultProbe, when set, reports the currently crashed nodes so each
+	// trace Round records the fault state it was measured under.
+	faultProbe func() []topology.NodeID
 }
 
 // Trace returns per-period flow rates recorded at the shared boundary
 // ticks (for convergence inspection; limits are not tracked here because
 // they live inside each agent).
 func (d *Distributed) Trace() []Round { return d.trace }
+
+// SetFaultProbe installs a callback reporting the currently crashed
+// nodes (fault injection). Install it before the first boundary tick
+// (i.e. right after StartDistributed returns, before sched.Run).
+func (d *Distributed) SetFaultProbe(fn func() []topology.NodeID) { d.faultProbe = fn }
 
 // StartDistributed builds and starts the full distributed runtime: a
 // dissemination agent and a GMP agent per node, a shared occupancy board
@@ -660,7 +669,11 @@ func StartDistributed(sched *sim.Scheduler, topo *topology.Topology, cliques *cl
 		for i, src := range registry.Sources() {
 			rates[i] = src.LastPeriodRate()
 		}
-		d.trace = append(d.trace, Round{Time: sched.Now(), Rates: rates})
+		round := Round{Time: sched.Now(), Rates: rates}
+		if d.faultProbe != nil {
+			round.DownNodes = d.faultProbe()
+		}
+		d.trace = append(d.trace, round)
 		sched.After(params.Period, tick)
 	}
 	sched.After(params.Period, tick)

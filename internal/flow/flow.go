@@ -92,6 +92,7 @@ type Source struct {
 	nextSend *sim.Timer
 	waiting  bool // paused on a full local queue
 	stopped  bool // past the spec's Stop time
+	halted   bool // source node crashed (fault injection)
 
 	stamped  bool // at least one period has completed
 	normRate float64
@@ -165,8 +166,36 @@ func (s *Source) interval() time.Duration {
 	return time.Duration(s.rng.ExpFloat64() * mean)
 }
 
-func (s *Source) generate() {
+// SetHalted pauses (halted=true) or resumes packet generation when the
+// source's node crashes and recovers. Unlike Stop this is reversible:
+// on resume the generator reschedules itself, honoring a Start time
+// still in the future. The halted check in generate() also defuses any
+// pending queue-open waiter from before the crash.
+func (s *Source) SetHalted(halted bool) {
+	if halted == s.halted {
+		return
+	}
+	s.halted = halted
+	if halted {
+		s.nextSend.Cancel()
+		s.waiting = false
+		return
+	}
 	if s.stopped {
+		return
+	}
+	delay := s.interval()
+	if wait := s.spec.Start - s.sched.Now(); wait > delay {
+		delay = wait
+	}
+	s.nextSend = s.sched.After(delay, s.generate)
+}
+
+// Halted reports whether the source is paused by fault injection.
+func (s *Source) Halted() bool { return s.halted }
+
+func (s *Source) generate() {
+	if s.stopped || s.halted {
 		return
 	}
 	qid := s.node.Config().Mode.QueueKey(&packet.Packet{Flow: s.spec.ID, Dst: s.spec.Dst})
@@ -252,6 +281,7 @@ type Registry struct {
 
 	delivered []int64
 	dropped   []int64
+	droppedBy []map[forwarding.DropReason]int64
 
 	markTime      time.Duration
 	markDelivered []int64
@@ -274,6 +304,7 @@ func NewRegistry(specs []Spec) (*Registry, error) {
 		sources:       make([]*Source, len(specs)),
 		delivered:     make([]int64, len(specs)),
 		dropped:       make([]int64, len(specs)),
+		droppedBy:     make([]map[forwarding.DropReason]int64, len(specs)),
 		markDelivered: make([]int64, len(specs)),
 		markInjected:  make([]int64, len(specs)),
 	}, nil
@@ -299,9 +330,15 @@ func (r *Registry) OnDeliver(p *packet.Packet, _ topology.NodeID) {
 	r.delivered[p.Flow]++
 }
 
-// OnDrop counts a packet loss anywhere along the path.
-func (r *Registry) OnDrop(p *packet.Packet, _ forwarding.DropReason) {
+// OnDrop counts a packet loss anywhere along the path, classified by
+// reason so fault experiments can separate crash losses from
+// congestion losses.
+func (r *Registry) OnDrop(p *packet.Packet, reason forwarding.DropReason) {
 	r.dropped[p.Flow]++
+	if r.droppedBy[p.Flow] == nil {
+		r.droppedBy[p.Flow] = make(map[forwarding.DropReason]int64)
+	}
+	r.droppedBy[p.Flow][reason]++
 }
 
 // Delivered returns the end-to-end deliveries of flow id so far.
@@ -309,6 +346,16 @@ func (r *Registry) Delivered(id packet.FlowID) int64 { return r.delivered[id] }
 
 // Dropped returns the packets of flow id lost so far.
 func (r *Registry) Dropped(id packet.FlowID) int64 { return r.dropped[id] }
+
+// DroppedBy returns a copy of flow id's losses classified by reason
+// (nil-safe: flows without losses return an empty map).
+func (r *Registry) DroppedBy(id packet.FlowID) map[forwarding.DropReason]int64 {
+	out := make(map[forwarding.DropReason]int64, len(r.droppedBy[id]))
+	for k, v := range r.droppedBy[id] {
+		out[k] = v
+	}
+	return out
+}
 
 // Mark snapshots delivery and injection counters at virtual time now;
 // MeasuredRates later reports rates over [now, then]. Used to exclude

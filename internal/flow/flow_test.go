@@ -305,3 +305,109 @@ func TestStoppedSourceIgnoresQueueOpen(t *testing.T) {
 		t.Error("stopped source resumed on queue open")
 	}
 }
+
+func TestSetHaltedStopsAndResumesGeneration(t *testing.T) {
+	node, sched := harness(t, 300)
+	src := NewSource(spec(100, 1), sched, node, testPeriod, sim.NewRand(3))
+	src.SetCBR(true)
+	drain(node, sched, 10*time.Millisecond)
+	src.Start()
+	sched.Run(5 * time.Second)
+
+	src.SetHalted(true)
+	if !src.Halted() {
+		t.Fatal("Halted not reported")
+	}
+	atHalt := src.InjectedTotal()
+	if atHalt == 0 {
+		t.Fatal("no injections before halt")
+	}
+	sched.Run(10 * time.Second)
+	if got := src.InjectedTotal(); got != atHalt {
+		t.Errorf("halted source injected: %d -> %d", atHalt, got)
+	}
+
+	src.SetHalted(false)
+	sched.Run(15 * time.Second)
+	injected := src.InjectedTotal() - atHalt
+	// ~5 s of live generation at 100 pps CBR.
+	if injected < 450 || injected > 550 {
+		t.Errorf("resumed source injected %d packets in ~5s at 100/s", injected)
+	}
+}
+
+// TestSetHaltedDefusesQueueOpenWaiter halts a source while it is
+// blocked on a full queue, then drains the queue: the pending waiter
+// must not re-arm generation on a halted source.
+func TestSetHaltedDefusesQueueOpenWaiter(t *testing.T) {
+	node, sched := harness(t, 1)
+	src := NewSource(spec(100, 1), sched, node, testPeriod, sim.NewRand(3))
+	src.SetCBR(true)
+	src.Start()
+	sched.Run(2 * time.Second) // fills the 1-slot queue, source now waiting
+
+	src.SetHalted(true)
+	atHalt := src.InjectedTotal()
+	for node.NextOutgoing() != nil {
+		// queue-open transition fires here
+	}
+	sched.Run(5 * time.Second)
+	if got := src.InjectedTotal(); got != atHalt {
+		t.Errorf("queue-open waiter revived a halted source: %d -> %d", atHalt, got)
+	}
+}
+
+// TestSetHaltedBeforeStartTime revives a source before its scheduled
+// start: generation must still begin at Start, not immediately.
+func TestSetHaltedBeforeStartTime(t *testing.T) {
+	node, sched := harness(t, 300)
+	sp := spec(100, 1)
+	sp.Start = 10 * time.Second
+	src := NewSource(sp, sched, node, testPeriod, sim.NewRand(3))
+	src.SetCBR(true)
+	drain(node, sched, 10*time.Millisecond)
+	src.Start()
+	sched.Run(2 * time.Second)
+
+	src.SetHalted(true)
+	src.SetHalted(false)       // revive at t=2s, well before Start
+	sched.Run(9 * time.Second) // Run takes an absolute deadline
+	if got := src.InjectedTotal(); got != 0 {
+		t.Errorf("source injected %d packets before its start time", got)
+	}
+	sched.Run(15 * time.Second)
+	if got := src.InjectedTotal(); got == 0 {
+		t.Error("source never started after its start time")
+	}
+}
+
+func TestRegistryDroppedBy(t *testing.T) {
+	reg, err := NewRegistry([]Spec{
+		{ID: 0, Src: 0, Dst: 2, Weight: 1, DesiredRate: 10, SizeBytes: 1024},
+		{ID: 1, Src: 1, Dst: 2, Weight: 1, DesiredRate: 10, SizeBytes: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := &packet.Packet{Flow: 0, Src: 0, Dst: 2, SizeBytes: 1024, Weight: 1}
+	reg.OnDrop(p0, forwarding.DropNodeDown)
+	reg.OnDrop(p0, forwarding.DropNodeDown)
+	reg.OnDrop(p0, forwarding.DropNoRoute)
+
+	by := reg.DroppedBy(0)
+	if by[forwarding.DropNodeDown] != 2 || by[forwarding.DropNoRoute] != 1 {
+		t.Errorf("DroppedBy(0) = %v", by)
+	}
+	if reg.Dropped(0) != 3 {
+		t.Errorf("Dropped(0) = %d, want 3", reg.Dropped(0))
+	}
+	// A flow with no drops returns an empty, non-nil-safe-to-read map.
+	if got := reg.DroppedBy(1); len(got) != 0 {
+		t.Errorf("DroppedBy(1) = %v, want empty", got)
+	}
+	// The returned map is a copy: mutating it must not corrupt accounting.
+	by[forwarding.DropNodeDown] = 99
+	if reg.DroppedBy(0)[forwarding.DropNodeDown] != 2 {
+		t.Error("DroppedBy returned a live reference")
+	}
+}

@@ -160,6 +160,7 @@ const (
 	DropTail                           // tail overwritten (802.11 baseline)
 	DropRetry                          // MAC retry limit exhausted
 	DropNoRoute                        // no route to destination
+	DropNodeDown                       // queued at a node that crashed
 )
 
 // String names the reason.
@@ -173,6 +174,8 @@ func (r DropReason) String() string {
 		return "retry-limit"
 	case DropNoRoute:
 		return "no-route"
+	case DropNodeDown:
+		return "node-down"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -371,6 +374,41 @@ func NewNode(id topology.NodeID, sched *sim.Scheduler, cfg Config, routes *routi
 // SetMAC attaches the MAC station (resolves the construction cycle between
 // the two layers).
 func (n *Node) SetMAC(st *mac.Station) { n.mac = st }
+
+// SetRoutes swaps in a new routing table (fault-driven route repair).
+// The table is consulted live at every dequeue, so already-queued
+// packets follow the new routes from their next transmission on. The
+// MAC is kicked because packets previously unroutable may have become
+// eligible.
+func (n *Node) SetRoutes(t *routing.Table) {
+	n.routes = t
+	if n.mac != nil {
+		n.mac.Kick()
+	}
+}
+
+// DropAll empties every queue, reporting each packet with the given
+// reason. Used when the node crashes: a dead node's buffers do not
+// survive. Queue-open waiters may fire (the queues just opened); flow
+// sources must already be halted so they do not refill a dead node.
+func (n *Node) DropAll(reason DropReason) {
+	for _, qid := range n.order {
+		q := n.queues[qid]
+		for q.length() > 0 {
+			p, _ := q.pop()
+			n.drop(p, reason)
+		}
+		n.touchFullState(q)
+	}
+}
+
+// ResetNeighborState forgets all cached neighbor buffer-state
+// advertisements. Used on topology change: stale "full" entries from a
+// node that crashed (or from before a reroute) would otherwise suppress
+// transmissions toward neighbors whose state is simply unknown now.
+func (n *Node) ResetNeighborState() {
+	n.nbrState = make(map[topology.NodeID]map[packet.QueueID]nbrEntry)
+}
 
 // SetBroadcastHandler routes decoded control broadcasts (link-state
 // dissemination) to the given callback.

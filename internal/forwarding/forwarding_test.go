@@ -561,3 +561,98 @@ func TestFairAggregationRequeuePreservesOrigin(t *testing.T) {
 		t.Fatalf("requeue lost origin: %+v", again)
 	}
 }
+
+func TestDropAllPurgesEveryQueue(t *testing.T) {
+	n, _, drops := testNode(t, 1, DefaultConfig())
+	n.Enqueue(pk(0, 1, 4, 0))
+	n.Enqueue(pk(0, 1, 4, 1))
+	n.Enqueue(pk(1, 1, 3, 0))
+	n.DropAll(DropNodeDown)
+	if got := len(drops.pkts); got != 3 {
+		t.Fatalf("dropped %d packets, want 3", got)
+	}
+	for i, r := range drops.reasons {
+		if r != DropNodeDown {
+			t.Errorf("drop %d reason %v, want %v", i, r, DropNodeDown)
+		}
+	}
+	if n.NextOutgoing() != nil {
+		t.Error("packet survived DropAll")
+	}
+	if n.QueueLen(packet.QueueForDest(4)) != 0 || n.QueueLen(packet.QueueForDest(3)) != 0 {
+		t.Error("queue length nonzero after DropAll")
+	}
+}
+
+// TestDropAllReleasesFullState fills a 1-slot queue, purges it, and
+// checks a registered queue-open waiter fires: DropAll must emit the
+// same full->unfull transition a drain would.
+func TestDropAllReleasesFullState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueSlots = 1
+	cfg.CongestionAvoidance = false
+	n, _, _ := testNode(t, 1, cfg)
+	n.Enqueue(pk(0, 1, 4, 0))
+	fired := 0
+	n.NotifyQueueOpen(packet.QueueForDest(4), func() { fired++ })
+	n.DropAll(DropNodeDown)
+	if fired != 1 {
+		t.Fatalf("queue-open waiter fired %d times after DropAll, want 1", fired)
+	}
+	if !n.Enqueue(pk(0, 1, 4, 1)) {
+		t.Error("enqueue failed after DropAll freed the queue")
+	}
+}
+
+// TestSetRoutesSwitchesNextHop swaps in a table built with a relay
+// excluded and checks the very next dequeue uses the repaired path.
+func TestSetRoutesSwitchesNextHop(t *testing.T) {
+	// Ring of 4 nodes, 200 m apart along the ring so 0-1-2-3-0 are the
+	// only links. 0->2 initially routes via a neighbor; excluding it must
+	// switch to the other.
+	pos := []geom.Point{{X: 0}, {X: 200}, {X: 200, Y: 200}, {X: 0, Y: 200}}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	n := NewNode(0, sched, DefaultConfig(), routing.Build(topo), nil, func(*packet.Packet, DropReason) {})
+	n.Enqueue(pk(0, 0, 2, 0))
+	out := n.NextOutgoing()
+	if out == nil {
+		t.Fatal("no outgoing")
+	}
+	first := out.NextHop
+	if first != 1 && first != 3 {
+		t.Fatalf("next hop %d not a ring neighbor", first)
+	}
+	down := make([]bool, 4)
+	down[first] = true
+	n.SetRoutes(routing.BuildExcluding(topo, down))
+	n.Enqueue(pk(0, 0, 2, 1))
+	out = n.NextOutgoing()
+	if out == nil {
+		t.Fatal("no outgoing after reroute")
+	}
+	want := topology.NodeID(4 - first) // the other neighbor: 1<->3
+	if out.NextHop != want {
+		t.Errorf("next hop after reroute = %d, want %d", out.NextHop, want)
+	}
+}
+
+func TestResetNeighborState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueSlots = 1 // neighbor "full" marks gate sends
+	n, _, _ := testNode(t, 1, cfg)
+	// Mark next hop 2's queue full: packets to dest 4 are withheld.
+	n.OnOverhear(2, []packet.QueueState{{Queue: packet.QueueForDest(4), Free: false}})
+	n.Enqueue(pk(0, 1, 4, 0))
+	if out := n.NextOutgoing(); out != nil {
+		t.Fatalf("sent %+v into a full downstream queue", out.Pkt)
+	}
+	// A route epoch wipes the stale state; the packet flows again.
+	n.ResetNeighborState()
+	if out := n.NextOutgoing(); out == nil {
+		t.Error("packet still withheld after ResetNeighborState")
+	}
+}

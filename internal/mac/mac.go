@@ -98,6 +98,7 @@ const (
 	phaseAwaitCTS                   // RTS sent, CTS pending
 	phaseTxData                     // DATA on the air
 	phaseAwaitAck                   // DATA sent, ACK pending
+	phaseDown                       // node crashed (fault injection)
 )
 
 func (p phase) String() string {
@@ -118,6 +119,8 @@ func (p phase) String() string {
 		return "tx-data"
 	case phaseAwaitAck:
 		return "await-ack"
+	case phaseDown:
+		return "down"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
@@ -182,6 +185,50 @@ func (s *Station) ID() topology.NodeID { return s.id }
 // Stats returns a snapshot of the station's counters.
 func (s *Station) Stats() Stats { return s.stats }
 
+// Down reports whether the station is currently crashed.
+func (s *Station) Down() bool { return s.ph == phaseDown }
+
+// SetDown crashes (down=true) or recovers (down=false) the station.
+//
+// Crashing cancels every pending timer, abandons queued control
+// broadcasts, clears the NAV and contention state, and hands any
+// in-flight packet back to the client via OnSendComplete(out, false) —
+// after the phase is already phaseDown, so a client that requeues the
+// packet cannot restart channel access. A frame the station already put
+// on the air completes at the medium (propagation is not recalled).
+// While down, the station initiates nothing and ignores Kick; the
+// medium additionally suppresses all receptions at a down node.
+//
+// Recovering resets the station to a clean idle state (fresh CWMin, no
+// NAV memory) and immediately pulls from the client.
+func (s *Station) SetDown(down bool) {
+	if down == (s.ph == phaseDown) {
+		return
+	}
+	if down {
+		s.difsTimer.Cancel()
+		s.countdownTimer.Cancel()
+		s.respTimer.Cancel()
+		s.waitTimer.Cancel()
+		s.navTimer.Cancel()
+		s.responding = false
+		s.navUntil = 0
+		s.ctrl = nil
+		s.retries = 0
+		s.backoffSlots = 0
+		s.cw = s.par.CWMin
+		out := s.cur
+		s.cur = nil
+		s.ph = phaseDown
+		if out != nil {
+			s.client.OnSendComplete(out, false)
+		}
+		return
+	}
+	s.ph = phaseIdle
+	s.pullNext()
+}
+
 // Kick notifies the MAC that the client may now have an eligible packet
 // (new arrival or a downstream buffer opened up). Safe to call anytime.
 func (s *Station) Kick() {
@@ -196,6 +243,9 @@ func (s *Station) Kick() {
 // use the normal DIFS+backoff access, and are neither RTS-protected nor
 // acknowledged, per 802.11 group-addressed frames.
 func (s *Station) QueueBroadcast(payload any, payloadBytes int) {
+	if s.ph == phaseDown {
+		return // crashed nodes broadcast nothing
+	}
 	s.ctrl = append(s.ctrl, &radio.Frame{
 		Kind:         radio.FrameBroadcast,
 		To:           radio.Broadcast,
@@ -433,6 +483,10 @@ func (s *Station) OnIdle() { s.evaluate() }
 
 // OnFrame implements radio.Station: frame reception and overhearing.
 func (s *Station) OnFrame(f *radio.Frame, ok bool) {
+	if s.ph == phaseDown {
+		// Defensive: the medium already suppresses delivery to down nodes.
+		return
+	}
 	if !ok {
 		// Corrupted frames carry no usable information. (EIFS deferral
 		// is not modeled; see DESIGN.md.)

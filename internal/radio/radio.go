@@ -13,6 +13,7 @@ package radio
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"gmp/internal/packet"
@@ -187,11 +188,24 @@ func (p Params) SaturationRate(dataBytes int, useRTS bool) float64 {
 }
 
 // Stats aggregates channel-level counters for tests and reporting.
+//
+// All counters are per-receiver delivery events, not per-frame: one
+// broadcast frame heard by k in-range nodes contributes k to
+// Delivered+Corrupted. In particular InjectedLosses counts corruption
+// *events at individual receivers* caused by injected loss (global
+// LossProb, per-link loss, or per-node receive loss) — a single frame
+// can add more than one when several receivers independently draw a
+// loss. Counters are updated atomically, so Stats() may be called from
+// goroutines other than the simulation goroutine (e.g. a progress
+// monitor) without a data race.
 type Stats struct {
 	Transmissions  int64 // frames put on the air
 	Corrupted      int64 // frame deliveries that failed
 	Delivered      int64 // frame deliveries that succeeded (incl. overhears)
-	InjectedLosses int64 // corruptions caused by LossProb
+	InjectedLosses int64 // per-receiver corruptions caused by injected loss
+	// DownSkipped counts deliveries suppressed because the receiver was
+	// crashed (fault injection); these are neither Delivered nor Corrupted.
+	DownSkipped int64
 	// ControlFrames and ControlAirtime account the in-band link-state
 	// dissemination traffic (zero when control runs out of band).
 	ControlFrames  int64
@@ -211,6 +225,13 @@ type Medium struct {
 	transmitting []bool
 	frameSeq     int64
 
+	// Fault-injection state (see internal/faults). down nodes neither
+	// transmit nor receive; linkLoss/nodeLoss add per-link and
+	// per-receiver loss probabilities on top of the global params.LossProb.
+	down     []bool
+	linkLoss map[topology.Link]float64
+	nodeLoss []float64
+
 	occupancy map[topology.Link]time.Duration
 	stats     Stats
 	observer  func(trace.Event)
@@ -227,6 +248,8 @@ func NewMedium(sched *sim.Scheduler, topo *topology.Topology, params Params, rng
 		stations:     make([]Station, topo.NumNodes()),
 		busy:         make([]int, topo.NumNodes()),
 		transmitting: make([]bool, topo.NumNodes()),
+		down:         make([]bool, topo.NumNodes()),
+		nodeLoss:     make([]float64, topo.NumNodes()),
 		occupancy:    make(map[topology.Link]time.Duration),
 	}
 }
@@ -282,8 +305,73 @@ func (m *Medium) BusyAt(n topology.NodeID) bool { return m.busy[n] > 0 }
 // Transmitting reports whether node n is currently on the air.
 func (m *Medium) Transmitting(n topology.NodeID) bool { return m.transmitting[n] }
 
-// Stats returns a snapshot of the channel counters.
-func (m *Medium) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the channel counters. Safe to call from
+// any goroutine: the counters are read atomically.
+func (m *Medium) Stats() Stats {
+	return Stats{
+		Transmissions:  atomic.LoadInt64(&m.stats.Transmissions),
+		Corrupted:      atomic.LoadInt64(&m.stats.Corrupted),
+		Delivered:      atomic.LoadInt64(&m.stats.Delivered),
+		InjectedLosses: atomic.LoadInt64(&m.stats.InjectedLosses),
+		DownSkipped:    atomic.LoadInt64(&m.stats.DownSkipped),
+		ControlFrames:  atomic.LoadInt64(&m.stats.ControlFrames),
+		ControlAirtime: time.Duration(atomic.LoadInt64((*int64)(&m.stats.ControlAirtime))),
+	}
+}
+
+// SetNodeDown marks node n crashed (down=true) or recovered. A down
+// node must not transmit (Transmit panics — the MAC layer is expected
+// to be halted first) and receives nothing: frames that would reach it
+// are counted in Stats.DownSkipped instead of being delivered. A frame
+// already on the air when its source crashes still completes — the
+// medium models propagation, not the transmitter's state.
+func (m *Medium) SetNodeDown(n topology.NodeID, down bool) { m.down[n] = down }
+
+// NodeDown reports whether node n is currently crashed.
+func (m *Medium) NodeDown(n topology.NodeID) bool { return m.down[n] }
+
+// SetLinkLoss sets an extra loss probability p in [0,1) for frames
+// received over the directed link from→to, composing independently
+// with the global LossProb and any per-node receive loss. p = 0 clears
+// the entry.
+func (m *Medium) SetLinkLoss(from, to topology.NodeID, p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("radio: link loss probability %v outside [0,1)", p))
+	}
+	l := topology.Link{From: from, To: to}
+	if p == 0 {
+		delete(m.linkLoss, l)
+		return
+	}
+	if m.linkLoss == nil {
+		m.linkLoss = make(map[topology.Link]float64)
+	}
+	m.linkLoss[l] = p
+}
+
+// SetNodeLoss sets an extra loss probability p in [0,1) applied to
+// every frame received at node n, composing independently with the
+// global and per-link probabilities. p = 0 clears it.
+func (m *Medium) SetNodeLoss(n topology.NodeID, p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("radio: node loss probability %v outside [0,1)", p))
+	}
+	m.nodeLoss[n] = p
+}
+
+// lossAt returns the effective injected-loss probability for a frame
+// from src received at dst: the independent composition
+// 1 − (1−global)·(1−link)·(1−node).
+func (m *Medium) lossAt(src, dst topology.NodeID) float64 {
+	p := m.params.LossProb
+	if lp, ok := m.linkLoss[topology.Link{From: src, To: dst}]; ok {
+		p = 1 - (1-p)*(1-lp)
+	}
+	if np := m.nodeLoss[dst]; np > 0 {
+		p = 1 - (1-p)*(1-np)
+	}
+	return p
+}
 
 // TakeOccupancy returns the accumulated per-link airtime since the last
 // call and resets the accumulator. This feeds the per-measurement-period
@@ -320,6 +408,9 @@ func (m *Medium) Transmit(src topology.NodeID, f *Frame) {
 	if m.stations[src] == nil {
 		panic(fmt.Sprintf("radio: node %d transmits before registering", src))
 	}
+	if m.down[src] {
+		panic(fmt.Sprintf("radio: crashed node %d transmits (MAC not halted?)", src))
+	}
 	m.frameSeq++
 	f.ID = m.frameSeq
 	f.From = src
@@ -330,10 +421,10 @@ func (m *Medium) Transmit(src topology.NodeID, f *Frame) {
 		start: m.sched.Now(),
 		end:   m.sched.Now() + dur,
 	}
-	m.stats.Transmissions++
+	atomic.AddInt64(&m.stats.Transmissions, 1)
 	if f.Kind == FrameBroadcast {
-		m.stats.ControlFrames++
-		m.stats.ControlAirtime += dur
+		atomic.AddInt64(&m.stats.ControlFrames, 1)
+		atomic.AddInt64((*int64)(&m.stats.ControlAirtime), int64(dur))
 	} else {
 		m.occupancy[topology.Link{From: f.LinkFrom, To: f.LinkTo}] += dur
 	}
@@ -418,22 +509,29 @@ func (m *Medium) finish(tx *transmission) {
 		if n == tx.src || !m.topo.InTxRange(tx.src, n) {
 			continue
 		}
+		if m.down[n] {
+			// Crashed receivers hear nothing at all.
+			atomic.AddInt64(&m.stats.DownSkipped, 1)
+			continue
+		}
 		ok := !tx.corrupted[n]
 		if ok && m.transmitting[n] {
 			// Receiver is on the air itself at delivery time.
 			ok = false
 		}
-		if ok && m.params.LossProb > 0 && m.rng.Float64() < m.params.LossProb {
+		// The rng draw stays gated on p > 0 so schedules without loss
+		// faults consume the identical random sequence as before.
+		if p := m.lossAt(tx.src, n); ok && p > 0 && m.rng.Float64() < p {
 			ok = false
-			m.stats.InjectedLosses++
+			atomic.AddInt64(&m.stats.InjectedLosses, 1)
 		}
 		if ok {
-			m.stats.Delivered++
+			atomic.AddInt64(&m.stats.Delivered, 1)
 			if n == tx.frame.To {
 				m.emit(trace.KindDeliver, n, tx.src, tx.frame)
 			}
 		} else {
-			m.stats.Corrupted++
+			atomic.AddInt64(&m.stats.Corrupted, 1)
 			m.emit(trace.KindCorrupt, n, tx.src, tx.frame)
 		}
 		m.stations[n].OnFrame(tx.frame, ok)

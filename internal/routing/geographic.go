@@ -19,6 +19,18 @@ import (
 // error naming the first (source, destination) pair that dead-ends;
 // callers fall back to shortest-path routing in that case.
 func BuildGeographic(topo *topology.Topology) (*Table, error) {
+	return BuildGeographicExcluding(topo, nil)
+}
+
+// BuildGeographicExcluding is BuildGeographic with every node n where
+// down[n] is true treated as absent: crashed nodes are never chosen as
+// next hops, originate no routes, and are unreachable destinations. A
+// nil down slice excludes nothing. Removing nodes can open greedy voids
+// that did not exist in the full topology, so callers (the fault
+// subsystem's route repair) fall back to BuildExcluding on error — the
+// GPSR-style greedy-failure fallback.
+func BuildGeographicExcluding(topo *topology.Topology, down []bool) (*Table, error) {
+	isDown := func(id topology.NodeID) bool { return down != nil && down[id] }
 	n := topo.NumNodes()
 	t := &Table{
 		next: make([][]topology.NodeID, n),
@@ -31,19 +43,27 @@ func BuildGeographic(topo *topology.Topology) (*Table, error) {
 			t.next[dest][i] = NoRoute
 			t.dist[dest][i] = -1
 		}
-		t.dist[dest][dest] = 0
+		if !isDown(topology.NodeID(dest)) {
+			t.dist[dest][dest] = 0
+		}
 	}
 
 	for dest := 0; dest < n; dest++ {
+		if isDown(topology.NodeID(dest)) {
+			continue // a crashed destination is unreachable from everywhere
+		}
 		dpos := topo.Position(topology.NodeID(dest))
 		for i := 0; i < n; i++ {
-			if i == dest {
+			if i == dest || isDown(topology.NodeID(i)) {
 				continue
 			}
 			self := geom.Dist(topo.Position(topology.NodeID(i)), dpos)
 			best := NoRoute
 			bestDist := self
 			for _, nb := range topo.Neighbors(topology.NodeID(i)) {
+				if isDown(nb) {
+					continue
+				}
 				d := geom.Dist(topo.Position(nb), dpos)
 				if d < bestDist {
 					bestDist = d
@@ -56,7 +76,7 @@ func BuildGeographic(topo *topology.Topology) (*Table, error) {
 		// whole table (greedy distances strictly decrease, so loops
 		// cannot actually form, but the walk guards regardless).
 		for i := 0; i < n; i++ {
-			if i == dest {
+			if i == dest || isDown(topology.NodeID(i)) {
 				continue
 			}
 			hops := 0

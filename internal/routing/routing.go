@@ -24,6 +24,18 @@ type Table struct {
 // tables deterministic and, being destination-rooted shortest paths,
 // loop-free (a requirement for the congestion-avoidance scheme, §2.2).
 func Build(topo *topology.Topology) *Table {
+	return BuildExcluding(topo, nil)
+}
+
+// BuildExcluding computes the same minimum-hop tables as Build but
+// treats every node n with down[n] true as absent from the network: it
+// relays nothing, and no routes lead to or through it (all entries for
+// a down node or destination stay NoRoute). A nil down slice excludes
+// nothing. This is the route-repair primitive of the fault subsystem:
+// on a topology-change epoch the current down set is excluded and the
+// new table installed on every live node.
+func BuildExcluding(topo *topology.Topology, down []bool) *Table {
+	isDown := func(id topology.NodeID) bool { return down != nil && down[id] }
 	n := topo.NumNodes()
 	t := &Table{
 		next: make([][]topology.NodeID, n),
@@ -36,6 +48,9 @@ func Build(topo *topology.Topology) *Table {
 			t.next[dest][i] = NoRoute
 			t.dist[dest][i] = -1
 		}
+		if isDown(topology.NodeID(dest)) {
+			continue // a crashed destination is unreachable from everywhere
+		}
 		// BFS outward from the destination.
 		t.dist[dest][dest] = 0
 		queue := []topology.NodeID{topology.NodeID(dest)}
@@ -43,7 +58,7 @@ func Build(topo *topology.Topology) *Table {
 			cur := queue[0]
 			queue = queue[1:]
 			for _, nb := range topo.Neighbors(cur) {
-				if t.dist[dest][nb] == -1 {
+				if t.dist[dest][nb] == -1 && !isDown(nb) {
 					t.dist[dest][nb] = t.dist[dest][cur] + 1
 					queue = append(queue, nb)
 				}
@@ -55,7 +70,7 @@ func Build(topo *topology.Topology) *Table {
 				continue
 			}
 			for _, nb := range topo.Neighbors(topology.NodeID(i)) {
-				if t.dist[dest][nb] == t.dist[dest][i]-1 {
+				if !isDown(nb) && t.dist[dest][nb] == t.dist[dest][i]-1 {
 					t.next[dest][i] = nb
 					break // neighbors are sorted ascending
 				}

@@ -257,3 +257,118 @@ func TestGeographicDeadEndDetected(t *testing.T) {
 		t.Error("void topology accepted by greedy routing")
 	}
 }
+
+// ringTopo builds a 4-node square ring (200 m sides, 283 m diagonals
+// out of the 250 m default range), so 0-1-2-3-0 are the only links.
+func ringTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	pos := []geom.Point{{X: 0}, {X: 200}, {X: 200, Y: 200}, {X: 0, Y: 200}}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestBuildExcludingNilMatchesBuild(t *testing.T) {
+	topo := chainTopo(t, 5, 200)
+	a, b := Build(topo), BuildExcluding(topo, nil)
+	for _, s := range topo.Nodes() {
+		for _, d := range topo.Nodes() {
+			nhA, okA := a.NextHop(s, d)
+			nhB, okB := b.NextHop(s, d)
+			if nhA != nhB || okA != okB {
+				t.Fatalf("NextHop(%d,%d): %d,%v vs %d,%v", s, d, nhA, okA, nhB, okB)
+			}
+		}
+	}
+}
+
+func TestBuildExcludingReroutesAroundDownRelay(t *testing.T) {
+	topo := ringTopo(t)
+	down := make([]bool, 4)
+	down[1] = true
+	tbl := BuildExcluding(topo, down)
+	path, err := tbl.Path(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topology.NodeID{0, 3, 2}
+	if len(path) != 3 || path[1] != 3 {
+		t.Errorf("Path(0,2) = %v, want %v", path, want)
+	}
+	// No route may traverse the down node in either direction.
+	if nh, ok := tbl.NextHop(2, 0); !ok || nh != 3 {
+		t.Errorf("NextHop(2,0) = %d,%v, want 3,true", nh, ok)
+	}
+}
+
+func TestBuildExcludingDownDestinationUnreachable(t *testing.T) {
+	topo := chainTopo(t, 3, 200)
+	down := make([]bool, 3)
+	down[2] = true
+	tbl := BuildExcluding(topo, down)
+	if _, ok := tbl.NextHop(0, 2); ok {
+		t.Error("route exists to a down destination")
+	}
+	if _, ok := tbl.NextHop(1, 2); ok {
+		t.Error("neighbor routes to a down destination")
+	}
+	// Routes among live nodes are unaffected.
+	if nh, ok := tbl.NextHop(0, 1); !ok || nh != 1 {
+		t.Errorf("NextHop(0,1) = %d,%v", nh, ok)
+	}
+}
+
+func TestBuildExcludingPartition(t *testing.T) {
+	// Killing the middle of a chain partitions it.
+	topo := chainTopo(t, 5, 200)
+	down := make([]bool, 5)
+	down[2] = true
+	tbl := BuildExcluding(topo, down)
+	if _, ok := tbl.NextHop(0, 4); ok {
+		t.Error("route crosses a partition")
+	}
+	if nh, ok := tbl.NextHop(0, 1); !ok || nh != 1 {
+		t.Errorf("intra-partition route broken: %d,%v", nh, ok)
+	}
+	if nh, ok := tbl.NextHop(3, 4); !ok || nh != 4 {
+		t.Errorf("far-side route broken: %d,%v", nh, ok)
+	}
+}
+
+func TestBuildGeographicExcludingReroutes(t *testing.T) {
+	topo := ringTopo(t)
+	down := make([]bool, 4)
+	down[1] = true
+	tbl, err := BuildGeographicExcluding(topo, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := tbl.Path(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 3 {
+		t.Errorf("geographic Path(0,2) = %v, want [0 3 2]", path)
+	}
+	if _, ok := tbl.NextHop(0, 1); ok {
+		t.Error("geographic route exists to the down node")
+	}
+}
+
+func TestBuildGeographicExcludingDeadEnd(t *testing.T) {
+	// T-shape: 0-1-2 chain with 3 hanging off 1. Greedy from 0 toward 3
+	// works via 1; with 1 down, node 3 is unreachable and greedy must
+	// report the void rather than emit a looping table.
+	pos := []geom.Point{{X: 0}, {X: 200}, {X: 400}, {X: 200, Y: 200}}
+	topo, err := topology.New(pos, topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := make([]bool, 4)
+	down[1] = true
+	if _, err := BuildGeographicExcluding(topo, down); err == nil {
+		t.Error("expected a greedy dead-end error on a partitioned topology")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"gmp/internal/faults"
 	"gmp/internal/flow"
 	"gmp/internal/geom"
 	"gmp/internal/packet"
@@ -34,6 +35,7 @@ type fileFormat struct {
 	CSRangeM    float64      `json:"cs_range_m,omitempty"`
 	Nodes       [][2]float64 `json:"nodes"`
 	Flows       []fileFlow   `json:"flows"`
+	Faults      []fileFault  `json:"faults,omitempty"`
 }
 
 type fileFlow struct {
@@ -44,6 +46,22 @@ type fileFlow struct {
 	PacketBytes int     `json:"packet_bytes,omitempty"`
 	StartS      float64 `json:"start_s,omitempty"`
 	StopS       float64 `json:"stop_s,omitempty"`
+}
+
+// fileFault is one fault-schedule entry. kind selects which of the
+// optional fields apply (see internal/faults):
+//
+//	{"at_s": 60, "kind": "node-down", "node": 2}
+//	{"at_s": 120, "kind": "node-up", "node": 2}
+//	{"at_s": 30, "kind": "link-degrade", "from": 0, "to": 1, "loss_prob": 0.4}
+//	{"at_s": 45, "kind": "node-degrade", "node": 3, "loss_prob": 0.2}
+type fileFault struct {
+	AtS      float64 `json:"at_s"`
+	Kind     string  `json:"kind"`
+	Node     int     `json:"node,omitempty"`
+	From     int     `json:"from,omitempty"`
+	To       int     `json:"to,omitempty"`
+	LossProb float64 `json:"loss_prob,omitempty"`
 }
 
 // maxScheduleSeconds bounds flow start/stop times in scenario files.
@@ -118,6 +136,29 @@ func Load(r io.Reader) (Scenario, error) {
 		}
 		s.Flows = append(s.Flows, spec)
 	}
+	for i, f := range ff.Faults {
+		if f.AtS < 0 || f.AtS > maxScheduleSeconds {
+			return Scenario{}, fmt.Errorf("scenario: fault %d time outside [0, %g] s", i, float64(maxScheduleSeconds))
+		}
+		kind, err := faults.ParseKind(f.Kind)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("scenario: fault %d: %w", i, err)
+		}
+		s.Faults = append(s.Faults, faults.Event{
+			At:       secondsToDuration(f.AtS),
+			Kind:     kind,
+			Node:     topology.NodeID(f.Node),
+			From:     topology.NodeID(f.From),
+			To:       topology.NodeID(f.To),
+			LossProb: f.LossProb,
+		})
+	}
+	// Event.Validate rejects fields the kind does not use, so a schedule
+	// that Load accepts is already canonical and Save → Load is a fixed
+	// point; ValidateSchedule additionally checks churn sequencing.
+	if err := faults.ValidateSchedule(s.Faults, len(ff.Nodes)); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
 	return s, nil
 }
 
@@ -149,6 +190,16 @@ func (s Scenario) Save(w io.Writer) error {
 			PacketBytes: f.SizeBytes,
 			StartS:      f.Start.Seconds(),
 			StopS:       f.Stop.Seconds(),
+		})
+	}
+	for _, e := range s.Faults {
+		ff.Faults = append(ff.Faults, fileFault{
+			AtS:      e.At.Seconds(),
+			Kind:     e.Kind.String(),
+			Node:     int(e.Node),
+			From:     int(e.From),
+			To:       int(e.To),
+			LossProb: e.LossProb,
 		})
 	}
 	enc := json.NewEncoder(w)

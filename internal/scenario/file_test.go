@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gmp/internal/faults"
 )
 
 func TestLoadMinimalFile(t *testing.T) {
@@ -97,6 +99,84 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	for i := range orig.Flows {
 		if loaded.Flows[i] != orig.Flows[i] {
 			t.Fatalf("flow %d: %+v != %+v", i, loaded.Flows[i], orig.Flows[i])
+		}
+	}
+}
+
+func TestLoadFaultSchedule(t *testing.T) {
+	input := `{
+	  "name": "faulted",
+	  "nodes": [[0,0], [200,0], [400,0]],
+	  "flows": [{"src": 0, "dst": 2}],
+	  "faults": [
+	    {"at_s": 30, "kind": "node-down", "node": 1},
+	    {"at_s": 60, "kind": "node-up", "node": 1},
+	    {"at_s": 10, "kind": "link-degrade", "from": 0, "to": 1, "loss_prob": 0.3},
+	    {"at_s": 20, "kind": "link-restore", "from": 0, "to": 1},
+	    {"at_s": 5.5, "kind": "node-degrade", "node": 2, "loss_prob": 0.1},
+	    {"at_s": 6, "kind": "node-restore", "node": 2}
+	  ]
+	}`
+	s, err := Load(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Faults) != 6 {
+		t.Fatalf("loaded %d faults, want 6", len(s.Faults))
+	}
+	if e := s.Faults[0]; e.At != 30*time.Second || e.Kind != faults.NodeDown || e.Node != 1 {
+		t.Errorf("fault 0: %+v", e)
+	}
+	if e := s.Faults[2]; e.From != 0 || e.To != 1 || e.LossProb != 0.3 {
+		t.Errorf("fault 2: %+v", e)
+	}
+	if e := s.Faults[4]; e.At != 5500*time.Millisecond {
+		t.Errorf("fault 4 time: %v", e.At)
+	}
+}
+
+func TestLoadRejectsBadFaults(t *testing.T) {
+	header := `{"nodes":[[0,0],[200,0]],"flows":[{"src":0,"dst":1}],"faults":[`
+	cases := map[string]string{
+		"unknown kind":     `{"at_s":1,"kind":"node-explodes","node":1}`,
+		"negative time":    `{"at_s":-1,"kind":"node-down","node":1}`,
+		"huge time":        `{"at_s":1e18,"kind":"node-down","node":1}`,
+		"node range":       `{"at_s":1,"kind":"node-down","node":2}`,
+		"stray loss":       `{"at_s":1,"kind":"node-down","node":1,"loss_prob":0.5}`,
+		"missing loss":     `{"at_s":1,"kind":"link-degrade","from":0,"to":1}`,
+		"loss of 1":        `{"at_s":1,"kind":"link-degrade","from":0,"to":1,"loss_prob":1}`,
+		"self link":        `{"at_s":1,"kind":"link-degrade","from":1,"to":1,"loss_prob":0.5}`,
+		"unknown field":    `{"at_s":1,"kind":"node-down","node":1,"bogus":2}`,
+		"double crash":     `{"at_s":1,"kind":"node-down","node":1},{"at_s":2,"kind":"node-down","node":1}`,
+		"revive live node": `{"at_s":1,"kind":"node-up","node":1}`,
+	}
+	for name, body := range cases {
+		if _, err := Load(strings.NewReader(header + body + `]}`)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTripWithFaults(t *testing.T) {
+	orig := Fig2([4]float64{1, 1, 1, 1}).WithFaults([]faults.Event{
+		{At: 30 * time.Second, Kind: faults.NodeDown, Node: 1},
+		{At: 60 * time.Second, Kind: faults.NodeUp, Node: 1},
+		{At: 1500 * time.Millisecond, Kind: faults.LinkDegrade, From: 0, To: 1, LossProb: 0.25},
+	})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Faults) != len(orig.Faults) {
+		t.Fatalf("round trip lost faults: %+v", loaded.Faults)
+	}
+	for i := range orig.Faults {
+		if loaded.Faults[i] != orig.Faults[i] {
+			t.Errorf("fault %d: %+v != %+v", i, loaded.Faults[i], orig.Faults[i])
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gmp/internal/faults"
 	"gmp/internal/flow"
 	"gmp/internal/geom"
 	"gmp/internal/packet"
@@ -23,13 +24,23 @@ const (
 	DefaultPacketBytes = 1024 // bytes
 )
 
-// Scenario couples a topology with a set of flows.
+// Scenario couples a topology with a set of flows and, optionally, a
+// fault schedule (node churn and loss episodes; see internal/faults).
 type Scenario struct {
 	Name        string
 	Description string
 	Positions   []geom.Point
 	Radio       topology.Config
 	Flows       []flow.Spec
+	Faults      []faults.Event
+}
+
+// WithFaults returns a copy of the scenario with the given fault
+// schedule attached.
+func (s Scenario) WithFaults(events []faults.Event) Scenario {
+	out := s
+	out.Faults = append([]faults.Event(nil), events...)
+	return out
 }
 
 // Topology materializes the scenario's topology.
