@@ -458,3 +458,52 @@ func BenchmarkFaultRecovery(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScaling measures how the per-frame simulation cost grows with
+// network size on random connected topologies of constant density (~10
+// expected neighbors per node). Before the adjacency precomputation the
+// medium scanned all N nodes per transmission, making the per-frame cost
+// O(N); with neighbor lists it is O(degree), so ns/op should grow
+// roughly linearly in N (more nodes → more flows → more frames) rather
+// than quadratically. frames/s reports raw kernel throughput.
+func BenchmarkScaling(b *testing.B) {
+	for _, tc := range []struct {
+		nodes int
+		width float64
+	}{
+		{50, 1000},
+		{100, 1400},
+		{200, 2000},
+	} {
+		b.Run(fmt.Sprintf("N=%d", tc.nodes), func(b *testing.B) {
+			sc, err := RandomScenario(tc.nodes, tc.nodes/10, tc.width, tc.width, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var frames int64
+			var simSeconds float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Scenario: sc,
+					Protocol: Protocol80211,
+					Duration: 30 * time.Second,
+					Warmup:   10 * time.Second,
+					Seed:     int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames += res.Channel.Transmissions
+				simSeconds += 30
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(frames)/elapsed, "frames/s")
+			}
+			b.ReportMetric(simSeconds/elapsed, "simsec/s")
+		})
+	}
+}

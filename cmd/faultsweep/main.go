@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"gmp"
+	"gmp/internal/prof"
 	"gmp/internal/stats"
 )
 
@@ -47,6 +48,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("faultsweep", flag.ContinueOnError)
+	pf := prof.Register(fs)
 	scenarioName := fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4|grid23")
 	mode := fs.String("mode", "churn", "fault mode: churn|loss")
 	node := fs.Int("node", 1, "node to crash (churn mode)")
@@ -61,6 +63,11 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	sc, err := pickScenario(*scenarioName)
 	if err != nil {

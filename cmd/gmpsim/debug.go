@@ -2,13 +2,14 @@ package main
 
 import (
 	"fmt"
+	"io"
 
 	"gmp"
 )
 
-func printMACStats(res *gmp.Result) {
+func printMACStats(stdout io.Writer, res *gmp.Result) {
 	for i, s := range res.MAC {
-		fmt.Printf("node %d: rts=%d dataSent=%d acked=%d recv=%d dup=%d retries=%d drops=%d\n",
+		fmt.Fprintf(stdout, "node %d: rts=%d dataSent=%d acked=%d recv=%d dup=%d retries=%d drops=%d\n",
 			i, s.RTSSent, s.DataSent, s.DataAcked, s.DataReceived, s.Duplicates, s.Retries, s.Drops)
 	}
 }

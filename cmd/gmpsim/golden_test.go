@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenOutput pins the CLI's byte-exact output on short paper
+// scenarios. Together with the library-level determinism gate this
+// catches any behavioral drift introduced by performance work, all the
+// way through the text and JSON renderers.
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"fig2_gmp_text.golden", []string{
+			"-scenario", "fig2", "-protocol", "gmp",
+			"-duration", "60s", "-warmup", "30s", "-seed", "1", "-trace"}},
+		{"fig3_80211_json.golden", []string{
+			"-scenario", "fig3", "-protocol", "802.11",
+			"-duration", "60s", "-warmup", "30s", "-seed", "1", "-json"}},
+		{"fig4_2pp_json.golden", []string{
+			"-scenario", "fig4", "-protocol", "2pp",
+			"-duration", "60s", "-warmup", "30s", "-seed", "1", "-json"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name)
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s (re-run with -update after intended changes):\n got: %q\nwant: %q",
+					path, buf.String(), want)
+			}
+		})
+	}
+}

@@ -14,23 +14,26 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"text/tabwriter"
 	"time"
 
 	"gmp"
+	"gmp/internal/prof"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gmpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
+	pf := prof.Register(fs)
 	var (
 		scenarioName = fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4|chain|mesh|random")
 		scenarioFile = fs.String("scenario-file", "", "load the scenario from a JSON file instead")
@@ -62,23 +65,32 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	var sc gmp.Scenario
-	var err error
 	if *scenarioFile != "" {
 		f, ferr := os.Open(*scenarioFile)
 		if ferr != nil {
 			return ferr
 		}
-		sc, err = gmp.LoadScenario(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		var lerr error
+		sc, lerr = gmp.LoadScenario(f)
+		if cerr := f.Close(); lerr == nil {
+			lerr = cerr
+		}
+		if lerr != nil {
+			return lerr
 		}
 	} else {
-		sc, err = buildScenario(*scenarioName, *nodes, *rows, *cols, *nflows, *length, *spacing, *seed)
-	}
-	if err != nil {
-		return err
+		var berr error
+		sc, berr = buildScenario(*scenarioName, *nodes, *rows, *cols, *nflows, *length, *spacing, *seed)
+		if berr != nil {
+			return berr
+		}
 	}
 	if *saveScenario != "" {
 		f, ferr := os.Create(*saveScenario)
@@ -117,16 +129,16 @@ func run(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return printJSON(res)
+		return printJSON(stdout, res)
 	}
-	printResult(res, *trace)
+	printResult(stdout, res, *trace)
 	if *macStats {
-		printMACStats(res)
+		printMACStats(stdout, res)
 	}
 	if *events > 0 {
-		fmt.Printf("\nlast %d channel events:\n", len(res.Events))
+		fmt.Fprintf(stdout, "\nlast %d channel events:\n", len(res.Events))
 		for _, e := range res.Events {
-			fmt.Println(" ", e)
+			fmt.Fprintln(stdout, " ", e)
 		}
 	}
 	return nil
@@ -156,7 +168,7 @@ type jsonFlow struct {
 	Dropped   int64   `json:"dropped"`
 }
 
-func printJSON(res *gmp.Result) error {
+func printJSON(stdout io.Writer, res *gmp.Result) error {
 	out := jsonResult{
 		Scenario: res.Scenario,
 		Protocol: res.Protocol.String(),
@@ -176,7 +188,7 @@ func printJSON(res *gmp.Result) error {
 			Delivered: f.Delivered, Dropped: f.Dropped,
 		})
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
@@ -223,9 +235,9 @@ func parseProtocol(name string) (gmp.Protocol, error) {
 	}
 }
 
-func printResult(res *gmp.Result, trace bool) {
-	fmt.Printf("scenario %s under %s\n\n", res.Scenario, res.Protocol)
-	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+func printResult(stdout io.Writer, res *gmp.Result, trace bool) {
+	fmt.Fprintf(stdout, "scenario %s under %s\n\n", res.Scenario, res.Protocol)
+	w := tabwriter.NewWriter(stdout, 0, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "flow\troute\tweight\thops\trate(pkt/s)\tnormalized\treference\tlimit\tdropped")
 	for i, f := range res.Flows {
 		limit := "-"
@@ -239,17 +251,17 @@ func printResult(res *gmp.Result, trace bool) {
 	if err := w.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "gmpsim: flushing table:", err)
 	}
-	fmt.Printf("\nU = %.2f pkt/s   I_mm = %.3f   I_eq = %.3f\n", res.U, res.Imm, res.Ieq)
-	fmt.Printf("channel: %d transmissions, %d corrupted deliveries\n",
+	fmt.Fprintf(stdout, "\nU = %.2f pkt/s   I_mm = %.3f   I_eq = %.3f\n", res.U, res.Imm, res.Ieq)
+	fmt.Fprintf(stdout, "channel: %d transmissions, %d corrupted deliveries\n",
 		res.Channel.Transmissions, res.Channel.Corrupted)
 	if res.Channel.ControlFrames > 0 {
-		fmt.Printf("control: %d broadcasts, %.2f%% of airtime\n",
+		fmt.Fprintf(stdout, "control: %d broadcasts, %.2f%% of airtime\n",
 			res.Channel.ControlFrames, 100*res.ControlOverhead)
 	}
 	if trace && len(res.Trace) > 0 {
-		fmt.Println("\nadjustment rounds (time, per-flow rates, requests):")
+		fmt.Fprintln(stdout, "\nadjustment rounds (time, per-flow rates, requests):")
 		for _, r := range res.Trace {
-			fmt.Printf("  t=%6s rates=%s requests=%d saturated=%d\n",
+			fmt.Fprintf(stdout, "  t=%6s rates=%s requests=%d saturated=%d\n",
 				r.Time, formatRates(r.Rates), r.Requests, r.SaturatedVNodes)
 		}
 	}

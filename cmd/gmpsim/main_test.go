@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,26 +49,26 @@ func TestRunEndToEnd(t *testing.T) {
 	// Exercise the full CLI path, including scenario save + load.
 	dir := t.TempDir()
 	file := filepath.Join(dir, "sc.json")
-	if err := run([]string{"-scenario", "fig3", "-save-scenario", file}); err != nil {
+	if err := run([]string{"-scenario", "fig3", "-save-scenario", file}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(file); err != nil {
 		t.Fatal(err)
 	}
 	if err := run([]string{"-scenario-file", file, "-protocol", "802.11",
-		"-duration", "2s", "-warmup", "1s", "-json"}); err != nil {
+		"-duration", "2s", "-warmup", "1s", "-json"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-protocol", "bogus"}); err == nil {
+	if err := run([]string{"-protocol", "bogus"}, io.Discard); err == nil {
 		t.Error("bad protocol accepted")
 	}
-	if err := run([]string{"-scenario", "bogus"}); err == nil {
+	if err := run([]string{"-scenario", "bogus"}, io.Discard); err == nil {
 		t.Error("bad scenario accepted")
 	}
-	if err := run([]string{"-scenario-file", "/does/not/exist"}); err == nil {
+	if err := run([]string{"-scenario-file", "/does/not/exist"}, io.Discard); err == nil {
 		t.Error("missing scenario file accepted")
 	}
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenCSV pins the sweep's byte-exact CSV, run through the
+// parallel executor: worker scheduling must not leak into the output,
+// and the underlying simulations must stay bit-deterministic.
+func TestGoldenCSV(t *testing.T) {
+	args := []string{
+		"-scenario", "fig3", "-protocol", "gmp",
+		"-param", "beta", "-values", "0.05,0.10",
+		"-seeds", "2", "-duration", "30s", "-parallel", "4",
+	}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fig3_beta_parallel.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("CSV differs from %s (re-run with -update after intended changes):\n got: %q\nwant: %q",
+			path, buf.String(), want)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"gmp"
+	"gmp/internal/prof"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	pf := prof.Register(fs)
 	scenarioName := fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4")
 	protocolName := fs.String("protocol", "gmp", "protocol: gmp|gmp-dist|802.11|2pp")
 	param := fs.String("param", "beta", "parameter to sweep: beta|period_s|additive|omega|queue|loss")
@@ -55,6 +57,11 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	sc, err := pickScenario(*scenarioName)
 	if err != nil {

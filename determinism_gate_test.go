@@ -1,0 +1,177 @@
+package gmp
+
+// The determinism gate pins the simulator's observable behavior across
+// performance work: for a fixed Config the full Result — every flow
+// rate, fairness index, trace round, channel counter, and fault-recovery
+// field — must stay byte-identical to the committed golden files. Any
+// optimization of the hot path (adjacency precomputation, event pooling,
+// airtime memoization, ...) must not change a single simulated outcome;
+// if it does, this test fails with a diff.
+//
+// Regenerate the goldens only for intentional behavior changes:
+//
+//	go test -run TestDeterminismGate -update-golden .
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite determinism-gate golden files")
+
+// gateCases is the pinned workload set: the paper scenarios behind
+// Tables 1-4 (Fig2/Fig3/Fig4) under every compared protocol, plus one
+// fault-schedule run. Durations are shorter than the paper sessions so
+// the gate stays fast; determinism does not depend on session length.
+func gateCases(t *testing.T) []struct {
+	name string
+	cfg  Config
+} {
+	t.Helper()
+	grid, err := GridScenario(2, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid = grid.WithFlows([][3]int{{0, 2, 1}, {3, 5, 1}})
+	short := func(cfg Config) Config {
+		cfg.Duration = 60 * time.Second
+		cfg.Warmup = 30 * time.Second
+		cfg.Seed = 1
+		return cfg
+	}
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"fig2_gmp", short(Config{Scenario: Fig2Scenario(), Protocol: ProtocolGMP})},
+		{"fig2w_gmp", short(Config{Scenario: Fig2WeightedScenario(), Protocol: ProtocolGMP})},
+		{"fig3_80211", short(Config{Scenario: Fig3Scenario(), Protocol: Protocol80211})},
+		{"fig3_2pp", short(Config{Scenario: Fig3Scenario(), Protocol: Protocol2PP})},
+		{"fig3_gmp", short(Config{Scenario: Fig3Scenario(), Protocol: ProtocolGMP})},
+		{"fig4_80211", short(Config{Scenario: Fig4Scenario(), Protocol: Protocol80211})},
+		{"fig4_2pp", short(Config{Scenario: Fig4Scenario(), Protocol: Protocol2PP})},
+		{"fig4_gmp", short(Config{Scenario: Fig4Scenario(), Protocol: ProtocolGMP})},
+		{"faults_grid_gmp", short(Config{
+			Scenario: grid,
+			Protocol: ProtocolGMP,
+			Faults: []FaultEvent{
+				{At: 30 * time.Second, Kind: FaultNodeDown, Node: 1},
+				{At: 40 * time.Second, Kind: FaultNodeUp, Node: 1},
+			},
+		})},
+	}
+}
+
+func TestDeterminismGate(t *testing.T) {
+	for _, tc := range gateCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := dumpResult(res)
+			path := filepath.Join("testdata", "determinism", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("result diverged from golden %s:\n%s", path, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// dumpResult renders every behavior-relevant field of a Result as
+// deterministic text. Floats use the shortest round-trip representation,
+// so two dumps are equal iff the underlying values are bit-identical.
+func dumpResult(res *Result) string {
+	var b strings.Builder
+	g := func(x float64) string {
+		if math.IsInf(x, 1) {
+			return "+Inf"
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	fmt.Fprintf(&b, "scenario %s protocol %s\n", res.Scenario, res.Protocol)
+	fmt.Fprintf(&b, "Imm %s Ieq %s U %s\n", g(res.Imm), g(res.Ieq), g(res.U))
+	for i, f := range res.Flows {
+		fmt.Fprintf(&b, "flow %d src %d dst %d w %s hops %d rate %s norm %s del %d drop %d limit %s ref %s\n",
+			i, f.Spec.Src, f.Spec.Dst, g(f.Spec.Weight), f.Hops,
+			g(f.Rate), g(f.NormRate), f.Delivered, f.Dropped, g(f.Limit), g(res.Reference[i]))
+		reasons := make([]string, 0, len(f.DropsByReason))
+		for r, n := range f.DropsByReason {
+			reasons = append(reasons, fmt.Sprintf("%v=%d", r, n))
+		}
+		sort.Strings(reasons)
+		if len(reasons) > 0 {
+			fmt.Fprintf(&b, "  drops %s\n", strings.Join(reasons, " "))
+		}
+	}
+	for _, tgt := range res.TwoPPTarget {
+		fmt.Fprintf(&b, "2pp-target %s\n", g(tgt))
+	}
+	fmt.Fprintf(&b, "channel tx %d corrupt %d deliver %d loss %d downskip %d ctrl %d ctrlair %d\n",
+		res.Channel.Transmissions, res.Channel.Corrupted, res.Channel.Delivered,
+		res.Channel.InjectedLosses, res.Channel.DownSkipped,
+		res.Channel.ControlFrames, int64(res.Channel.ControlAirtime))
+	for i, m := range res.MAC {
+		fmt.Fprintf(&b, "mac %d sent %d acked %d recv %d dup %d rts %d retry %d drop %d bcast %d\n",
+			i, m.DataSent, m.DataAcked, m.DataReceived, m.Duplicates,
+			m.RTSSent, m.Retries, m.Drops, m.Broadcasts)
+	}
+	for _, r := range res.Trace {
+		fmt.Fprintf(&b, "round %d req %d sat %d", int64(r.Time), r.Requests, r.SaturatedVNodes)
+		for _, x := range r.Rates {
+			fmt.Fprintf(&b, " r=%s", g(x))
+		}
+		for _, x := range r.Limits {
+			fmt.Fprintf(&b, " l=%s", g(x))
+		}
+		for _, n := range r.DownNodes {
+			fmt.Fprintf(&b, " down=%d", n)
+		}
+		b.WriteByte('\n')
+	}
+	for _, ev := range res.FaultEvents {
+		fmt.Fprintf(&b, "fault %v\n", ev)
+	}
+	fmt.Fprintf(&b, "recovered %v recovery %d\n", res.Recovered, int64(res.RecoveryTime))
+	return b.String()
+}
+
+// firstDiff returns a readable excerpt around the first differing line.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, w, g)
+		}
+	}
+	return "(no line diff; lengths differ)"
+}

@@ -89,7 +89,7 @@ type Source struct {
 	limit   float64
 
 	seq      int64
-	nextSend *sim.Timer
+	nextSend sim.Timer
 	waiting  bool // paused on a full local queue
 	stopped  bool // past the spec's Stop time
 	halted   bool // source node crashed (fault injection)
@@ -101,6 +101,14 @@ type Source struct {
 	lastPeriodRate float64
 
 	injectedTotal int64
+
+	// qid is the local queue the flow's packets land in; the forwarding
+	// mode's QueueKey depends only on (Flow, Dst), so it is fixed for the
+	// flow's lifetime. generateFn and queueOpenFn are prebound so the
+	// steady-state reschedule path allocates no closures.
+	qid         packet.QueueID
+	generateFn  func()
+	queueOpenFn func()
 }
 
 // NewSource builds the generator for spec, injecting into node (which must
@@ -113,13 +121,23 @@ func NewSource(spec Spec, sched *sim.Scheduler, node *forwarding.Node, period ti
 	if node.ID() != spec.Src {
 		panic(fmt.Sprintf("flow %d: source node %d attached to engine of node %d", spec.ID, spec.Src, node.ID()))
 	}
-	return &Source{
+	s := &Source{
 		spec:   spec,
 		sched:  sched,
 		node:   node,
 		rng:    rng,
 		period: period,
 	}
+	s.qid = node.Config().Mode.QueueKey(&packet.Packet{Flow: spec.ID, Dst: spec.Dst})
+	s.generateFn = s.generate
+	s.queueOpenFn = func() {
+		if !s.waiting {
+			return
+		}
+		s.waiting = false
+		s.generate()
+	}
+	return s
 }
 
 // Spec returns the flow's specification.
@@ -137,7 +155,7 @@ func (s *Source) SetCBR(cbr bool) { s.cbr = cbr }
 // so concurrent flows do not tick in lockstep.
 func (s *Source) Start() {
 	offset := s.spec.Start + time.Duration(s.rng.Float64()*float64(s.interval()))
-	s.nextSend = s.sched.After(offset, s.generate)
+	s.nextSend = s.sched.After(offset, s.generateFn)
 	if s.spec.Stop > 0 {
 		s.sched.At(s.spec.Stop, func() {
 			s.stopped = true
@@ -188,7 +206,7 @@ func (s *Source) SetHalted(halted bool) {
 	if wait := s.spec.Start - s.sched.Now(); wait > delay {
 		delay = wait
 	}
-	s.nextSend = s.sched.After(delay, s.generate)
+	s.nextSend = s.sched.After(delay, s.generateFn)
 }
 
 // Halted reports whether the source is paused by fault injection.
@@ -198,7 +216,6 @@ func (s *Source) generate() {
 	if s.stopped || s.halted {
 		return
 	}
-	qid := s.node.Config().Mode.QueueKey(&packet.Packet{Flow: s.spec.ID, Dst: s.spec.Dst})
 	p := &packet.Packet{
 		Flow:      s.spec.ID,
 		Src:       s.spec.Src,
@@ -214,19 +231,13 @@ func (s *Source) generate() {
 		// Local queue full: the source slows down (§2.2). Resume when the
 		// queue opens; the unsent packet is regenerated then.
 		s.waiting = true
-		s.node.NotifyQueueOpen(qid, func() {
-			if !s.waiting {
-				return
-			}
-			s.waiting = false
-			s.generate()
-		})
+		s.node.NotifyQueueOpen(s.qid, s.queueOpenFn)
 		return
 	}
 	s.seq++
 	s.periodCount++
 	s.injectedTotal++
-	s.nextSend = s.sched.After(s.interval(), s.generate)
+	s.nextSend = s.sched.After(s.interval(), s.generateFn)
 }
 
 // NormRate returns the flow's current normalized rate μ(f) as measured at

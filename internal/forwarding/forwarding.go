@@ -324,7 +324,7 @@ type Node struct {
 
 	nbrState map[topology.NodeID]map[packet.QueueID]nbrEntry
 
-	kickTimer *sim.Timer
+	kickTimer sim.Timer
 
 	meters   map[VLinkKey]*VLinkMeter
 	received map[VLinkKey]*VLinkMeter

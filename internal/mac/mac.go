@@ -142,17 +142,33 @@ type Station struct {
 	cw      int
 	ph      phase
 
+	// Precomputed control-frame airtimes (constants of the PHY params).
+	ctsAir time.Duration
+	ackAir time.Duration
+
 	backoffSlots   int
 	countdownStart time.Duration
-	countdownTimer *sim.Timer
-	difsTimer      *sim.Timer
-	respTimer      *sim.Timer
-	waitTimer      *sim.Timer
-	navTimer       *sim.Timer
+	countdownTimer sim.Timer
+	difsTimer      sim.Timer
+	respTimer      sim.Timer
+	waitTimer      sim.Timer
+	navTimer       sim.Timer
 
 	navUntil   time.Duration
 	responding bool
 	pulling    bool // reentrancy guard: inside client.NextOutgoing
+
+	// Prebound timer callbacks: method values allocate a closure per
+	// use, so the recurring ones are bound once at construction.
+	onDIFSDoneFn        func()
+	onBackoffDoneFn     func()
+	onExchangeTimeoutFn func()
+	evaluateFn          func()
+	onRTSAiredFn        func()
+	onDataAiredFn       func()
+	onBroadcastAiredFn  func()
+	onCTSSIFSDoneFn     func()
+	onResponseAiredFn   func()
 
 	lastSeq map[packet.FlowID]int64
 
@@ -172,9 +188,20 @@ func NewStation(id topology.NodeID, sched *sim.Scheduler, medium *radio.Medium, 
 		rng:     rng,
 		client:  client,
 		cw:      medium.Params().CWMin,
+		ctsAir:  medium.Params().Airtime(radio.FrameCTS, 0),
+		ackAir:  medium.Params().Airtime(radio.FrameAck, 0),
 		ph:      phaseIdle,
 		lastSeq: make(map[packet.FlowID]int64),
 	}
+	s.onDIFSDoneFn = s.onDIFSDone
+	s.onBackoffDoneFn = s.onBackoffDone
+	s.onExchangeTimeoutFn = s.onExchangeTimeout
+	s.evaluateFn = s.evaluate
+	s.onRTSAiredFn = s.onRTSAired
+	s.onDataAiredFn = s.onDataAired
+	s.onBroadcastAiredFn = s.onBroadcastAired
+	s.onCTSSIFSDoneFn = s.onCTSSIFSDone
+	s.onResponseAiredFn = s.onResponseAired
 	medium.Register(id, s)
 	return s
 }
@@ -302,7 +329,7 @@ func (s *Station) evaluate() {
 		return
 	}
 	s.ph = phaseDIFS
-	s.difsTimer = s.sched.After(s.par.DIFS, s.onDIFSDone)
+	s.difsTimer = s.sched.After(s.par.DIFS, s.onDIFSDoneFn)
 }
 
 // armNAVTimer schedules a re-evaluation at NAV expiry when the NAV is the
@@ -315,9 +342,7 @@ func (s *Station) armNAVTimer() {
 	if s.navTimer.Pending() {
 		return
 	}
-	s.navTimer = s.sched.At(s.navUntil, func() {
-		s.evaluate()
-	})
+	s.navTimer = s.sched.At(s.navUntil, s.evaluateFn)
 }
 
 func (s *Station) onDIFSDone() {
@@ -331,7 +356,7 @@ func (s *Station) onDIFSDone() {
 	}
 	s.ph = phaseCountdown
 	s.countdownStart = s.sched.Now()
-	s.countdownTimer = s.sched.After(time.Duration(s.backoffSlots)*s.par.SlotTime, s.onBackoffDone)
+	s.countdownTimer = s.sched.After(time.Duration(s.backoffSlots)*s.par.SlotTime, s.onBackoffDoneFn)
 }
 
 // freeze suspends DIFS or backoff countdown when the channel turns busy.
@@ -384,22 +409,23 @@ func (s *Station) sendBroadcast() {
 	air := s.medium.Airtime(f)
 	s.stats.Broadcasts++
 	s.medium.Transmit(s.id, f)
-	s.sched.After(air, func() {
-		if s.ph != phaseTxData {
-			return
-		}
-		s.ph = phaseIdle
-		s.pullNext()
-	})
+	s.sched.After(air, s.onBroadcastAiredFn)
+}
+
+// onBroadcastAired completes a control broadcast once it leaves the air.
+func (s *Station) onBroadcastAired() {
+	if s.ph != phaseTxData {
+		return
+	}
+	s.ph = phaseIdle
+	s.pullNext()
 }
 
 // exchangeNAV returns the channel reservation that an RTS announces:
 // everything after the RTS itself.
 func (s *Station) exchangeNAV() time.Duration {
-	dataAir := s.par.Airtime(radio.FrameData, s.cur.Pkt.SizeBytes)
-	ctsAir := s.par.Airtime(radio.FrameCTS, 0)
-	ackAir := s.par.Airtime(radio.FrameAck, 0)
-	return 3*s.par.SIFS + ctsAir + dataAir + ackAir
+	dataAir := s.medium.DataAirtime(s.cur.Pkt.SizeBytes)
+	return 3*s.par.SIFS + s.ctsAir + dataAir + s.ackAir
 }
 
 func (s *Station) sendRTS() {
@@ -416,20 +442,33 @@ func (s *Station) sendRTS() {
 	s.stats.RTSSent++
 	air := s.medium.Airtime(f)
 	s.medium.Transmit(s.id, f)
-	s.sched.After(air, func() {
-		if s.ph != phaseTxRTS {
-			return
-		}
-		s.ph = phaseAwaitCTS
-		timeout := s.par.SIFS + s.par.Airtime(radio.FrameCTS, 0) + 2*s.par.SlotTime
-		s.waitTimer = s.sched.After(timeout, s.onExchangeTimeout)
-	})
+	s.sched.After(air, s.onRTSAiredFn)
+}
+
+// onRTSAired arms the CTS timeout once the RTS leaves the air.
+func (s *Station) onRTSAired() {
+	if s.ph != phaseTxRTS {
+		return
+	}
+	s.ph = phaseAwaitCTS
+	timeout := s.par.SIFS + s.ctsAir + 2*s.par.SlotTime
+	s.waitTimer = s.sched.After(timeout, s.onExchangeTimeoutFn)
+}
+
+// onDataAired arms the ACK timeout once a data frame leaves the air.
+func (s *Station) onDataAired() {
+	if s.ph != phaseTxData {
+		return
+	}
+	s.ph = phaseAwaitAck
+	timeout := s.par.SIFS + s.ackAir + 2*s.par.SlotTime
+	s.waitTimer = s.sched.After(timeout, s.onExchangeTimeoutFn)
 }
 
 func (s *Station) sendData() {
 	s.ph = phaseTxData
-	dataAir := s.par.Airtime(radio.FrameData, s.cur.Pkt.SizeBytes)
-	ackAir := s.par.Airtime(radio.FrameAck, 0)
+	dataAir := s.medium.DataAirtime(s.cur.Pkt.SizeBytes)
+	ackAir := s.ackAir
 	f := &radio.Frame{
 		Kind:     radio.FrameData,
 		To:       s.cur.NextHop,
@@ -442,14 +481,7 @@ func (s *Station) sendData() {
 	}
 	s.stats.DataSent++
 	s.medium.Transmit(s.id, f)
-	s.sched.After(dataAir, func() {
-		if s.ph != phaseTxData {
-			return
-		}
-		s.ph = phaseAwaitAck
-		timeout := s.par.SIFS + ackAir + 2*s.par.SlotTime
-		s.waitTimer = s.sched.After(timeout, s.onExchangeTimeout)
-	})
+	s.sched.After(dataAir, s.onDataAiredFn)
 }
 
 // onExchangeTimeout fires when an expected CTS or ACK did not arrive.
@@ -549,7 +581,7 @@ func (s *Station) handleRTS(f *radio.Frame) {
 		To:       f.From,
 		LinkFrom: f.LinkFrom,
 		LinkTo:   f.LinkTo,
-		NAV:      f.NAV - s.par.SIFS - s.par.Airtime(radio.FrameCTS, 0),
+		NAV:      f.NAV - s.par.SIFS - s.ctsAir,
 		States:   s.client.Piggyback(),
 	}
 	if cts.NAV < 0 {
@@ -564,17 +596,20 @@ func (s *Station) handleCTS(f *radio.Frame) {
 	}
 	s.waitTimer.Cancel()
 	s.ph = phaseTxData
-	s.sched.After(s.par.SIFS, func() {
-		if s.ph != phaseTxData {
-			return
-		}
-		s.transmitDataAfterCTS()
-	})
+	s.sched.After(s.par.SIFS, s.onCTSSIFSDoneFn)
+}
+
+// onCTSSIFSDone transmits the data frame one SIFS after the CTS.
+func (s *Station) onCTSSIFSDone() {
+	if s.ph != phaseTxData {
+		return
+	}
+	s.transmitDataAfterCTS()
 }
 
 func (s *Station) transmitDataAfterCTS() {
-	dataAir := s.par.Airtime(radio.FrameData, s.cur.Pkt.SizeBytes)
-	ackAir := s.par.Airtime(radio.FrameAck, 0)
+	dataAir := s.medium.DataAirtime(s.cur.Pkt.SizeBytes)
+	ackAir := s.ackAir
 	f := &radio.Frame{
 		Kind:     radio.FrameData,
 		To:       s.cur.NextHop,
@@ -587,14 +622,7 @@ func (s *Station) transmitDataAfterCTS() {
 	}
 	s.stats.DataSent++
 	s.medium.Transmit(s.id, f)
-	s.sched.After(dataAir, func() {
-		if s.ph != phaseTxData {
-			return
-		}
-		s.ph = phaseAwaitAck
-		timeout := s.par.SIFS + ackAir + 2*s.par.SlotTime
-		s.waitTimer = s.sched.After(timeout, s.onExchangeTimeout)
-	})
+	s.sched.After(dataAir, s.onDataAiredFn)
 }
 
 func (s *Station) handleData(f *radio.Frame) {
@@ -647,11 +675,15 @@ func (s *Station) respond(f *radio.Frame) {
 		}
 		air := s.medium.Airtime(f)
 		s.medium.Transmit(s.id, f)
-		s.sched.After(air, func() {
-			s.responding = false
-			s.evaluate()
-		})
+		s.sched.After(air, s.onResponseAiredFn)
 	})
+}
+
+// onResponseAired clears the SIFS-response guard once the CTS/ACK is off
+// the air and resumes this node's own channel access.
+func (s *Station) onResponseAired() {
+	s.responding = false
+	s.evaluate()
 }
 
 func min(a, b int) int {

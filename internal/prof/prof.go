@@ -1,0 +1,77 @@
+// Package prof adds optional pprof profiling flags to the command-line
+// tools. Every binary that calls Register gains -cpuprofile and
+// -memprofile flags; profiles are written in the format consumed by
+// `go tool pprof`.
+//
+// Usage:
+//
+//	fs := flag.NewFlagSet(...)
+//	pf := prof.Register(fs)
+//	fs.Parse(args)
+//	stop, err := pf.Start()
+//	if err != nil { return err }
+//	defer stop()
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations parsed from the command line.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+}
+
+// Register adds -cpuprofile and -memprofile to fs and returns the
+// struct the parsed values land in.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling if requested. The returned stop function
+// ends CPU profiling and writes the heap profile if requested; call it
+// exactly once (typically via defer) after the workload completes. When
+// neither flag is set, Start is a no-op returning a no-op stop.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: closing CPU profile:", err)
+			}
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof: creating heap profile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: writing heap profile:", err)
+			}
+			if err := mf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: closing heap profile:", err)
+			}
+		}
+	}, nil
+}

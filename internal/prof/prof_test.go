@@ -1,0 +1,63 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNoFlagsIsNoOp(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	pf := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	pf := Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profiles are non-trivial.
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i
+	}
+	_ = sink
+	stop()
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestBadPathErrors(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	pf := Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "/does/not/exist/cpu.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Start(); err == nil {
+		t.Error("unwritable CPU profile path did not error")
+	}
+}

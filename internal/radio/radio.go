@@ -213,6 +213,12 @@ type Stats struct {
 }
 
 // Medium is the shared broadcast channel.
+//
+// The per-frame hot path is allocation-free in steady state: propagation
+// and carrier sensing iterate the topology's precomputed neighbor lists
+// (O(degree) instead of O(N) node scans), per-link state lives in dense
+// slices keyed by the topology's link index, frame airtimes are memoized
+// per (kind, size), and transmission records are pooled across frames.
 type Medium struct {
 	sched    *sim.Scheduler
 	topo     *topology.Topology
@@ -228,13 +234,37 @@ type Medium struct {
 	// Fault-injection state (see internal/faults). down nodes neither
 	// transmit nor receive; linkLoss/nodeLoss add per-link and
 	// per-receiver loss probabilities on top of the global params.LossProb.
-	down     []bool
-	linkLoss map[topology.Link]float64
-	nodeLoss []float64
+	// linkLoss is indexed by the topology's dense link index, with
+	// linkLossCount gating the per-delivery lookup; linkLossFar holds
+	// entries for node pairs outside transmission range (settable for
+	// symmetry, but such pairs never see a delivery).
+	down          []bool
+	linkLoss      []float64
+	linkLossCount int
+	linkLossFar   map[topology.Link]float64
+	nodeLoss      []float64
 
-	occupancy map[topology.Link]time.Duration
-	stats     Stats
-	observer  func(trace.Event)
+	// occupancy accumulates per-link airtime by dense link index;
+	// occupancyFar catches frames whose LinkFrom→LinkTo pair is not a
+	// topology link (the MAC never produces these, but tests may).
+	occupancy    []time.Duration
+	occupancyFar map[topology.Link]time.Duration
+
+	// Memoized airtimes: control frames are constants of the Params;
+	// data and broadcast frames are cached per payload size.
+	rtsAir, ctsAir, ackAir time.Duration
+	dataAir                map[int]time.Duration
+	bcastAir               map[int]time.Duration
+
+	// txFree recycles transmission records (and their corruption
+	// bitsets, corrWords words each) across frames.
+	corrWords int
+	txFree    []*transmission
+
+	idleScratch []topology.NodeID // reused by finish
+
+	stats    Stats
+	observer func(trace.Event)
 }
 
 // NewMedium builds the channel for the given topology. Stations register
@@ -250,7 +280,14 @@ func NewMedium(sched *sim.Scheduler, topo *topology.Topology, params Params, rng
 		transmitting: make([]bool, topo.NumNodes()),
 		down:         make([]bool, topo.NumNodes()),
 		nodeLoss:     make([]float64, topo.NumNodes()),
-		occupancy:    make(map[topology.Link]time.Duration),
+		linkLoss:     make([]float64, topo.NumLinks()),
+		occupancy:    make([]time.Duration, topo.NumLinks()),
+		rtsAir:       params.Airtime(FrameRTS, 0),
+		ctsAir:       params.Airtime(FrameCTS, 0),
+		ackAir:       params.Airtime(FrameAck, 0),
+		dataAir:      make(map[int]time.Duration),
+		bcastAir:     make(map[int]time.Duration),
+		corrWords:    (topo.NumNodes() + 63) / 64,
 	}
 }
 
@@ -286,16 +323,41 @@ func (m *Medium) emit(kind trace.Kind, node, peer topology.NodeID, f *Frame) {
 	})
 }
 
-// Airtime returns the on-air duration of the given frame.
+// Airtime returns the on-air duration of the given frame. Durations are
+// memoized per (kind, payload size): control frames are precomputed
+// constants and the data/broadcast sizes in a run form a small set.
 func (m *Medium) Airtime(f *Frame) time.Duration {
-	dataBytes := 0
-	if f.Data != nil {
-		dataBytes = f.Data.SizeBytes
+	switch f.Kind {
+	case FrameRTS:
+		return m.rtsAir
+	case FrameCTS:
+		return m.ctsAir
+	case FrameAck:
+		return m.ackAir
+	case FrameBroadcast:
+		return m.memoAirtime(m.bcastAir, FrameBroadcast, f.ControlBytes)
+	default:
+		dataBytes := 0
+		if f.Data != nil {
+			dataBytes = f.Data.SizeBytes
+		}
+		return m.memoAirtime(m.dataAir, f.Kind, dataBytes)
 	}
-	if f.Kind == FrameBroadcast {
-		dataBytes = f.ControlBytes
+}
+
+// DataAirtime returns the memoized on-air duration of a data frame
+// carrying dataBytes of payload.
+func (m *Medium) DataAirtime(dataBytes int) time.Duration {
+	return m.memoAirtime(m.dataAir, FrameData, dataBytes)
+}
+
+func (m *Medium) memoAirtime(cache map[int]time.Duration, kind FrameKind, bytes int) time.Duration {
+	if d, ok := cache[bytes]; ok {
+		return d
 	}
-	return m.params.Airtime(f.Kind, dataBytes)
+	d := m.params.Airtime(kind, bytes)
+	cache[bytes] = d
+	return d
 }
 
 // BusyAt reports whether node n currently senses a foreign carrier. The
@@ -338,15 +400,28 @@ func (m *Medium) SetLinkLoss(from, to topology.NodeID, p float64) {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("radio: link loss probability %v outside [0,1)", p))
 	}
-	l := topology.Link{From: from, To: to}
-	if p == 0 {
-		delete(m.linkLoss, l)
+	if idx := m.topo.LinkIndex(from, to); idx >= 0 {
+		if (m.linkLoss[idx] > 0) != (p > 0) {
+			if p > 0 {
+				m.linkLossCount++
+			} else {
+				m.linkLossCount--
+			}
+		}
+		m.linkLoss[idx] = p
 		return
 	}
-	if m.linkLoss == nil {
-		m.linkLoss = make(map[topology.Link]float64)
+	// The pair is outside transmission range: no delivery ever consults
+	// this entry, but keep it so lossAt answers consistently.
+	l := topology.Link{From: from, To: to}
+	if p == 0 {
+		delete(m.linkLossFar, l)
+		return
 	}
-	m.linkLoss[l] = p
+	if m.linkLossFar == nil {
+		m.linkLossFar = make(map[topology.Link]float64)
+	}
+	m.linkLossFar[l] = p
 }
 
 // SetNodeLoss sets an extra loss probability p in [0,1) applied to
@@ -364,8 +439,16 @@ func (m *Medium) SetNodeLoss(n topology.NodeID, p float64) {
 // 1 − (1−global)·(1−link)·(1−node).
 func (m *Medium) lossAt(src, dst topology.NodeID) float64 {
 	p := m.params.LossProb
-	if lp, ok := m.linkLoss[topology.Link{From: src, To: dst}]; ok {
-		p = 1 - (1-p)*(1-lp)
+	if m.linkLossCount > 0 || m.linkLossFar != nil {
+		var lp float64
+		if idx := m.topo.LinkIndex(src, dst); idx >= 0 {
+			lp = m.linkLoss[idx]
+		} else {
+			lp = m.linkLossFar[topology.Link{From: src, To: dst}]
+		}
+		if lp > 0 {
+			p = 1 - (1-p)*(1-lp)
+		}
 	}
 	if np := m.nodeLoss[dst]; np > 0 {
 		p = 1 - (1-p)*(1-np)
@@ -377,24 +460,65 @@ func (m *Medium) lossAt(src, dst topology.NodeID) float64 {
 // call and resets the accumulator. This feeds the per-measurement-period
 // channel-occupancy measurement (§6.2).
 func (m *Medium) TakeOccupancy() map[topology.Link]time.Duration {
-	out := m.occupancy
-	m.occupancy = make(map[topology.Link]time.Duration, len(out))
+	out := make(map[topology.Link]time.Duration)
+	for idx, d := range m.occupancy {
+		if d != 0 {
+			out[m.topo.LinkAt(idx)] = d
+			m.occupancy[idx] = 0
+		}
+	}
+	for l, d := range m.occupancyFar {
+		out[l] = d
+	}
+	m.occupancyFar = nil
 	return out
 }
 
 type transmission struct {
-	src       topology.NodeID
-	frame     *Frame
-	start     time.Duration
-	end       time.Duration
-	corrupted map[topology.NodeID]bool
+	src   topology.NodeID
+	frame *Frame
+	start time.Duration
+	end   time.Duration
+	// corrupted is a per-node bitset, allocated lazily and recycled with
+	// the transmission record.
+	corrupted []uint64
+	// finishFn is bound once per record so scheduling the end-of-air
+	// event does not allocate a fresh closure per frame.
+	finishFn func()
 }
 
-func (t *transmission) corrupt(n topology.NodeID) {
-	if t.corrupted == nil {
-		t.corrupted = make(map[topology.NodeID]bool)
+func (m *Medium) newTransmission(src topology.NodeID, f *Frame, start, end time.Duration) *transmission {
+	if n := len(m.txFree); n > 0 {
+		tx := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		tx.src, tx.frame, tx.start, tx.end = src, f, start, end
+		return tx
 	}
-	t.corrupted[n] = true
+	tx := &transmission{src: src, frame: f, start: start, end: end}
+	tx.finishFn = func() { m.finish(tx) }
+	return tx
+}
+
+// releaseTransmission returns a finished record to the pool, clearing
+// its corruption bitset for reuse.
+func (m *Medium) releaseTransmission(tx *transmission) {
+	tx.frame = nil
+	for i := range tx.corrupted {
+		tx.corrupted[i] = 0
+	}
+	m.txFree = append(m.txFree, tx)
+}
+
+func (m *Medium) corrupt(t *transmission, n topology.NodeID) {
+	if t.corrupted == nil {
+		t.corrupted = make([]uint64, m.corrWords)
+	}
+	t.corrupted[n>>6] |= 1 << (uint(n) & 63)
+}
+
+func (t *transmission) isCorrupted(n topology.NodeID) bool {
+	return t.corrupted != nil && t.corrupted[n>>6]&(1<<(uint(n)&63)) != 0
 }
 
 // Transmit puts frame f on the air from node src, immediately. The caller
@@ -415,18 +539,19 @@ func (m *Medium) Transmit(src topology.NodeID, f *Frame) {
 	f.ID = m.frameSeq
 	f.From = src
 	dur := m.Airtime(f)
-	tx := &transmission{
-		src:   src,
-		frame: f,
-		start: m.sched.Now(),
-		end:   m.sched.Now() + dur,
-	}
+	now := m.sched.Now()
+	tx := m.newTransmission(src, f, now, now+dur)
 	atomic.AddInt64(&m.stats.Transmissions, 1)
 	if f.Kind == FrameBroadcast {
 		atomic.AddInt64(&m.stats.ControlFrames, 1)
 		atomic.AddInt64((*int64)(&m.stats.ControlAirtime), int64(dur))
+	} else if idx := m.topo.LinkIndex(f.LinkFrom, f.LinkTo); idx >= 0 {
+		m.occupancy[idx] += dur
 	} else {
-		m.occupancy[topology.Link{From: f.LinkFrom, To: f.LinkTo}] += dur
+		if m.occupancyFar == nil {
+			m.occupancyFar = make(map[topology.Link]time.Duration)
+		}
+		m.occupancyFar[topology.Link{From: f.LinkFrom, To: f.LinkTo}] += dur
 	}
 	m.emit(trace.KindTransmit, src, f.To, f)
 
@@ -440,39 +565,30 @@ func (m *Medium) Transmit(src topology.NodeID, f *Frame) {
 	// at itself (half duplex).
 	for _, other := range m.active {
 		if m.topo.InTxRange(other.src, src) {
-			other.corrupt(src)
+			m.corrupt(other, src)
 		}
 	}
 	m.active = append(m.active, tx)
 	m.transmitting[src] = true
 
 	// Carrier sensing: raise busy at every foreign node within CS range.
-	for _, n := range m.topo.Nodes() {
-		if n == src || !m.topo.InCSRange(src, n) {
-			continue
-		}
+	for _, n := range m.topo.CSNeighbors(src) {
 		m.busy[n]++
 		if m.busy[n] == 1 && !m.transmitting[n] {
 			m.stations[n].OnBusy()
 		}
 	}
 
-	m.sched.At(tx.end, func() { m.finish(tx) })
+	m.sched.At(tx.end, tx.finishFn)
 }
 
 // markInterference marks victim's frame corrupted at every potential
 // receiver of victim that lies within interference range of source's
 // transmitter.
 func (m *Medium) markInterference(victim, source *transmission) {
-	for _, n := range m.topo.Nodes() {
-		if n == victim.src {
-			continue
-		}
-		if !m.topo.InTxRange(victim.src, n) {
-			continue // n cannot decode victim anyway
-		}
+	for _, n := range m.topo.Neighbors(victim.src) {
 		if n == source.src || m.topo.InCSRange(source.src, n) {
-			victim.corrupt(n)
+			m.corrupt(victim, n)
 		}
 	}
 }
@@ -490,11 +606,8 @@ func (m *Medium) finish(tx *transmission) {
 	// Lower carrier-sense busy counts first so receivers observe an idle
 	// medium when deciding SIFS responses, but defer OnIdle until after
 	// frame delivery so response scheduling wins over backoff resumption.
-	var nowIdle []topology.NodeID
-	for _, n := range m.topo.Nodes() {
-		if n == tx.src || !m.topo.InCSRange(tx.src, n) {
-			continue
-		}
+	nowIdle := m.idleScratch[:0]
+	for _, n := range m.topo.CSNeighbors(tx.src) {
 		m.busy[n]--
 		if m.busy[n] < 0 {
 			panic("radio: negative busy count")
@@ -505,16 +618,13 @@ func (m *Medium) finish(tx *transmission) {
 	}
 
 	// Deliver to every node in transmission range (receiver + overhearers).
-	for _, n := range m.topo.Nodes() {
-		if n == tx.src || !m.topo.InTxRange(tx.src, n) {
-			continue
-		}
+	for _, n := range m.topo.Neighbors(tx.src) {
 		if m.down[n] {
 			// Crashed receivers hear nothing at all.
 			atomic.AddInt64(&m.stats.DownSkipped, 1)
 			continue
 		}
-		ok := !tx.corrupted[n]
+		ok := !tx.isCorrupted(n)
 		if ok && m.transmitting[n] {
 			// Receiver is on the air itself at delivery time.
 			ok = false
@@ -542,4 +652,6 @@ func (m *Medium) finish(tx *transmission) {
 			m.stations[n].OnIdle()
 		}
 	}
+	m.idleScratch = nowIdle[:0]
+	m.releaseTransmission(tx)
 }

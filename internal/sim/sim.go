@@ -5,10 +5,17 @@
 // The kernel is single-threaded by design. All protocol state machines run
 // as event callbacks on one goroutine, which makes simulations fully
 // deterministic for a given seed.
+//
+// Events are pooled: fired and cancelled events return to a free list and
+// are recycled by later schedules, so steady-state timer churn (the MAC
+// layer arms and cancels several timers per frame exchange) allocates
+// nothing. The pending queue is an indexed 4-ary heap ordered by
+// (timestamp, schedule sequence), which both halves the sift depth of a
+// binary heap and lets Cancel remove an event immediately instead of
+// leaving a tombstone to skip at pop time.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -19,9 +26,10 @@ import (
 // The zero value is not usable; construct with NewScheduler.
 type Scheduler struct {
 	now     time.Duration
-	queue   eventQueue
+	queue   []*event // 4-ary min-heap of live events
 	seq     uint64
 	stopped bool
+	free    []*event // recycled events
 }
 
 // NewScheduler returns a scheduler with the clock at zero and no pending
@@ -36,52 +44,64 @@ func (s *Scheduler) Now() time.Duration {
 }
 
 // Pending returns the number of scheduled events that have not yet fired
-// or been cancelled.
+// or been cancelled. O(1): cancelled events leave the queue immediately.
 func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
+	return len(s.queue)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t earlier than Now) is a programming error and panics. Events scheduled
 // for the same instant fire in scheduling order.
-func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+func (s *Scheduler) At(t time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v in the past (now %v)", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	s.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative
 // durations panic.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	return s.At(s.now+d, fn)
+}
+
+// release returns a dequeued event to the free list. Bumping the
+// generation invalidates every Timer handle still pointing at it.
+func (s *Scheduler) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = -1
+	s.free = append(s.free, ev)
 }
 
 // Step fires the earliest pending event and advances the clock to its
 // timestamp. It returns false when no events remain.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		ev, _ := heap.Pop(&s.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		s.now = ev.at
-		ev.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	ev := s.popMin()
+	s.now = ev.at
+	fn := ev.fn
+	s.release(ev)
+	fn()
+	return true
 }
 
 // Run fires events in timestamp order until the queue drains or the next
@@ -92,18 +112,15 @@ func (s *Scheduler) Run(until time.Duration) {
 		panic(fmt.Sprintf("sim: Run until %v is before now %v", until, s.now))
 	}
 	s.stopped = false
-	for !s.stopped && s.queue.Len() > 0 {
-		ev := s.queue[0]
-		if ev.cancelled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if ev.at > until {
+	for !s.stopped && len(s.queue) > 0 {
+		if s.queue[0].at > until {
 			break
 		}
-		heap.Pop(&s.queue)
+		ev := s.popMin()
 		s.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		s.release(ev)
+		fn()
 	}
 	if !s.stopped && s.now < until {
 		s.now = until
@@ -115,26 +132,31 @@ func (s *Scheduler) Stop() {
 	s.stopped = true
 }
 
-// Timer is a handle to a scheduled event that allows cancellation.
+// Timer is a handle to a scheduled event that allows cancellation. The
+// zero Timer is valid and behaves like an already-fired timer. Handles
+// stay safe after their event fires and is recycled: a generation
+// counter distinguishes the original event from its reincarnations.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the timer's callback from firing. Cancelling an already
 // fired or already cancelled timer is a no-op. It reports whether the
 // callback was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	t.ev.cancelled = true
+	t.ev.sched.removeAt(t.ev.index)
+	t.ev.sched.release(t.ev)
 	return true
 }
 
 // Pending reports whether the timer's callback has neither fired nor been
 // cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen
 }
 
 // NewRand returns a deterministic pseudo-random source for the simulation.
@@ -145,47 +167,92 @@ func NewRand(seed int64) *rand.Rand {
 }
 
 type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	index     int
-	cancelled bool
-	fired     bool
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int
+	gen   uint64
+	sched *Scheduler
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders events by (timestamp, schedule sequence): FIFO among
+// simultaneous events.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// The queue is a 4-ary heap: children of slot i live at 4i+1..4i+4.
+
+func (s *Scheduler) push(ev *event) {
+	ev.sched = s
+	ev.index = len(s.queue)
+	s.queue = append(s.queue, ev)
+	s.up(ev.index)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic("sim: eventQueue.Push called with non-event")
-	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	ev.fired = true
-	*q = old[:n-1]
+func (s *Scheduler) popMin() *event {
+	ev := s.queue[0]
+	s.removeAt(0)
 	return ev
+}
+
+// removeAt deletes the event at heap slot i, preserving heap order.
+func (s *Scheduler) removeAt(i int) {
+	last := len(s.queue) - 1
+	s.queue[i] = s.queue[last]
+	s.queue[i].index = i
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	if i < last {
+		s.down(i)
+		s.up(i)
+	}
+}
+
+func (s *Scheduler) up(i int) {
+	ev := s.queue[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := s.queue[parent]
+		if !less(ev, p) {
+			break
+		}
+		s.queue[i] = p
+		p.index = i
+		i = parent
+	}
+	s.queue[i] = ev
+	ev.index = i
+}
+
+func (s *Scheduler) down(i int) {
+	n := len(s.queue)
+	ev := s.queue[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(s.queue[c], s.queue[best]) {
+				best = c
+			}
+		}
+		if !less(s.queue[best], ev) {
+			break
+		}
+		s.queue[i] = s.queue[best]
+		s.queue[i].index = i
+		i = best
+	}
+	s.queue[i] = ev
+	ev.index = i
 }

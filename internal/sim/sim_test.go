@@ -114,13 +114,13 @@ func TestTimerCancelAfterFire(t *testing.T) {
 	}
 }
 
-func TestNilTimerSafe(t *testing.T) {
-	var tm *Timer
+func TestZeroTimerSafe(t *testing.T) {
+	var tm Timer
 	if tm.Pending() {
-		t.Error("nil timer pending")
+		t.Error("zero timer pending")
 	}
 	if tm.Cancel() {
-		t.Error("nil timer cancel reported true")
+		t.Error("zero timer cancel reported true")
 	}
 }
 
@@ -233,7 +233,7 @@ func TestSchedulerCancellationProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		s := NewScheduler()
 		fired := make([]bool, 50)
-		timers := make([]*Timer, 50)
+		timers := make([]Timer, 50)
 		cancelled := make([]bool, 50)
 		for i := 0; i < 50; i++ {
 			i := i

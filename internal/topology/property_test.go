@@ -1,0 +1,154 @@
+package topology
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gmp/internal/geom"
+)
+
+// randomTopo places n nodes uniformly in a w×w field. With csFactor > 1
+// the carrier-sense range exceeds the transmission range, exercising the
+// separate csAdj matrix and csNeighbors lists.
+func randomTopo(rng *rand.Rand, n int, w, txRange, csFactor float64) (*Topology, []geom.Point) {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * w, Y: rng.Float64() * w}
+	}
+	cfg := Config{TxRange: txRange, CSRange: txRange * csFactor}
+	return MustNew(pts, cfg), pts
+}
+
+// TestAdjacencyMatchesGeometry checks every precomputed structure — the
+// tx/cs bitsets, the sorted neighbor lists, two-hop sets, and the dense
+// link index — against the geometric predicates they cache, on random
+// topologies with both equal and widened carrier-sense ranges.
+func TestAdjacencyMatchesGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		csFactor := 1.0
+		if trial%2 == 1 {
+			csFactor = 1 + rng.Float64() // CSRange in (TxRange, 2·TxRange)
+		}
+		topo, pts := randomTopo(rng, n, 1000, 250, csFactor)
+		cfg := topo.Config()
+
+		wantLinks := 0
+		for a := 0; a < n; a++ {
+			var wantTx, wantCS []NodeID
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				inTx := geom.WithinRange(pts[a], pts[b], cfg.TxRange)
+				inCS := geom.WithinRange(pts[a], pts[b], cfg.CSRange)
+				if got := topo.InTxRange(NodeID(a), NodeID(b)); got != inTx {
+					t.Fatalf("trial %d: InTxRange(%d,%d) = %v, geometry says %v", trial, a, b, got, inTx)
+				}
+				if got := topo.InCSRange(NodeID(a), NodeID(b)); got != inCS {
+					t.Fatalf("trial %d: InCSRange(%d,%d) = %v, geometry says %v", trial, a, b, got, inCS)
+				}
+				if got := topo.AreNeighbors(NodeID(a), NodeID(b)); got != inTx {
+					t.Fatalf("trial %d: AreNeighbors(%d,%d) = %v, geometry says %v", trial, a, b, got, inTx)
+				}
+				if inTx {
+					wantTx = append(wantTx, NodeID(b))
+					wantLinks++
+				}
+				if inCS {
+					wantCS = append(wantCS, NodeID(b))
+				}
+			}
+			if got := topo.Neighbors(NodeID(a)); !equalIDs(got, wantTx) {
+				t.Fatalf("trial %d: Neighbors(%d) = %v, want %v", trial, a, got, wantTx)
+			}
+			if got := topo.CSNeighbors(NodeID(a)); !equalIDs(got, wantCS) {
+				t.Fatalf("trial %d: CSNeighbors(%d) = %v, want %v", trial, a, got, wantCS)
+			}
+
+			// Two-hop scope: everything reachable in one or two hops,
+			// excluding the node itself.
+			seen := map[NodeID]bool{}
+			for _, m := range wantTx {
+				seen[m] = true
+				for _, k := range topo.Neighbors(m) {
+					seen[k] = true
+				}
+			}
+			var wantTwo []NodeID
+			for k := range seen {
+				if k != NodeID(a) {
+					wantTwo = append(wantTwo, k)
+				}
+			}
+			sort.Slice(wantTwo, func(i, j int) bool { return wantTwo[i] < wantTwo[j] })
+			if got := topo.TwoHopNeighbors(NodeID(a)); !equalIDs(got, wantTwo) {
+				t.Fatalf("trial %d: TwoHopNeighbors(%d) = %v, want %v", trial, a, got, wantTwo)
+			}
+		}
+
+		if topo.NumLinks() != wantLinks {
+			t.Fatalf("trial %d: NumLinks() = %d, geometry says %d", trial, topo.NumLinks(), wantLinks)
+		}
+	}
+}
+
+// TestLinkIndexRoundTrip checks that the dense directed-link numbering is
+// a bijection: LinkAt(LinkIndex(l)) == l for every link, indices cover
+// [0, NumLinks) in (From, To)-ascending order, and LinkIndex returns -1
+// exactly for non-links.
+func TestLinkIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		topo, _ := randomTopo(rng, 2+rng.Intn(30), 1000, 250, 1+rng.Float64())
+		links := topo.Links()
+		if len(links) != topo.NumLinks() {
+			t.Fatalf("Links() length %d != NumLinks() %d", len(links), topo.NumLinks())
+		}
+		for i, l := range links {
+			if got := topo.LinkIndex(l.From, l.To); got != i {
+				t.Fatalf("LinkIndex(%v) = %d, want %d", l, got, i)
+			}
+			if got := topo.LinkAt(i); got != l {
+				t.Fatalf("LinkAt(%d) = %v, want %v", i, got, l)
+			}
+			if i > 0 {
+				p := links[i-1]
+				if p.From > l.From || (p.From == l.From && p.To >= l.To) {
+					t.Fatalf("links not sorted (From, To) ascending: %v before %v", p, l)
+				}
+			}
+			base := topo.NodeLinkBase(l.From)
+			if i < base {
+				t.Fatalf("link %v at index %d before its node's base %d", l, i, base)
+			}
+		}
+		n := topo.NumNodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				idx := topo.LinkIndex(NodeID(a), NodeID(b))
+				if topo.AreNeighbors(NodeID(a), NodeID(b)) {
+					if idx < 0 || idx >= len(links) {
+						t.Fatalf("LinkIndex(%d,%d) = %d out of range for a real link", a, b, idx)
+					}
+				} else if idx != -1 {
+					t.Fatalf("LinkIndex(%d,%d) = %d for a non-link, want -1", a, b, idx)
+				}
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

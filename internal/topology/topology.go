@@ -2,6 +2,13 @@
 // network: node positions, radio ranges, the resulting neighbor relation,
 // two-hop neighborhoods, and the greedy dominating sets that the GMP
 // dissemination protocol uses to flood link state two hops out.
+//
+// All adjacency is precomputed once at construction time: per-node
+// transmission-range and carrier-sense-range neighbor lists, bitset
+// adjacency matrices for O(1) InTxRange/InCSRange lookups, and a dense
+// integer index over every directed link. The simulator's per-frame hot
+// path (internal/radio) iterates neighbor lists and tests bitsets
+// instead of scanning all nodes with Euclidean distance recomputation.
 package topology
 
 import (
@@ -57,11 +64,44 @@ func DefaultConfig() Config {
 	return Config{TxRange: 250, CSRange: 250}
 }
 
+// bitset is a fixed-size set of node IDs packed into 64-bit words.
+type bitset struct {
+	words  []uint64
+	stride int // words per row
+}
+
+func newBitset(rows, cols int) bitset {
+	stride := (cols + 63) / 64
+	return bitset{words: make([]uint64, rows*stride), stride: stride}
+}
+
+func (b bitset) set(row, col int) {
+	b.words[row*b.stride+col>>6] |= 1 << (uint(col) & 63)
+}
+
+func (b bitset) test(row, col int) bool {
+	return b.words[row*b.stride+col>>6]&(1<<(uint(col)&63)) != 0
+}
+
 // Topology is an immutable placement of nodes plus derived adjacency.
 type Topology struct {
-	pos       []geom.Point
-	cfg       Config
-	neighbors [][]NodeID
+	pos []geom.Point
+	cfg Config
+
+	nodes       []NodeID   // all IDs ascending (shared)
+	neighbors   [][]NodeID // tx-range neighbors, ascending (shared)
+	csNeighbors [][]NodeID // cs-range neighbors, ascending (shared)
+	twoHop      [][]NodeID // one- and two-hop neighbors, ascending (shared)
+
+	txAdj bitset // txAdj[a,b] ⇔ InTxRange(a,b)
+	csAdj bitset // csAdj[a,b] ⇔ InCSRange(a,b)
+
+	// Dense directed-link indexing: links are numbered in (From,
+	// ascending To) order; linkBase[n] is the index of the first link
+	// originating at n, so link (n, neighbors[n][k]) has index
+	// linkBase[n]+k.
+	links    []Link // all directed links in index order (shared)
+	linkBase []int
 }
 
 // ErrNoNodes is returned when constructing a topology with no nodes.
@@ -79,11 +119,28 @@ func New(positions []geom.Point, cfg Config) (*Topology, error) {
 	if cfg.CSRange < cfg.TxRange {
 		return nil, fmt.Errorf("topology: carrier-sense range %v below tx range %v", cfg.CSRange, cfg.TxRange)
 	}
+	n := len(positions)
 	t := &Topology{
 		pos: append([]geom.Point(nil), positions...),
 		cfg: cfg,
 	}
-	t.neighbors = make([][]NodeID, len(positions))
+	t.nodes = make([]NodeID, n)
+	for i := range t.nodes {
+		t.nodes[i] = NodeID(i)
+	}
+
+	// Neighbor lists and bitset adjacency from the geometric predicates.
+	// When the ranges coincide the CS structures alias the Tx ones.
+	sameRange := cfg.CSRange == cfg.TxRange
+	t.neighbors = make([][]NodeID, n)
+	t.txAdj = newBitset(n, n)
+	if sameRange {
+		t.csNeighbors = t.neighbors
+		t.csAdj = t.txAdj
+	} else {
+		t.csNeighbors = make([][]NodeID, n)
+		t.csAdj = newBitset(n, n)
+	}
 	for i := range positions {
 		for j := range positions {
 			if i == j {
@@ -91,7 +148,51 @@ func New(positions []geom.Point, cfg Config) (*Topology, error) {
 			}
 			if geom.WithinRange(positions[i], positions[j], cfg.TxRange) {
 				t.neighbors[i] = append(t.neighbors[i], NodeID(j))
+				t.txAdj.set(i, j)
 			}
+			if !sameRange && geom.WithinRange(positions[i], positions[j], cfg.CSRange) {
+				t.csNeighbors[i] = append(t.csNeighbors[i], NodeID(j))
+				t.csAdj.set(i, j)
+			}
+		}
+	}
+
+	// Dense link index over the tx adjacency.
+	t.linkBase = make([]int, n+1)
+	total := 0
+	for i := range t.neighbors {
+		t.linkBase[i] = total
+		total += len(t.neighbors[i])
+	}
+	t.linkBase[n] = total
+	t.links = make([]Link, 0, total)
+	for i := range t.neighbors {
+		for _, j := range t.neighbors[i] {
+			t.links = append(t.links, Link{From: NodeID(i), To: j})
+		}
+	}
+
+	// Two-hop neighborhoods (the dissemination scope, §6.2 step 2).
+	t.twoHop = make([][]NodeID, n)
+	seen := make([]bool, n)
+	for v := range t.twoHop {
+		touched := t.twoHop[v][:0]
+		for _, m := range t.neighbors[v] {
+			if !seen[m] {
+				seen[m] = true
+				touched = append(touched, m)
+			}
+			for _, k := range t.neighbors[m] {
+				if k != NodeID(v) && !seen[k] {
+					seen[k] = true
+					touched = append(touched, k)
+				}
+			}
+		}
+		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+		t.twoHop[v] = touched
+		for _, m := range touched {
+			seen[m] = false
 		}
 	}
 	return t, nil
@@ -109,14 +210,9 @@ func MustNew(positions []geom.Point, cfg Config) *Topology {
 // NumNodes returns the node count.
 func (t *Topology) NumNodes() int { return len(t.pos) }
 
-// Nodes returns all node IDs in ascending order.
-func (t *Topology) Nodes() []NodeID {
-	ids := make([]NodeID, len(t.pos))
-	for i := range ids {
-		ids[i] = NodeID(i)
-	}
-	return ids
-}
+// Nodes returns all node IDs in ascending order. The returned slice is
+// shared; callers must not modify it.
+func (t *Topology) Nodes() []NodeID { return t.nodes }
 
 // Position returns node n's coordinates.
 func (t *Topology) Position(n NodeID) geom.Point { return t.pos[n] }
@@ -130,60 +226,68 @@ func (t *Topology) Valid(n NodeID) bool {
 }
 
 // InTxRange reports whether a transmission from a can be decoded at b.
+// O(1): a precomputed bitset lookup, no distance computation.
 func (t *Topology) InTxRange(a, b NodeID) bool {
-	if a == b {
-		return false
-	}
-	return geom.WithinRange(t.pos[a], t.pos[b], t.cfg.TxRange)
+	return t.txAdj.test(int(a), int(b))
 }
 
 // InCSRange reports whether a transmission from a is sensed (or interferes)
-// at b.
+// at b. O(1), like InTxRange.
 func (t *Topology) InCSRange(a, b NodeID) bool {
-	if a == b {
-		return false
-	}
-	return geom.WithinRange(t.pos[a], t.pos[b], t.cfg.CSRange)
+	return t.csAdj.test(int(a), int(b))
 }
 
 // Neighbors returns the nodes within transmission range of n, ascending.
 // The returned slice is shared; callers must not modify it.
 func (t *Topology) Neighbors(n NodeID) []NodeID { return t.neighbors[n] }
 
-// AreNeighbors reports whether a and b can exchange frames directly.
-func (t *Topology) AreNeighbors(a, b NodeID) bool { return t.InTxRange(a, b) }
+// CSNeighbors returns the nodes within carrier-sense range of n,
+// ascending. When CSRange equals TxRange this is exactly Neighbors(n).
+// The returned slice is shared; callers must not modify it.
+func (t *Topology) CSNeighbors(n NodeID) []NodeID { return t.csNeighbors[n] }
 
-// Links returns every directed link in the network.
-func (t *Topology) Links() []Link {
-	var links []Link
-	for i := range t.pos {
-		for _, j := range t.neighbors[i] {
-			links = append(links, Link{From: NodeID(i), To: j})
+// AreNeighbors reports whether a and b can exchange frames directly.
+func (t *Topology) AreNeighbors(a, b NodeID) bool { return t.txAdj.test(int(a), int(b)) }
+
+// NumLinks returns the number of directed links.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Links returns every directed link in the network, in dense-index
+// order: ascending From, then ascending To. The returned slice is
+// shared; callers must not modify it.
+func (t *Topology) Links() []Link { return t.links }
+
+// LinkAt returns the directed link with dense index idx.
+func (t *Topology) LinkAt(idx int) Link { return t.links[idx] }
+
+// LinkIndex returns the dense index of the directed link from→to, or -1
+// when the nodes are not within transmission range. O(log degree).
+func (t *Topology) LinkIndex(from, to NodeID) int {
+	nbrs := t.neighbors[from]
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < to {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return links
+	if lo < len(nbrs) && nbrs[lo] == to {
+		return t.linkBase[from] + lo
+	}
+	return -1
 }
+
+// NodeLinkBase returns the dense index of the first directed link
+// originating at n: link (n, Neighbors(n)[k]) has index NodeLinkBase(n)+k.
+func (t *Topology) NodeLinkBase(n NodeID) int { return t.linkBase[n] }
 
 // TwoHopNeighbors returns all nodes reachable from n in one or two hops,
 // excluding n itself, in ascending order. This is the scope of GMP's link
-// state dissemination (§6.2 step 2).
-func (t *Topology) TwoHopNeighbors(n NodeID) []NodeID {
-	seen := make(map[NodeID]bool)
-	for _, m := range t.neighbors[n] {
-		seen[m] = true
-		for _, k := range t.neighbors[m] {
-			if k != n {
-				seen[k] = true
-			}
-		}
-	}
-	out := make([]NodeID, 0, len(seen))
-	for m := range seen {
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// state dissemination (§6.2 step 2). The returned slice is shared;
+// callers must not modify it.
+func (t *Topology) TwoHopNeighbors(n NodeID) []NodeID { return t.twoHop[n] }
 
 // DominatingSet returns a minimal-ish subset of n's one-hop neighbors whose
 // neighborhoods jointly cover every strict two-hop neighbor of n. GMP uses
