@@ -459,6 +459,43 @@ func BenchmarkFaultRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead measures the telemetry layer's cost: the
+// same Fig. 4 802.11 workload as BenchmarkSimulatorThroughput with the
+// recorder off (the nil-hook baseline every untelemetered run takes)
+// and on. The off arm must stay within noise of BenchmarkSimulatorThroughput;
+// the on arm bounds what -telemetry costs a user.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		tcfg *TelemetryConfig
+	}{
+		{"off", nil},
+		{"on", &TelemetryConfig{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{
+				Scenario:  Fig4Scenario(),
+				Protocol:  Protocol80211,
+				Duration:  20 * time.Second,
+				Warmup:    10 * time.Second,
+				Telemetry: mode.tcfg,
+			}
+			var tx int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tx += res.Channel.Transmissions
+			}
+			b.ReportMetric(float64(tx)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}
+
 // BenchmarkScaling measures how the per-frame simulation cost grows with
 // network size on random connected topologies of constant density (~10
 // expected neighbors per node). Before the adjacency precomputation the

@@ -26,6 +26,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 	warmup := fs.Duration("warmup", 40*time.Second, "warmup (faults start here)")
 	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = all CPUs, 1 = serial)")
 	out := fs.String("out", "", "CSV output path (default stdout)")
+	telemetry := fs.String("telemetry", "", "record per-run telemetry; write one summary JSON line per run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,11 +98,19 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *telemetry != "" {
+			cfg.Telemetry = &gmp.TelemetryConfig{}
+		}
 		cfgs = append(cfgs, gmp.SeedSweep(cfg, *seeds)...)
 	}
 	results, err := gmp.RunMany(context.Background(), cfgs, gmp.RunManyOptions{Workers: *parallel})
 	if err != nil {
 		return err
+	}
+	if *telemetry != "" {
+		if err := writeTelemetrySummaries(*telemetry, *mode, vals, *seeds, results); err != nil {
+			return err
+		}
 	}
 
 	w := stdout
@@ -153,6 +163,35 @@ func schedule(mode string, intensity float64, node, from, to int, warmup, durati
 	default:
 		return nil, fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// writeTelemetrySummaries emits one JSON line per run: the fault grid
+// coordinates plus the run's telemetry summary.
+func writeTelemetrySummaries(path, mode string, vals []float64, seeds int, results []*gmp.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for vi, v := range vals {
+		for seed := 1; seed <= seeds; seed++ {
+			res := results[vi*seeds+seed-1]
+			if res == nil || res.Telemetry == nil {
+				continue
+			}
+			line := struct {
+				Mode      string               `json:"mode"`
+				Intensity float64              `json:"intensity"`
+				Seed      int                  `json:"seed"`
+				Summary   gmp.TelemetrySummary `json:"summary"`
+			}{mode, v, seed, res.Telemetry.Summarize()}
+			if err := enc.Encode(line); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	return f.Close()
 }
 
 // write emits one row per intensity: cross-seed means with 95% CI

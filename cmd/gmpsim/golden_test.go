@@ -28,6 +28,13 @@ func TestGoldenOutput(t *testing.T) {
 		{"fig4_2pp_json.golden", []string{
 			"-scenario", "fig4", "-protocol", "2pp",
 			"-duration", "60s", "-warmup", "30s", "-seed", "1", "-json"}},
+		{"fig2_gmp_why.golden", []string{
+			"-scenario", "fig2", "-protocol", "gmp",
+			"-duration", "60s", "-warmup", "30s", "-seed", "1", "-why", "1"}},
+		{"fig3_80211_events.golden", []string{
+			"-scenario", "fig3", "-protocol", "802.11",
+			"-duration", "60s", "-warmup", "30s", "-seed", "1",
+			"-events", "200", "-events-node", "1", "-events-kind", "rx"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -35,21 +42,46 @@ func TestGoldenOutput(t *testing.T) {
 			if err := run(tc.args, &buf); err != nil {
 				t.Fatal(err)
 			}
-			path := filepath.Join("testdata", tc.name)
-			if *update {
-				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("%v (run with -update to create)", err)
-			}
-			if !bytes.Equal(buf.Bytes(), want) {
-				t.Errorf("output differs from %s (re-run with -update after intended changes):\n got: %q\nwant: %q",
-					path, buf.String(), want)
-			}
+			checkGolden(t, tc.name, buf.Bytes())
 		})
+	}
+}
+
+// TestTelemetryGolden pins the JSONL telemetry export byte-for-byte:
+// the schema and its determinism are part of the CLI contract.
+func TestTelemetryGolden(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "telemetry.jsonl")
+	var buf bytes.Buffer
+	args := []string{
+		"-scenario", "fig2", "-protocol", "gmp",
+		"-duration", "60s", "-warmup", "30s", "-seed", "1",
+		"-telemetry", tmp,
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig2_gmp_telemetry.golden", got)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update after intended changes):\n got: %q\nwant: %q",
+			path, got, want)
 	}
 }

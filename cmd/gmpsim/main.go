@@ -22,6 +22,7 @@ import (
 
 	"gmp"
 	"gmp/internal/prof"
+	"gmp/internal/trace"
 )
 
 func main() {
@@ -40,6 +41,10 @@ func run(args []string, stdout io.Writer) error {
 		saveScenario = fs.String("save-scenario", "", "write the chosen scenario as JSON and exit")
 		jsonOut      = fs.Bool("json", false, "print the result as JSON")
 		events       = fs.Int("events", 0, "record and print the last N channel events")
+		eventsNode   = fs.Int("events-node", -1, "only print -events rows involving this node")
+		eventsKind   = fs.String("events-kind", "", "only print -events rows of this kind: tx|rx|col|drop")
+		telemetry    = fs.String("telemetry", "", "record run telemetry and write it as JSONL to this file")
+		why          = fs.Int("why", -1, "explain flow N's allocation from the telemetry condition timeline")
 		inband       = fs.Bool("inband-control", false, "run link-state dissemination on the channel")
 		fairAgg      = fs.Bool("fair-aggregation", false, "serve queues round-robin by packet origin")
 		protocolName = fs.String("protocol", "gmp", "protocol: gmp|gmp-dist|802.11|2pp|bp|bp-shared")
@@ -53,7 +58,7 @@ func run(args []string, stdout io.Writer) error {
 		queueSlots   = fs.Int("queue", 10, "per-queue capacity in packets")
 		lossProb     = fs.Float64("loss", 0, "injected frame loss probability")
 		noRTS        = fs.Bool("no-rts", false, "disable the RTS/CTS handshake")
-		trace        = fs.Bool("trace", false, "print GMP adjustment-round trace")
+		traceRounds  = fs.Bool("trace", false, "print GMP adjustment-round trace")
 		macStats     = fs.Bool("mac-stats", false, "print per-node MAC counters")
 		nodes        = fs.Int("nodes", 20, "node count (random scenario)")
 		rows         = fs.Int("rows", 4, "grid rows (mesh scenario)")
@@ -107,6 +112,17 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	evKind, err := trace.ParseKind(*eventsKind)
+	if err != nil {
+		return err
+	}
+	if (*eventsNode >= 0 || evKind != 0) && *events <= 0 {
+		return fmt.Errorf("-events-node/-events-kind require -events > 0")
+	}
+	var tcfg *gmp.TelemetryConfig
+	if *telemetry != "" || *why >= 0 {
+		tcfg = &gmp.TelemetryConfig{}
+	}
 
 	res, err := gmp.Run(gmp.Config{
 		Scenario:         sc,
@@ -124,35 +140,91 @@ func run(args []string, stdout io.Writer) error {
 		EventTrace:       *events,
 		InBandControl:    *inband,
 		FairAggregation:  *fairAgg,
+		Telemetry:        tcfg,
 	})
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
-		return printJSON(stdout, res)
+	shownEvents := trace.Filter(res.Events, gmp.NodeID(*eventsNode), evKind)
+	if *telemetry != "" {
+		if err := writeTelemetry(*telemetry, res.Telemetry); err != nil {
+			return err
+		}
 	}
-	printResult(stdout, res, *trace)
+	if *jsonOut {
+		return printJSON(stdout, res, shownEvents)
+	}
+	printResult(stdout, res, *traceRounds)
 	if *macStats {
 		printMACStats(stdout, res)
 	}
 	if *events > 0 {
-		fmt.Fprintf(stdout, "\nlast %d channel events:\n", len(res.Events))
-		for _, e := range res.Events {
+		fmt.Fprintf(stdout, "\nlast %d channel events:\n", len(shownEvents))
+		for _, e := range shownEvents {
 			fmt.Fprintln(stdout, " ", e)
+		}
+	}
+	if *why >= 0 {
+		if err := printWhy(stdout, res, *why); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+func writeTelemetry(path string, t *gmp.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if werr := t.WriteJSONL(f); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
 // jsonResult is the machine-readable output shape (rate limits use -1
 // for "none" because JSON cannot carry +Inf).
 type jsonResult struct {
-	Scenario string     `json:"scenario"`
-	Protocol string     `json:"protocol"`
-	Flows    []jsonFlow `json:"flows"`
-	Imm      float64    `json:"i_mm"`
-	Ieq      float64    `json:"i_eq"`
-	U        float64    `json:"u_pps"`
+	Scenario string      `json:"scenario"`
+	Protocol string      `json:"protocol"`
+	Flows    []jsonFlow  `json:"flows"`
+	Imm      float64     `json:"i_mm"`
+	Ieq      float64     `json:"i_eq"`
+	U        float64     `json:"u_pps"`
+	Channel  jsonChannel `json:"channel"`
+	MAC      []jsonMAC   `json:"mac"`
+	Events   []jsonEvent `json:"events,omitempty"`
+}
+
+// jsonChannel summarizes the medium-level counters.
+type jsonChannel struct {
+	Transmissions  int64 `json:"transmissions"`
+	Delivered      int64 `json:"delivered"`
+	Corrupted      int64 `json:"corrupted"`
+	InjectedLosses int64 `json:"injected_losses"`
+	ControlFrames  int64 `json:"control_frames"`
+}
+
+// jsonMAC is one node's DCF counters.
+type jsonMAC struct {
+	Node     int   `json:"node"`
+	RTSSent  int64 `json:"rts_sent"`
+	DataSent int64 `json:"data_sent"`
+	Acked    int64 `json:"acked"`
+	Received int64 `json:"received"`
+	Retries  int64 `json:"retries"`
+	Drops    int64 `json:"drops"`
+}
+
+// jsonEvent is one recorded channel event (Config.EventTrace > 0 only).
+type jsonEvent struct {
+	AtNS   int64  `json:"at_ns"`
+	Kind   string `json:"kind"`
+	Node   int    `json:"node"`
+	Peer   int    `json:"peer"`
+	Detail string `json:"detail"`
 }
 
 type jsonFlow struct {
@@ -168,13 +240,33 @@ type jsonFlow struct {
 	Dropped   int64   `json:"dropped"`
 }
 
-func printJSON(stdout io.Writer, res *gmp.Result) error {
+func printJSON(stdout io.Writer, res *gmp.Result, events []gmp.TraceEvent) error {
 	out := jsonResult{
 		Scenario: res.Scenario,
 		Protocol: res.Protocol.String(),
 		Imm:      res.Imm,
 		Ieq:      res.Ieq,
 		U:        res.U,
+		Channel: jsonChannel{
+			Transmissions:  res.Channel.Transmissions,
+			Delivered:      res.Channel.Delivered,
+			Corrupted:      res.Channel.Corrupted,
+			InjectedLosses: res.Channel.InjectedLosses,
+			ControlFrames:  res.Channel.ControlFrames,
+		},
+	}
+	for node, s := range res.MAC {
+		out.MAC = append(out.MAC, jsonMAC{
+			Node: node, RTSSent: s.RTSSent, DataSent: s.DataSent,
+			Acked: s.DataAcked, Received: s.DataReceived,
+			Retries: s.Retries, Drops: s.Drops,
+		})
+	}
+	for _, e := range events {
+		out.Events = append(out.Events, jsonEvent{
+			AtNS: int64(e.At), Kind: e.Kind.String(),
+			Node: int(e.Node), Peer: int(e.Peer), Detail: e.Detail,
+		})
 	}
 	for i, f := range res.Flows {
 		limit := -1.0
@@ -265,6 +357,70 @@ func printResult(stdout io.Writer, res *gmp.Result, trace bool) {
 				r.Time, formatRates(r.Rates), r.Requests, r.SaturatedVNodes)
 		}
 	}
+}
+
+// printWhy explains one flow's allocation from the telemetry condition
+// timeline: which of the paper's four local conditions fired for it,
+// which one last forced it down, and how its rate limit moved.
+func printWhy(stdout io.Writer, res *gmp.Result, flow int) error {
+	t := res.Telemetry
+	if t == nil {
+		return fmt.Errorf("-why %d: run recorded no telemetry", flow)
+	}
+	if flow < 0 || flow >= len(res.Flows) {
+		return fmt.Errorf("-why %d: flow index out of range [0,%d)", flow, len(res.Flows))
+	}
+	f := res.Flows[flow]
+	id := gmp.FlowID(flow)
+	fmt.Fprintf(stdout, "\nwhy flow %d (%d->%d):\n", flow, f.Spec.Src, f.Spec.Dst)
+	limit := "none"
+	if !math.IsInf(f.Limit, 1) {
+		limit = fmt.Sprintf("%.2f pkt/s", f.Limit)
+	}
+	fmt.Fprintf(stdout, "  rate %.2f pkt/s, reference %.2f pkt/s, final limit %s\n",
+		f.Rate, res.Reference[flow], limit)
+	counts := t.FlowConditionCounts(id)
+	fmt.Fprintf(stdout, "  condition events: source %d, buffer %d, bandwidth %d, rate-limit %d\n",
+		counts[0], counts[1], counts[2], counts[3])
+	if c := t.FinalBottleneck(id); c != 0 {
+		for i := len(t.Conditions) - 1; i >= 0; i-- {
+			ev := t.Conditions[i]
+			if ev.Flow == id && ev.Reduce {
+				fmt.Fprintf(stdout, "  final bottleneck: %s (node %d at t=%s, factor %.3f)\n",
+					c, ev.Node, ev.At, ev.Factor)
+				break
+			}
+		}
+	} else {
+		fmt.Fprintln(stdout, "  final bottleneck: none (the flow was never asked to reduce)")
+	}
+	changes, lastIdx := 0, -1
+	for i, l := range t.Limits {
+		if l.Flow == id {
+			changes++
+			lastIdx = i
+		}
+	}
+	if changes > 0 {
+		l := t.Limits[lastIdx]
+		fmt.Fprintf(stdout, "  limit changes: %d (last: t=%s %s %s -> %s)\n",
+			changes, l.At, l.Action, fmtLimit(l.Before), fmtLimit(l.After))
+	} else {
+		fmt.Fprintln(stdout, "  limit changes: none")
+	}
+	if fl := t.Flows[flow]; fl.Delivered > 0 {
+		fmt.Fprintf(stdout, "  delivered %d packets: latency mean %s, p50 %s, p99 %s; %d MAC retries on route\n",
+			fl.Delivered, fl.Latency.Mean(), fl.Latency.Quantile(0.5),
+			fl.Latency.Quantile(0.99), fl.Retries)
+	}
+	return nil
+}
+
+func fmtLimit(v float64) string {
+	if v < 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%.2f", v)
 }
 
 func formatRates(rates []float64) string {

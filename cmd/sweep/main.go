@@ -22,6 +22,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 	ci := fs.Bool("ci", false, "aggregate seeds: one row per value with mean and 95% CI columns")
 	timeout := fs.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 	out := fs.String("out", "", "CSV output path (default stdout)")
+	telemetry := fs.String("telemetry", "", "record per-run telemetry; write one summary JSON line per run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +98,9 @@ func run(args []string, stdout io.Writer) error {
 			if err := applyParam(&cfg, *param, v); err != nil {
 				return err
 			}
+			if *telemetry != "" {
+				cfg.Telemetry = &gmp.TelemetryConfig{}
+			}
 			cfgs = append(cfgs, cfg)
 		}
 	}
@@ -105,6 +110,11 @@ func run(args []string, stdout io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *telemetry != "" {
+		if err := writeTelemetrySummaries(*telemetry, *param, vals, *seeds, results); err != nil {
+			return err
+		}
 	}
 
 	w := stdout
@@ -131,6 +141,36 @@ func run(args []string, stdout io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// writeTelemetrySummaries emits one JSON line per run: the sweep grid
+// coordinates plus the run's telemetry summary (latency percentiles,
+// condition counts, final bottleneck per flow).
+func writeTelemetrySummaries(path, param string, vals []float64, seeds int, results []*gmp.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for vi, v := range vals {
+		for seed := 1; seed <= seeds; seed++ {
+			res := results[vi*seeds+seed-1]
+			if res == nil || res.Telemetry == nil {
+				continue
+			}
+			line := struct {
+				Param   string               `json:"param"`
+				Value   float64              `json:"value"`
+				Seed    int                  `json:"seed"`
+				Summary gmp.TelemetrySummary `json:"summary"`
+			}{param, v, seed, res.Telemetry.Summarize()}
+			if err := enc.Encode(line); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	return f.Close()
 }
 
 // writePerRun emits the historical one-row-per-run format.

@@ -1,0 +1,57 @@
+// Command telemetrylint validates telemetry JSONL files against the
+// schema (obs.ValidateJSONL, the schema's executable definition) and
+// prints per-type record counts. CI runs it on freshly recorded
+// telemetry so the exported artifact is guaranteed to parse.
+//
+// Usage:
+//
+//	telemetrylint fig3_gmp.jsonl fig4_gmp.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"gmp/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: telemetrylint file.jsonl [file.jsonl ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := lint(path); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetrylint: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func lint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	counts, err := obs.ValidateJSONL(f)
+	if err != nil {
+		return err
+	}
+	types := make([]string, 0, len(counts))
+	for k := range counts {
+		types = append(types, k)
+	}
+	sort.Strings(types)
+	fmt.Printf("%s: ok", path)
+	for _, k := range types {
+		fmt.Printf(" %s=%d", k, counts[k])
+	}
+	fmt.Println()
+	return nil
+}

@@ -13,6 +13,7 @@ package gmp
 //	go test -run TestDeterminismGate -update-golden .
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math"
@@ -23,6 +24,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gmp/internal/obs"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite determinism-gate golden files")
@@ -94,6 +97,56 @@ func TestDeterminismGate(t *testing.T) {
 			}
 			if got != string(want) {
 				t.Fatalf("result diverged from golden %s:\n%s", path, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// TestTelemetryGate extends the determinism gate to the telemetry
+// layer: enabling Config.Telemetry must reproduce the telemetry-off
+// Result byte-for-byte (the committed goldens above, which exclude the
+// Telemetry field), and the recorded telemetry itself must be schema-
+// valid and byte-identical across repeated runs.
+func TestTelemetryGate(t *testing.T) {
+	for _, tc := range gateCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Telemetry = &TelemetryConfig{}
+			res1, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res1.Telemetry == nil {
+				t.Fatal("telemetry enabled but Result.Telemetry is nil")
+			}
+
+			want, err := os.ReadFile(filepath.Join("testdata", "determinism", tc.name+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden): %v", err)
+			}
+			if got := dumpResult(res1); got != string(want) {
+				t.Fatalf("telemetry-on result diverged from telemetry-off golden:\n%s",
+					firstDiff(string(want), got))
+			}
+
+			var j1 bytes.Buffer
+			if err := res1.Telemetry.WriteJSONL(&j1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := obs.ValidateJSONL(bytes.NewReader(j1.Bytes())); err != nil {
+				t.Fatalf("telemetry JSONL fails its schema: %v", err)
+			}
+
+			res2, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var j2 bytes.Buffer
+			if err := res2.Telemetry.WriteJSONL(&j2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Error("telemetry JSONL differs between identical runs")
 			}
 		})
 	}

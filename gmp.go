@@ -38,6 +38,7 @@ import (
 	"gmp/internal/maxminref"
 	"gmp/internal/measure"
 	"gmp/internal/metrics"
+	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/radio"
 	"gmp/internal/routing"
@@ -77,6 +78,30 @@ type (
 	FaultKind = faults.Kind
 	// DropReason classifies packet losses.
 	DropReason = forwarding.DropReason
+	// TelemetryConfig enables the telemetry layer for a run (see
+	// Config.Telemetry and internal/obs).
+	TelemetryConfig = obs.Config
+	// Telemetry is a run's recorded telemetry (Result.Telemetry):
+	// per-flow latency histograms, per-node hop/MAC-service histograms,
+	// periodic queue/utilization/limit samples, and the GMP
+	// condition-state timeline. Export with WriteJSONL/WriteSamplesCSV.
+	Telemetry = obs.Telemetry
+	// TelemetryCondition names one of the paper's four local conditions
+	// in the condition timeline.
+	TelemetryCondition = obs.Condition
+	// TelemetrySummary compresses one run's telemetry to a single
+	// record (Telemetry.Summarize) for per-seed sweep reporting.
+	TelemetrySummary = obs.RunSummary
+	// TelemetryFlowSummary is one flow's row in a TelemetrySummary.
+	TelemetryFlowSummary = obs.FlowSummary
+)
+
+// The four local conditions of the telemetry timeline, re-exported.
+const (
+	CondSource    = obs.CondSource
+	CondBuffer    = obs.CondBuffer
+	CondBandwidth = obs.CondBandwidth
+	CondRateLimit = obs.CondRateLimit
 )
 
 // Fault kinds, re-exported for schedule construction.
@@ -221,6 +246,14 @@ type Config struct {
 	// engine draws no randomness, so the same schedule with the same
 	// seed reproduces the run byte for byte.
 	Faults []FaultEvent
+	// Telemetry, when non-nil, enables the telemetry layer: per-packet
+	// lifecycle histograms, periodic queue/utilization/limit samples,
+	// and the GMP condition-state timeline, surfaced as
+	// Result.Telemetry. The recorder only observes — it draws no
+	// randomness and mutates no protocol state — so enabling it does
+	// not change any other Result field. When nil (the default) every
+	// hook is a nil pointer check and the hot paths stay allocation-free.
+	Telemetry *TelemetryConfig
 }
 
 // faultSchedule returns the effective fault schedule: Config.Faults
@@ -348,6 +381,9 @@ type Result struct {
 	// the protocol records no trace.
 	RecoveryTime time.Duration
 	Recovered    bool
+	// Telemetry holds the run's recorded telemetry (Config.Telemetry
+	// non-nil only).
+	Telemetry *Telemetry
 }
 
 // Run simulates the scenario under the selected protocol and reports the
@@ -412,6 +448,24 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("gmp: %w", err)
 	}
 
+	// Telemetry (see internal/obs). The recorder only observes, and the
+	// sampler below draws no randomness and touches no protocol state,
+	// so a telemetry-on run reproduces a telemetry-off run exactly.
+	var rec *obs.Recorder
+	sinkFn := forwarding.SinkFunc(registry.OnDeliver)
+	if cfg.Telemetry != nil {
+		interval := cfg.Telemetry.SampleInterval
+		if interval <= 0 {
+			interval = cfg.Period
+		}
+		rec = obs.NewRecorder(topo, len(cfg.Scenario.Flows), interval, sched.Now)
+		medium.SetRecorder(rec)
+		sinkFn = func(p *packet.Packet, from topology.NodeID) {
+			rec.Delivered(p.Flow, sched.Now()-p.Created)
+			registry.OnDeliver(p, from)
+		}
+	}
+
 	var ring *trace.Ring
 	dropFn := registry.OnDrop
 	if cfg.EventTrace > 0 {
@@ -433,9 +487,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	stations := make([]*mac.Station, topo.NumNodes())
 	macCfg := mac2Config(cfg)
 	for _, id := range topo.Nodes() {
-		n := forwarding.NewNode(id, sched, fwdCfg, routes, registry.OnDeliver, dropFn)
+		n := forwarding.NewNode(id, sched, fwdCfg, routes, sinkFn, dropFn)
 		st := newStation(id, sched, medium, macCfg, master.Int63(), n)
 		n.SetMAC(st)
+		if rec != nil {
+			n.SetRecorder(rec)
+			st.SetRecorder(rec)
+		}
 		nodes[id] = n
 		stations[id] = st
 	}
@@ -552,6 +610,30 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	if rec != nil {
+		if engine != nil {
+			engine.SetRecorder(rec)
+		}
+		if dist != nil {
+			dist.SetRecorder(rec)
+		}
+		// Periodic sampler: queue depths, per-link channel utilization,
+		// per-flow rate limits. Pure observation on the virtual clock.
+		interval := rec.SampleInterval()
+		var sample func()
+		sample = func() {
+			s := obs.Sample{At: sched.Now(), Queues: make([]int, len(nodes))}
+			for i, n := range nodes {
+				s.Queues[i] = n.TotalQueued()
+			}
+			s.Links = rec.SampleLinkUtil(interval)
+			s.Limits = registry.Limits()
+			rec.AddSample(s)
+			sched.After(interval, sample)
+		}
+		sched.After(interval, sample)
+	}
+
 	if done := ctx.Done(); done != nil {
 		// Poll for cancellation on the virtual clock. The poll event
 		// touches no protocol state and no random source, so enabling
@@ -629,6 +711,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			rep := RecoveryReport(res.Trace, fengine.LastFaultTime(), DefaultRecoveryTol)
 			res.RecoveryTime, res.Recovered = rep.Time, rep.Settled
 		}
+	}
+	if rec != nil {
+		res.Telemetry = rec.Finalize(cfg.Scenario.Name, cfg.Protocol.String())
 	}
 	return res, nil
 }

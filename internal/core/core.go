@@ -25,11 +25,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"gmp/internal/clique"
 	"gmp/internal/flow"
 	"gmp/internal/measure"
+	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/sim"
 	"gmp/internal/topology"
@@ -130,6 +132,11 @@ type Engine struct {
 	// trace Round records the fault state it was measured under.
 	faultProbe func() []topology.NodeID
 
+	// rec is the telemetry recorder (nil when telemetry is off). The
+	// engine records which local condition generated each adjustment
+	// request and every applied limit change.
+	rec *obs.Recorder
+
 	trace []Round
 }
 
@@ -162,6 +169,27 @@ func (e *Engine) Trace() []Round { return e.trace }
 // SetFaultProbe installs a callback reporting the currently crashed
 // nodes (fault injection); each recorded Round carries its result.
 func (e *Engine) SetFaultProbe(fn func() []topology.NodeID) { e.faultProbe = fn }
+
+// SetRecorder installs the telemetry recorder (nil disables). The
+// recorder only observes condition outcomes and limit changes; it never
+// alters the requests themselves.
+func (e *Engine) SetRecorder(rec *obs.Recorder) { e.rec = rec }
+
+// recordAll logs one condition event per flow in the set, in flow-ID
+// order so the telemetry stream does not inherit map iteration order.
+func (e *Engine) recordAll(flows map[packet.FlowID]topology.NodeID, node topology.NodeID, cond obs.Condition, reduce bool, factor float64) {
+	if e.rec == nil {
+		return
+	}
+	ids := make([]packet.FlowID, 0, len(flows))
+	for f := range flows {
+		ids = append(ids, f)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, f := range ids {
+		e.rec.Condition(f, node, cond, reduce, factor)
+	}
+}
 
 func (e *Engine) onBoundary() {
 	e.boundary++
@@ -322,12 +350,21 @@ func (e *Engine) testSourceAndBufferConditions(snap *measure.Snapshot, reqs reqS
 		if wide {
 			down, up = 0.5, 2
 		}
+		// Telemetry attribution: a saturated virtual node hosting flow
+		// sources enforces the source condition; a pure relay enforces
+		// the buffer-saturated condition.
+		cond := obs.CondBuffer
+		if len(locals) > 0 {
+			cond = obs.CondSource
+		}
 		for _, ul := range ups {
 			if e.eq(ul.NormRate, l1) {
 				reqs.addReduceAll(ul.Primaries, down)
+				e.recordAll(ul.Primaries, v.Node, cond, true, down)
 			}
 			if ul.Type == measure.BufferSaturated && e.eq(ul.NormRate, s1) {
 				reqs.addIncreaseAll(ul.Primaries, up)
+				e.recordAll(ul.Primaries, v.Node, cond, false, up)
 			}
 		}
 		for _, spec := range locals {
@@ -335,9 +372,15 @@ func (e *Engine) testSourceAndBufferConditions(snap *measure.Snapshot, reqs reqS
 			mu := src.NormRate()
 			if e.eq(mu, l1) {
 				reqs.addReduce(spec.ID, down)
+				if e.rec != nil {
+					e.rec.Condition(spec.ID, v.Node, cond, true, down)
+				}
 			}
 			if _, limited := src.Limited(); limited && e.eq(mu, s1) {
 				reqs.addIncrease(spec.ID, up)
+				if e.rec != nil {
+					e.rec.Condition(spec.ID, v.Node, cond, false, up)
+				}
 			}
 		}
 	}
@@ -430,9 +473,11 @@ func (e *Engine) testBandwidthCondition(snap *measure.Snapshot, reqs reqSet) {
 					for _, kv := range byWLink[dir] {
 						if e.eq(kv.NormRate, l2) && kv.NormRate > 0 {
 							reqs.addReduceAll(kv.Primaries, down)
+							e.recordAll(kv.Primaries, kv.Key.From, obs.CondBandwidth, true, down)
 						}
 						if kv.Type == measure.BandwidthSaturated && e.eq(kv.NormRate, worst.NormRate) {
 							reqs.addIncreaseAll(kv.Primaries, up)
+							e.recordAll(kv.Primaries, kv.Key.From, obs.CondBandwidth, false, up)
 						}
 					}
 				}
@@ -455,6 +500,13 @@ func (e *Engine) apply(reqs map[packet.FlowID]Request, rates []float64, snap *me
 		spec := src.Spec()
 		req, has := reqs[f]
 		limit, limited := src.Limited()
+		// before/action feed the telemetry limit timeline; -1 encodes
+		// "no limit" (JSON-encodable, unlike +Inf).
+		before := -1.0
+		if limited {
+			before = limit
+		}
+		var action obs.LimitAction
 		switch {
 		case has && req.Reduce:
 			base := rates[i]
@@ -462,9 +514,11 @@ func (e *Engine) apply(reqs map[packet.FlowID]Request, rates []float64, snap *me
 				base = limit
 			}
 			src.SetLimit(base * req.Factor)
+			action = obs.ActionReduce
 		case has && !req.Reduce:
 			if limited {
 				src.SetLimit(limit * req.Factor)
+				action = obs.ActionIncrease
 			}
 		default:
 			if limited {
@@ -482,17 +536,33 @@ func (e *Engine) apply(reqs map[packet.FlowID]Request, rates []float64, snap *me
 						// The limit is persistently not binding: remove it.
 						src.RemoveLimit()
 						e.slack[f] = 0
+						action = obs.ActionRemove
 					}
 				} else {
 					e.slack[f] = 0
 					src.SetLimit(limit + e.params.AdditiveIncrease)
+					action = obs.ActionProbe
 				}
 			}
 		}
+		after := -1.0
 		if l, ok := src.Limited(); ok {
 			limits[i] = l
+			after = l
 		} else {
 			limits[i] = math.Inf(1)
+		}
+		if e.rec != nil && action != "" {
+			e.rec.LimitChange(f, action, before, after)
+			if action == obs.ActionProbe || action == obs.ActionRemove {
+				// The rate-limit condition (§5.3 c4): a source with a
+				// non-binding limit probes upward or sheds the limit.
+				factor := 0.0
+				if action == obs.ActionProbe && before > 0 && after > 0 {
+					factor = after / before
+				}
+				e.rec.Condition(f, spec.Src, obs.CondRateLimit, false, factor)
+			}
 		}
 	}
 	round := Round{

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"gmp/internal/clique"
@@ -33,6 +34,7 @@ import (
 	"gmp/internal/flow"
 	"gmp/internal/forwarding"
 	"gmp/internal/measure"
+	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/sim"
 	"gmp/internal/topology"
@@ -111,6 +113,9 @@ type Agent struct {
 
 	violations int64 // bandwidth-condition violations originated (stats)
 	vReceived  int64 // violation messages processed (stats)
+
+	// rec is the telemetry recorder (nil when telemetry is off).
+	rec *obs.Recorder
 }
 
 // ViolationsReceived reports processed violation messages.
@@ -228,6 +233,11 @@ func (a *Agent) applyPending() {
 		req, has := a.pending[f]
 		limit, limited := src.Limited()
 		rate := a.rates[f]
+		before := -1.0
+		if limited {
+			before = limit
+		}
+		var action obs.LimitAction
 		switch {
 		case has && req.Reduce:
 			base := rate
@@ -235,9 +245,11 @@ func (a *Agent) applyPending() {
 				base = limit
 			}
 			src.SetLimit(base * req.Factor)
+			action = obs.ActionReduce
 		case has && !req.Reduce:
 			if limited {
 				src.SetLimit(limit * req.Factor)
+				action = obs.ActionIncrease
 			}
 		default:
 			if limited {
@@ -247,11 +259,27 @@ func (a *Agent) applyPending() {
 					if a.slack[f] >= 2 {
 						src.RemoveLimit()
 						a.slack[f] = 0
+						action = obs.ActionRemove
 					}
 				} else {
 					a.slack[f] = 0
 					src.SetLimit(limit + a.params.AdditiveIncrease)
+					action = obs.ActionProbe
 				}
+			}
+		}
+		if a.rec != nil && action != "" {
+			after := -1.0
+			if l, ok := src.Limited(); ok {
+				after = l
+			}
+			a.rec.LimitChange(f, action, before, after)
+			if action == obs.ActionProbe || action == obs.ActionRemove {
+				factor := 0.0
+				if action == obs.ActionProbe && before > 0 && after > 0 {
+					factor = after / before
+				}
+				a.rec.Condition(f, a.id, obs.CondRateLimit, false, factor)
 			}
 		}
 	}
@@ -424,13 +452,22 @@ func (a *Agent) testSourceAndBuffer() {
 		if wide {
 			down, up = 0.5, 2
 		}
+		// Telemetry attribution: the source condition when this queue
+		// hosts local flow sources, the buffer-saturated one otherwise.
+		cond := obs.CondBuffer
+		for i := range a.localFlows {
+			if packet.QueueForDest(a.localFlows[i].Dst) == qid {
+				cond = obs.CondSource
+				break
+			}
+		}
 		for i, upm := range ups {
 			mu := upm.Primary.NormRate
 			if a.eq(mu, l1) {
-				a.deliverAll(upm.Primary.Flows, Request{Reduce: true, Factor: down})
+				a.deliverAll(upm.Primary.Flows, Request{Reduce: true, Factor: down}, cond)
 			}
 			if a.vlinkType(upKeys[i]) == measure.BufferSaturated && a.eq(mu, s1) {
-				a.deliverAll(upm.Primary.Flows, Request{Factor: up})
+				a.deliverAll(upm.Primary.Flows, Request{Factor: up}, cond)
 			}
 		}
 		for i := range a.localFlows {
@@ -440,9 +477,15 @@ func (a *Agent) testSourceAndBuffer() {
 			}
 			f := a.localFlows[i].ID
 			if a.eq(mu, l1) {
+				if a.rec != nil {
+					a.rec.Condition(f, a.id, cond, true, down)
+				}
 				a.deliver(f, Request{Reduce: true, Factor: down})
 			}
 			if _, limited := a.localSources[i].Limited(); limited && a.eq(mu, s1) {
+				if a.rec != nil {
+					a.rec.Condition(f, a.id, cond, false, up)
+				}
 				a.deliver(f, Request{Factor: up})
 			}
 		}
@@ -595,10 +638,10 @@ func (a *Agent) onViolation(v violationMsg) {
 					}
 					mu := m.Primary.NormRate
 					if mu > 0 && mu >= localMax*(1-a.params.Beta) && mu > v.MuStar*(1+a.params.Beta) {
-						a.deliverAll(m.Primary.Flows, Request{Reduce: true, Factor: 1 - a.params.Beta})
+						a.deliverAll(m.Primary.Flows, Request{Reduce: true, Factor: 1 - a.params.Beta}, obs.CondBandwidth)
 					}
 					if a.vlinkType(key) == measure.BandwidthSaturated && mu > 0 && mu <= v.MuStar*(1+a.params.Beta) {
-						a.deliverAll(m.Primary.Flows, Request{Factor: 1 + a.params.Beta})
+						a.deliverAll(m.Primary.Flows, Request{Factor: 1 + a.params.Beta}, obs.CondBandwidth)
 					}
 				}
 			}
@@ -606,8 +649,23 @@ func (a *Agent) onViolation(v violationMsg) {
 	}
 }
 
-func (a *Agent) deliverAll(flows map[packet.FlowID]topology.NodeID, req Request) {
+// deliverAll hands a request to every flow in the set and, with
+// telemetry on, records the condition that generated it — in flow-ID
+// order so the telemetry stream does not inherit map iteration order.
+func (a *Agent) deliverAll(flows map[packet.FlowID]topology.NodeID, req Request, cond obs.Condition) {
+	if a.rec == nil {
+		for f := range flows {
+			a.deliver(f, req)
+		}
+		return
+	}
+	ids := make([]packet.FlowID, 0, len(flows))
 	for f := range flows {
+		ids = append(ids, f)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, f := range ids {
+		a.rec.Condition(f, a.id, cond, req.Reduce, req.Factor)
 		a.deliver(f, req)
 	}
 }
@@ -631,6 +689,14 @@ func (d *Distributed) Trace() []Round { return d.trace }
 // nodes (fault injection). Install it before the first boundary tick
 // (i.e. right after StartDistributed returns, before sched.Run).
 func (d *Distributed) SetFaultProbe(fn func() []topology.NodeID) { d.faultProbe = fn }
+
+// SetRecorder installs the telemetry recorder on every agent (nil
+// disables). Install it before sched.Run, like SetFaultProbe.
+func (d *Distributed) SetRecorder(rec *obs.Recorder) {
+	for _, a := range d.Agents {
+		a.rec = rec
+	}
+}
 
 // StartDistributed builds and starts the full distributed runtime: a
 // dissemination agent and a GMP agent per node, a shared occupancy board

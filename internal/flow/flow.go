@@ -368,6 +368,21 @@ func (r *Registry) DroppedBy(id packet.FlowID) map[forwarding.DropReason]int64 {
 	return out
 }
 
+// Limits returns each flow's current self-imposed rate limit in packets
+// per second, with -1 for unlimited flows (telemetry sampling; -1 keeps
+// the vector JSON-encodable, unlike +Inf).
+func (r *Registry) Limits() []float64 {
+	out := make([]float64, len(r.sources))
+	for i, src := range r.sources {
+		if l, ok := src.Limited(); ok {
+			out[i] = l
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
 // Mark snapshots delivery and injection counters at virtual time now;
 // MeasuredRates later reports rates over [now, then]. Used to exclude
 // warmup from reported rates.

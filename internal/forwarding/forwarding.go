@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gmp/internal/mac"
+	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/routing"
 	"gmp/internal/sim"
@@ -336,6 +337,11 @@ type Node struct {
 	// enqueued counts packets accepted into local queues this period
 	// (arrivals + local generation), for tests.
 	enqueued int64
+
+	// rec is the telemetry recorder (nil when telemetry is off). When
+	// set, admitted packets are stamped with their admission time and
+	// acknowledged forwards report their per-hop sojourn.
+	rec *obs.Recorder
 }
 
 var (
@@ -375,6 +381,21 @@ func NewNode(id topology.NodeID, sched *sim.Scheduler, cfg Config, routes *routi
 // the two layers).
 func (n *Node) SetMAC(st *mac.Station) { n.mac = st }
 
+// SetRecorder installs the telemetry recorder (nil disables). The
+// recorder only observes admissions, forwards, and drops; it never
+// influences queueing decisions, so enabling it cannot change
+// simulation behavior.
+func (n *Node) SetRecorder(rec *obs.Recorder) { n.rec = rec }
+
+// dropPkt reports a packet loss at this node: the telemetry recorder
+// attributes it to the node, then the statistics callback runs.
+func (n *Node) dropPkt(p *packet.Packet, reason DropReason) {
+	if n.rec != nil {
+		n.rec.PacketDropped(n.id, p.Flow)
+	}
+	n.drop(p, reason)
+}
+
 // SetRoutes swaps in a new routing table (fault-driven route repair).
 // The table is consulted live at every dequeue, so already-queued
 // packets follow the new routes from their next transmission on. The
@@ -396,7 +417,7 @@ func (n *Node) DropAll(reason DropReason) {
 		q := n.queues[qid]
 		for q.length() > 0 {
 			p, _ := q.pop()
-			n.drop(p, reason)
+			n.dropPkt(p, reason)
 		}
 		n.touchFullState(q)
 	}
@@ -513,6 +534,16 @@ func (n *Node) QueueLen(id packet.QueueID) int {
 	return 0
 }
 
+// TotalQueued returns the total number of packets currently buffered at
+// this node across all queues (telemetry sampling).
+func (n *Node) TotalQueued() int {
+	total := 0
+	for _, qid := range n.order {
+		total += n.queues[qid].length()
+	}
+	return total
+}
+
 // Queues returns the IDs of the queues this node has instantiated, in
 // creation order. Under per-destination queueing these are the node's
 // served destinations (its virtual nodes).
@@ -529,6 +560,9 @@ func (n *Node) Enqueue(p *packet.Packet) bool {
 	q := n.queueFor(n.cfg.Mode.QueueKey(p))
 	if n.fullFor(q, n.id) {
 		return false
+	}
+	if n.rec != nil {
+		p.ArrivedAt = n.sched.Now()
 	}
 	q.push(p, n.id)
 	n.enqueued++
@@ -558,7 +592,7 @@ func (n *Node) NextOutgoing() *mac.Outgoing {
 		if !ok {
 			q.pop()
 			n.touchFullState(q)
-			n.drop(head, DropNoRoute)
+			n.dropPkt(head, DropNoRoute)
 			k-- // re-examine the same queue
 			continue
 		}
@@ -611,8 +645,11 @@ func (n *Node) OnSendComplete(out *mac.Outgoing, ok bool) {
 			}
 			return
 		}
-		n.drop(out.Pkt, DropRetry)
+		n.dropPkt(out.Pkt, DropRetry)
 		return
+	}
+	if n.rec != nil {
+		n.rec.HopForwarded(n.id, out.Pkt.Flow, n.sched.Now()-out.Pkt.ArrivedAt)
 	}
 	key := VLinkKey{From: n.id, To: out.NextHop, Queue: n.cfg.Mode.QueueKey(out.Pkt)}
 	m := n.meters[key]
@@ -670,11 +707,17 @@ func (n *Node) OnReceive(p *packet.Packet, from topology.NodeID) {
 		if n.cfg.OverwriteTail {
 			tail := q.pkts[len(q.pkts)-1]
 			q.pkts[len(q.pkts)-1] = p
-			n.drop(tail, DropTail)
+			if n.rec != nil {
+				p.ArrivedAt = n.sched.Now()
+			}
+			n.dropPkt(tail, DropTail)
 		} else {
-			n.drop(p, DropOverflow)
+			n.dropPkt(p, DropOverflow)
 		}
 		return
+	}
+	if n.rec != nil {
+		p.ArrivedAt = n.sched.Now()
 	}
 	q.push(p, from)
 	n.enqueued++

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/radio"
 	"gmp/internal/sim"
@@ -173,6 +174,12 @@ type Station struct {
 	lastSeq map[packet.FlowID]int64
 
 	stats Stats
+
+	// rec is the telemetry recorder (nil when telemetry is off); curSince
+	// is the virtual time the current packet was pulled from the client,
+	// for MAC service-time spans. Only maintained while rec is set.
+	rec      *obs.Recorder
+	curSince time.Duration
 }
 
 var _ radio.Station = (*Station)(nil)
@@ -211,6 +218,12 @@ func (s *Station) ID() topology.NodeID { return s.id }
 
 // Stats returns a snapshot of the station's counters.
 func (s *Station) Stats() Stats { return s.stats }
+
+// SetRecorder installs the telemetry recorder (nil disables). The
+// recorder only observes completed exchanges and retries; it never
+// feeds back into channel access, so enabling it cannot change
+// simulation behavior.
+func (s *Station) SetRecorder(rec *obs.Recorder) { s.rec = rec }
 
 // Down reports whether the station is currently crashed.
 func (s *Station) Down() bool { return s.ph == phaseDown }
@@ -297,6 +310,9 @@ func (s *Station) pullNext() {
 	if s.cur == nil {
 		s.ph = phaseIdle
 		return
+	}
+	if s.rec != nil {
+		s.curSince = s.sched.Now()
 	}
 	s.retries = 0
 	s.startAccess()
@@ -491,6 +507,9 @@ func (s *Station) onExchangeTimeout() {
 	}
 	s.retries++
 	s.stats.Retries++
+	if s.rec != nil {
+		s.rec.MACRetry(s.id, s.cur.Pkt.Flow)
+	}
 	if s.retries > s.par.RetryLimit {
 		s.stats.Drops++
 		out := s.cur
@@ -653,6 +672,9 @@ func (s *Station) handleAck(f *radio.Frame) {
 	}
 	s.waitTimer.Cancel()
 	s.stats.DataAcked++
+	if s.rec != nil {
+		s.rec.MACService(s.id, s.cur.Pkt.Flow, s.sched.Now()-s.curSince)
+	}
 	out := s.cur
 	s.cur = nil
 	s.cw = s.par.CWMin

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gmp/internal/packet"
+	"gmp/internal/topology"
+)
+
+// JSONL schema. Every line is one JSON object with a "type" field
+// naming its record kind; the remaining fields are fixed per kind. The
+// encoder emits struct fields in declaration order, so output is
+// deterministic for a given Telemetry. ValidateJSONL is the schema's
+// executable definition.
+
+type metaLine struct {
+	Type string `json:"type"`
+	Meta
+}
+
+type flowLine struct {
+	Type string `json:"type"`
+	FlowStats
+}
+
+type nodeLine struct {
+	Type string `json:"type"`
+	NodeStats
+}
+
+type sampleLine struct {
+	Type string `json:"type"`
+	Sample
+}
+
+type conditionLine struct {
+	Type   string          `json:"type"`
+	At     time.Duration   `json:"at_ns"`
+	Flow   packet.FlowID   `json:"flow"`
+	Node   topology.NodeID `json:"node"`
+	Cond   string          `json:"cond"`
+	Reduce bool            `json:"reduce"`
+	Factor float64         `json:"factor"`
+}
+
+type limitLine struct {
+	Type string `json:"type"`
+	LimitEvent
+}
+
+// WriteJSONL exports the telemetry as JSON Lines: one meta line, then
+// one line per flow, node, sample, condition event, and limit event, in
+// that order. Output is deterministic: identical telemetry produces
+// identical bytes.
+func (t *Telemetry) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(metaLine{Type: "meta", Meta: t.Meta}); err != nil {
+		return err
+	}
+	for _, f := range t.Flows {
+		if err := enc.Encode(flowLine{Type: "flow", FlowStats: f}); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Nodes {
+		if err := enc.Encode(nodeLine{Type: "node", NodeStats: n}); err != nil {
+			return err
+		}
+	}
+	for _, s := range t.Samples {
+		if err := enc.Encode(sampleLine{Type: "sample", Sample: s}); err != nil {
+			return err
+		}
+	}
+	for _, c := range t.Conditions {
+		if err := enc.Encode(conditionLine{
+			Type: "condition", At: c.At, Flow: c.Flow, Node: c.Node,
+			Cond: c.Cond.String(), Reduce: c.Reduce, Factor: c.Factor,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, l := range t.Limits {
+		if err := enc.Encode(limitLine{Type: "limit", LimitEvent: l}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSamplesCSV exports the periodic samples as CSV: one row per
+// sample with the time in seconds, every node's queue depth, and every
+// flow's rate limit (-1 when unlimited). Link utilizations stay in the
+// JSONL (their set varies per sample).
+func (t *Telemetry) WriteSamplesCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cols := []string{"at_s"}
+	for n := 0; n < t.Meta.Nodes; n++ {
+		cols = append(cols, fmt.Sprintf("queue_n%d", n))
+	}
+	for f := 0; f < t.Meta.Flows; f++ {
+		cols = append(cols, fmt.Sprintf("limit_f%d", f))
+	}
+	if _, err := fmt.Fprintln(bw, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		row := make([]string, 0, len(cols))
+		row = append(row, fmt.Sprintf("%.3f", s.At.Seconds()))
+		for _, q := range s.Queues {
+			row = append(row, fmt.Sprintf("%d", q))
+		}
+		for _, l := range s.Limits {
+			row = append(row, fmt.Sprintf("%.3f", l))
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateJSONL strictly decodes a telemetry JSONL stream, rejecting
+// unknown record types, unknown fields, and structural violations
+// (missing meta line, histogram bucket-count mismatches, sample vectors
+// of the wrong length). It returns the record count per type. This is
+// the executable schema definition used by the schema test and CI.
+func ValidateJSONL(r io.Reader) (map[string]int, error) {
+	counts := make(map[string]int)
+	var meta *Meta
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return counts, fmt.Errorf("line %d: %w", line, err)
+		}
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		switch head.Type {
+		case "meta":
+			if meta != nil {
+				return counts, fmt.Errorf("line %d: duplicate meta record", line)
+			}
+			var m metaLine
+			if err := dec.Decode(&m); err != nil {
+				return counts, fmt.Errorf("line %d (meta): %w", line, err)
+			}
+			if m.Flows < 0 || m.Nodes <= 0 || len(m.BucketBounds) == 0 {
+				return counts, fmt.Errorf("line %d: malformed meta record", line)
+			}
+			meta = &m.Meta
+		case "flow":
+			var f flowLine
+			if err := dec.Decode(&f); err != nil {
+				return counts, fmt.Errorf("line %d (flow): %w", line, err)
+			}
+			if meta == nil {
+				return counts, fmt.Errorf("line %d: flow record before meta", line)
+			}
+			if len(f.Latency.Counts) != len(meta.BucketBounds)+1 {
+				return counts, fmt.Errorf("line %d: flow %d latency histogram has %d buckets, want %d",
+					line, f.Flow, len(f.Latency.Counts), len(meta.BucketBounds)+1)
+			}
+		case "node":
+			var n nodeLine
+			if err := dec.Decode(&n); err != nil {
+				return counts, fmt.Errorf("line %d (node): %w", line, err)
+			}
+			if meta == nil {
+				return counts, fmt.Errorf("line %d: node record before meta", line)
+			}
+			if len(n.Sojourn.Counts) != len(meta.BucketBounds)+1 ||
+				len(n.MACService.Counts) != len(meta.BucketBounds)+1 {
+				return counts, fmt.Errorf("line %d: node %d histogram bucket count mismatch", line, n.Node)
+			}
+		case "sample":
+			var s sampleLine
+			if err := dec.Decode(&s); err != nil {
+				return counts, fmt.Errorf("line %d (sample): %w", line, err)
+			}
+			if meta == nil {
+				return counts, fmt.Errorf("line %d: sample record before meta", line)
+			}
+			if len(s.Queues) != meta.Nodes {
+				return counts, fmt.Errorf("line %d: sample has %d queue depths, want %d", line, len(s.Queues), meta.Nodes)
+			}
+			if len(s.Limits) != meta.Flows {
+				return counts, fmt.Errorf("line %d: sample has %d limits, want %d", line, len(s.Limits), meta.Flows)
+			}
+		case "condition":
+			var c conditionLine
+			if err := dec.Decode(&c); err != nil {
+				return counts, fmt.Errorf("line %d (condition): %w", line, err)
+			}
+			switch c.Cond {
+			case "source", "buffer", "bandwidth", "rate-limit":
+			default:
+				return counts, fmt.Errorf("line %d: unknown condition %q", line, c.Cond)
+			}
+		case "limit":
+			var l limitLine
+			if err := dec.Decode(&l); err != nil {
+				return counts, fmt.Errorf("line %d (limit): %w", line, err)
+			}
+			switch l.Action {
+			case ActionReduce, ActionIncrease, ActionProbe, ActionRemove:
+			default:
+				return counts, fmt.Errorf("line %d: unknown limit action %q", line, l.Action)
+			}
+		default:
+			return counts, fmt.Errorf("line %d: unknown record type %q", line, head.Type)
+		}
+		counts[head.Type]++
+	}
+	if err := sc.Err(); err != nil {
+		return counts, err
+	}
+	if meta == nil {
+		return counts, fmt.Errorf("no meta record found")
+	}
+	return counts, nil
+}
+
+// FlowSummary is one flow's compressed telemetry for per-seed sweep
+// summaries.
+type FlowSummary struct {
+	Flow         packet.FlowID `json:"flow"`
+	Delivered    int64         `json:"delivered"`
+	Retries      int64         `json:"retries"`
+	MeanLatency  time.Duration `json:"mean_latency_ns"`
+	P50Latency   time.Duration `json:"p50_latency_ns"`
+	P99Latency   time.Duration `json:"p99_latency_ns"`
+	Conditions   [4]int64      `json:"conditions"` // source, buffer, bandwidth, rate-limit
+	Bottleneck   string        `json:"bottleneck"` // final reducing condition, "" if never reduced
+	LimitChanges int           `json:"limit_changes"`
+}
+
+// RunSummary compresses one run's telemetry to a single record.
+type RunSummary struct {
+	Scenario   string        `json:"scenario"`
+	Protocol   string        `json:"protocol"`
+	Samples    int           `json:"samples"`
+	Conditions int           `json:"conditions"`
+	Flows      []FlowSummary `json:"flows"`
+}
+
+// Summarize compresses the telemetry for per-seed sweep reporting.
+func (t *Telemetry) Summarize() RunSummary {
+	s := RunSummary{
+		Scenario:   t.Meta.Scenario,
+		Protocol:   t.Meta.Protocol,
+		Samples:    len(t.Samples),
+		Conditions: len(t.Conditions),
+	}
+	for _, f := range t.Flows {
+		fs := FlowSummary{
+			Flow:        f.Flow,
+			Delivered:   f.Delivered,
+			Retries:     f.Retries,
+			MeanLatency: f.Latency.Mean(),
+			P50Latency:  f.Latency.Quantile(0.50),
+			P99Latency:  f.Latency.Quantile(0.99),
+			Conditions:  t.FlowConditionCounts(f.Flow),
+		}
+		if c := t.FinalBottleneck(f.Flow); c != 0 {
+			fs.Bottleneck = c.String()
+		}
+		for _, l := range t.Limits {
+			if l.Flow == f.Flow {
+				fs.LimitChanges++
+			}
+		}
+		s.Flows = append(s.Flows, fs)
+	}
+	return s
+}

@@ -41,6 +41,27 @@ func TestDeliveryAllocs(t *testing.T) {
 	}
 }
 
+// TestDeliveryAllocsNilRecorder pins the telemetry layer's zero-cost
+// contract on the frame-delivery hot path: with the recorder explicitly
+// nil (the disabled state every untelemetered run uses), delivery
+// allocates no more than the pre-telemetry baseline measured alongside.
+func TestDeliveryAllocsNilRecorder(t *testing.T) {
+	baseline := newHarness(t, []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}})
+	disabled := newHarness(t, []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}})
+	disabled.medium.SetRecorder(nil)
+	f := dataFrame(0, 1)
+
+	for i := 0; i < 16; i++ {
+		deliverOne(baseline, f)
+		deliverOne(disabled, f)
+	}
+	base := testing.AllocsPerRun(200, func() { deliverOne(baseline, f) })
+	got := testing.AllocsPerRun(200, func() { deliverOne(disabled, f) })
+	if got > base {
+		t.Errorf("delivery with nil recorder allocates %.1f objects per frame, baseline %.1f", got, base)
+	}
+}
+
 // BenchmarkMediumDelivery measures the per-frame cost of the medium in
 // isolation: one data frame across a two-node link, including carrier
 // sense, busy/idle callbacks, and occupancy accounting.

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/sim"
 	"gmp/internal/topology"
@@ -265,6 +266,9 @@ type Medium struct {
 
 	stats    Stats
 	observer func(trace.Event)
+	// rec is the telemetry recorder (nil when telemetry is off; the hot
+	// path pays one branch per transmission, see internal/obs).
+	rec *obs.Recorder
 }
 
 // NewMedium builds the channel for the given topology. Stations register
@@ -305,6 +309,11 @@ func (m *Medium) Params() Params { return m.params }
 // SetObserver installs a channel-event callback (nil disables). Used by
 // the trace facility; adds no cost when unset.
 func (m *Medium) SetObserver(fn func(trace.Event)) { m.observer = fn }
+
+// SetRecorder installs the telemetry recorder (nil disables). The
+// recorder only accumulates airtime per link; it never mutates channel
+// state, so enabling it cannot change simulation behavior.
+func (m *Medium) SetRecorder(rec *obs.Recorder) { m.rec = rec }
 
 func (m *Medium) emit(kind trace.Kind, node, peer topology.NodeID, f *Frame) {
 	if m.observer == nil {
@@ -547,6 +556,9 @@ func (m *Medium) Transmit(src topology.NodeID, f *Frame) {
 		atomic.AddInt64((*int64)(&m.stats.ControlAirtime), int64(dur))
 	} else if idx := m.topo.LinkIndex(f.LinkFrom, f.LinkTo); idx >= 0 {
 		m.occupancy[idx] += dur
+		if m.rec != nil {
+			m.rec.LinkAirtime(idx, dur)
+		}
 	} else {
 		if m.occupancyFar == nil {
 			m.occupancyFar = make(map[topology.Link]time.Duration)

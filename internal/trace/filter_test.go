@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+	}{
+		{"", 0},
+		{"tx", KindTransmit},
+		{"rx", KindDeliver},
+		{"col", KindCorrupt},
+		{"drop", KindDrop},
+	}
+	for _, tc := range cases {
+		got, err := ParseKind(tc.in)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseKind(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) did not fail")
+	}
+}
+
+func filterFixture() []Event {
+	return []Event{
+		{At: 1 * time.Millisecond, Kind: KindTransmit, Node: 1, Peer: 2, Detail: "DATA"},
+		{At: 2 * time.Millisecond, Kind: KindDeliver, Node: 2, Peer: 1, Detail: "DATA"},
+		{At: 3 * time.Millisecond, Kind: KindCorrupt, Node: 3, Peer: 1, Detail: "DATA"},
+		{At: 4 * time.Millisecond, Kind: KindDrop, Node: 2, Peer: -1, Detail: "overflow"},
+		{At: 5 * time.Millisecond, Kind: KindTransmit, Node: 3, Peer: 4, Detail: "RTS"},
+	}
+}
+
+func TestFilterByNode(t *testing.T) {
+	events := filterFixture()
+	got := Filter(events, 2, 0)
+	want := []Event{events[0], events[1], events[3]}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Filter(node=2) = %v, want %v", got, want)
+	}
+}
+
+func TestFilterByKind(t *testing.T) {
+	events := filterFixture()
+	got := Filter(events, -1, KindTransmit)
+	want := []Event{events[0], events[4]}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Filter(kind=tx) = %v, want %v", got, want)
+	}
+}
+
+func TestFilterByNodeAndKind(t *testing.T) {
+	events := filterFixture()
+	got := Filter(events, 3, KindTransmit)
+	want := []Event{events[4]}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Filter(node=3, kind=tx) = %v, want %v", got, want)
+	}
+}
+
+func TestFilterNoRestriction(t *testing.T) {
+	events := filterFixture()
+	got := Filter(events, -1, 0)
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("Filter(any, any) changed the slice: %v", got)
+	}
+}
+
+func TestFilterNoMatches(t *testing.T) {
+	if got := Filter(filterFixture(), 99, 0); len(got) != 0 {
+		t.Errorf("Filter(node=99) = %v, want empty", got)
+	}
+}
+
+func TestRingFiltered(t *testing.T) {
+	r := NewRing(4)
+	for _, e := range filterFixture() {
+		r.Record(e) // capacity 4: evicts the first event
+	}
+	got := r.Filtered(1, 0)
+	events := filterFixture()
+	want := []Event{events[1], events[2]}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Filtered(node=1) = %v, want %v", got, want)
+	}
+}

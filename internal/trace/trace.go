@@ -59,6 +59,52 @@ func (e Event) String() string {
 		e.At, e.Kind, e.Node, e.Peer, e.Detail)
 }
 
+// ParseKind maps a trace output name back to its Kind. The empty string
+// parses to 0, which Filter treats as "any kind".
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "tx":
+		return KindTransmit, nil
+	case "rx":
+		return KindDeliver, nil
+	case "col":
+		return KindCorrupt, nil
+	case "drop":
+		return KindDrop, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown event kind %q (want tx|rx|col|drop)", s)
+	}
+}
+
+// Filter returns the events involving node with the given kind, oldest
+// order preserved. node < 0 matches any node; otherwise an event matches
+// when the node is either endpoint (Node or Peer). kind 0 matches any
+// kind. The input slice is never modified.
+func Filter(events []Event, node topology.NodeID, kind Kind) []Event {
+	if node < 0 && kind == 0 {
+		return events
+	}
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if node >= 0 && e.Node != node && e.Peer != node {
+			continue
+		}
+		if kind != 0 && e.Kind != kind {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Filtered returns the ring's held events restricted by Filter's rules,
+// oldest first.
+func (r *Ring) Filtered(node topology.NodeID, kind Kind) []Event {
+	return Filter(r.Events(), node, kind)
+}
+
 // Ring is a bounded in-memory event recorder. The zero value is unusable;
 // construct with NewRing. It keeps the most recent Cap events.
 type Ring struct {
