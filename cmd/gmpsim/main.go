@@ -17,6 +17,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -66,6 +68,16 @@ func run(args []string, stdout io.Writer) error {
 		nflows       = fs.Int("flows", 6, "flow count (mesh/random scenarios)")
 		length       = fs.Int("length", 5, "chain length in nodes (chain scenario)")
 		spacing      = fs.Float64("spacing", 200, "node spacing in meters (chain/mesh)")
+		mobModel     = fs.String("mobility", "", "move nodes during the run: random-waypoint|random-walk|group")
+		mobEpoch     = fs.Duration("mob-epoch", time.Second, "mobility position-update interval")
+		mobSpeedMin  = fs.Float64("mob-speed-min", 1, "minimum node speed (m/s)")
+		mobSpeedMax  = fs.Float64("mob-speed-max", 10, "maximum node speed (m/s)")
+		mobPause     = fs.Duration("mob-pause", 0, "random-waypoint pause at each waypoint")
+		mobStart     = fs.Duration("mob-start", 0, "delay before motion begins")
+		mobStop      = fs.Duration("mob-stop", 0, "time after which motion ceases (0 = never)")
+		mobGroups    = fs.Int("mob-groups", 2, "group count (group model)")
+		mobRadius    = fs.Float64("mob-radius", 100, "member offset radius in meters (group model)")
+		mobPinned    = fs.String("mob-pinned", "", "comma-separated nodes that never move")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +135,11 @@ func run(args []string, stdout io.Writer) error {
 	if *telemetry != "" || *why >= 0 {
 		tcfg = &gmp.TelemetryConfig{}
 	}
+	mob, err := buildMobility(*mobModel, *mobEpoch, *mobSpeedMin, *mobSpeedMax,
+		*mobPause, *mobStart, *mobStop, *mobGroups, *mobRadius, *mobPinned)
+	if err != nil {
+		return err
+	}
 
 	res, err := gmp.Run(gmp.Config{
 		Scenario:         sc,
@@ -140,6 +157,7 @@ func run(args []string, stdout io.Writer) error {
 		EventTrace:       *events,
 		InBandControl:    *inband,
 		FairAggregation:  *fairAgg,
+		Mobility:         mob,
 		Telemetry:        tcfg,
 	})
 	if err != nil {
@@ -285,6 +303,46 @@ func printJSON(stdout io.Writer, res *gmp.Result, events []gmp.TraceEvent) error
 	return enc.Encode(out)
 }
 
+// buildMobility assembles the -mob-* flags into a MobilityConfig (nil
+// when -mobility is unset; scenario-file mobility then applies). Field
+// bounds are always derived from the node placement here; use a scenario
+// file for explicit bounds.
+func buildMobility(model string, epoch time.Duration, speedMin, speedMax float64,
+	pause, start, stop time.Duration, groups int, radius float64, pinned string) (*gmp.MobilityConfig, error) {
+	if model == "" {
+		return nil, nil
+	}
+	m, err := gmp.ParseMobilityModel(model)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &gmp.MobilityConfig{
+		Model:    m,
+		Epoch:    epoch,
+		Start:    start,
+		Stop:     stop,
+		MinSpeed: speedMin,
+		MaxSpeed: speedMax,
+		Pause:    pause,
+	}
+	if m == gmp.MobilityGroup {
+		cfg.Groups = groups
+		cfg.GroupRadius = radius
+	}
+	for _, part := range strings.Split(pinned, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, perr := strconv.Atoi(part)
+		if perr != nil {
+			return nil, fmt.Errorf("-mob-pinned: %q is not a node", part)
+		}
+		cfg.Pinned = append(cfg.Pinned, gmp.NodeID(n))
+	}
+	return cfg, nil
+}
+
 func buildScenario(name string, nodes, rows, cols, nflows, length int, spacing float64, seed int64) (gmp.Scenario, error) {
 	switch name {
 	case "fig1":
@@ -349,6 +407,9 @@ func printResult(stdout io.Writer, res *gmp.Result, trace bool) {
 	if res.Channel.ControlFrames > 0 {
 		fmt.Fprintf(stdout, "control: %d broadcasts, %.2f%% of airtime\n",
 			res.Channel.ControlFrames, 100*res.ControlOverhead)
+	}
+	if res.MobilityEpochs > 0 {
+		fmt.Fprintf(stdout, "mobility: %d motion epochs\n", res.MobilityEpochs)
 	}
 	if trace && len(res.Trace) > 0 {
 		fmt.Fprintln(stdout, "\nadjustment rounds (time, per-flow rates, requests):")

@@ -15,8 +15,10 @@
 //	sweep -scenario fig4 -param additive -values 2,4,8 -out fig4_additive.csv
 //	sweep -scenario fig3 -param loss -values 0,0.01,0.05 -protocol gmp
 //	sweep -scenario fig3 -param beta -values 0.05,0.1 -seeds 16 -ci -parallel 8
+//	sweep -scenario fig3 -mobility random-waypoint -param speed -values 1,5,10,20
 //
-// Supported parameters: beta, period_s, additive, omega, queue, loss.
+// Supported parameters: beta, period_s, additive, omega, queue, loss,
+// and — with -mobility set — speed (pins both speed bounds to the value).
 package main
 
 import (
@@ -47,7 +49,8 @@ func run(args []string, stdout io.Writer) error {
 	pf := prof.Register(fs)
 	scenarioName := fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4")
 	protocolName := fs.String("protocol", "gmp", "protocol: gmp|gmp-dist|802.11|2pp")
-	param := fs.String("param", "beta", "parameter to sweep: beta|period_s|additive|omega|queue|loss")
+	param := fs.String("param", "beta", "parameter to sweep: beta|period_s|additive|omega|queue|loss|speed")
+	mobModel := fs.String("mobility", "", "move nodes during every run: random-waypoint|random-walk|group")
 	values := fs.String("values", "0.05,0.10,0.20", "comma-separated parameter values")
 	seeds := fs.Int("seeds", 3, "seeds per value")
 	duration := fs.Duration("duration", 400*time.Second, "session length")
@@ -84,6 +87,14 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("negative parallelism %d", *parallel)
 	}
 
+	mob, err := baseMobility(*mobModel)
+	if err != nil {
+		return err
+	}
+	if *param == "speed" && mob == nil {
+		return fmt.Errorf("the speed parameter needs -mobility")
+	}
+
 	// Build the full value × seed grid, then fan it out in one batch so
 	// the worker pool stays busy across value boundaries.
 	var cfgs []gmp.Config
@@ -94,6 +105,10 @@ func run(args []string, stdout io.Writer) error {
 				Protocol: protocol,
 				Duration: *duration,
 				Seed:     int64(seed),
+			}
+			if mob != nil {
+				m := *mob
+				cfg.Mobility = &m
 			}
 			if err := applyParam(&cfg, *param, v); err != nil {
 				return err
@@ -296,8 +311,36 @@ func applyParam(cfg *gmp.Config, param string, v float64) error {
 		cfg.QueueSlots = int(v)
 	case "loss":
 		cfg.LossProb = v
+	case "speed":
+		// baseMobility guarantees cfg.Mobility is set on this path.
+		cfg.Mobility.MinSpeed = v
+		cfg.Mobility.MaxSpeed = v
 	default:
 		return fmt.Errorf("unknown parameter %q", param)
 	}
 	return nil
+}
+
+// baseMobility returns the sweep's shared mobility template: the chosen
+// model at a 2 s epoch with speeds 1-10 m/s (overridden per value by the
+// speed parameter) on the placement-derived field.
+func baseMobility(model string) (*gmp.MobilityConfig, error) {
+	if model == "" {
+		return nil, nil
+	}
+	m, err := gmp.ParseMobilityModel(model)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &gmp.MobilityConfig{
+		Model:    m,
+		Epoch:    2 * time.Second,
+		MinSpeed: 1,
+		MaxSpeed: 10,
+	}
+	if m == gmp.MobilityGroup {
+		cfg.Groups = 2
+		cfg.GroupRadius = 100
+	}
+	return cfg, nil
 }

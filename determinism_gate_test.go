@@ -32,7 +32,8 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite determinism-gate g
 
 // gateCases is the pinned workload set: the paper scenarios behind
 // Tables 1-4 (Fig2/Fig3/Fig4) under every compared protocol, plus one
-// fault-schedule run. Durations are shorter than the paper sessions so
+// fault-schedule run and two mobility runs (random-waypoint chain,
+// group-mobility grid). Durations are shorter than the paper sessions so
 // the gate stays fast; determinism does not depend on session length.
 func gateCases(t *testing.T) []struct {
 	name string
@@ -44,6 +45,15 @@ func gateCases(t *testing.T) []struct {
 		t.Fatal(err)
 	}
 	grid = grid.WithFlows([][3]int{{0, 2, 1}, {3, 5, 1}})
+	chain, err := ChainScenario(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobGrid, err := GridScenario(3, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobGrid = mobGrid.WithFlows([][3]int{{0, 8, 1}, {6, 2, 1}})
 	short := func(cfg Config) Config {
 		cfg.Duration = 60 * time.Second
 		cfg.Warmup = 30 * time.Second
@@ -68,6 +78,27 @@ func gateCases(t *testing.T) []struct {
 			Faults: []FaultEvent{
 				{At: 30 * time.Second, Kind: FaultNodeDown, Node: 1},
 				{At: 40 * time.Second, Kind: FaultNodeUp, Node: 1},
+			},
+		})},
+		{"mob_rwp_chain_gmp", short(Config{
+			Scenario: chain,
+			Protocol: ProtocolGMP,
+			Mobility: &MobilityConfig{
+				Model:    MobilityRandomWaypoint,
+				Epoch:    2 * time.Second,
+				MinSpeed: 1, MaxSpeed: 10,
+				MinX: 0, MaxX: 800, MinY: -200, MaxY: 200,
+			},
+		})},
+		{"mob_group_grid_gmp", short(Config{
+			Scenario: mobGrid,
+			Protocol: ProtocolGMP,
+			Mobility: &MobilityConfig{
+				Model:    MobilityGroup,
+				Epoch:    2 * time.Second,
+				MinSpeed: 1, MaxSpeed: 5,
+				MinX: 0, MaxX: 400, MinY: 0, MaxY: 400,
+				Groups: 3, GroupRadius: 100,
 			},
 		})},
 	}
@@ -205,6 +236,11 @@ func dumpResult(res *Result) string {
 	}
 	for _, ev := range res.FaultEvents {
 		fmt.Fprintf(&b, "fault %v\n", ev)
+	}
+	if res.MobilityEpochs > 0 {
+		// Gated so the static goldens predating mobility stay
+		// byte-identical.
+		fmt.Fprintf(&b, "mobility epochs %d\n", res.MobilityEpochs)
 	}
 	fmt.Fprintf(&b, "recovered %v recovery %d\n", res.Recovered, int64(res.RecoveryTime))
 	return b.String()

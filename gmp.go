@@ -38,6 +38,7 @@ import (
 	"gmp/internal/maxminref"
 	"gmp/internal/measure"
 	"gmp/internal/metrics"
+	"gmp/internal/mobility"
 	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/radio"
@@ -76,6 +77,11 @@ type (
 	FaultEvent = faults.Event
 	// FaultKind selects a fault event's type.
 	FaultKind = faults.Kind
+	// MobilityConfig parameterizes node motion during the run (see
+	// Config.Mobility and internal/mobility).
+	MobilityConfig = mobility.Config
+	// MobilityModel selects the motion model.
+	MobilityModel = mobility.Model
 	// DropReason classifies packet losses.
 	DropReason = forwarding.DropReason
 	// TelemetryConfig enables the telemetry layer for a run (see
@@ -113,6 +119,17 @@ const (
 	FaultNodeDegrade = faults.NodeDegrade
 	FaultNodeRestore = faults.NodeRestore
 )
+
+// Mobility models, re-exported for MobilityConfig construction.
+const (
+	MobilityRandomWaypoint = mobility.RandomWaypoint
+	MobilityRandomWalk     = mobility.RandomWalk
+	MobilityGroup          = mobility.Group
+)
+
+// ParseMobilityModel parses a mobility model name: "random-waypoint",
+// "random-walk" or "group" ("rwp" and "walk" are accepted shorthands).
+func ParseMobilityModel(s string) (MobilityModel, error) { return mobility.ParseModel(s) }
 
 // Drop reasons, re-exported for FlowResult.DropsByReason.
 const (
@@ -246,6 +263,16 @@ type Config struct {
 	// engine draws no randomness, so the same schedule with the same
 	// seed reproduces the run byte for byte.
 	Faults []FaultEvent
+	// Mobility moves nodes during the run (see internal/mobility). On
+	// every motion epoch the topology's precomputed structures update
+	// incrementally from the moved set, the clique decomposition is
+	// repaired, in-flight carrier-sense state is re-indexed, and routes
+	// are rebuilt (composing with any crashed nodes from Faults). When
+	// nil, the scenario's own Mobility (loadable from scenario JSON)
+	// applies; setting this field overrides it. Mobility-off runs draw
+	// the identical random sequence as before this field existed, so
+	// they reproduce byte for byte.
+	Mobility *MobilityConfig
 	// Telemetry, when non-nil, enables the telemetry layer: per-packet
 	// lifecycle histograms, periodic queue/utilization/limit samples,
 	// and the GMP condition-state timeline, surfaced as
@@ -263,6 +290,15 @@ func (c *Config) faultSchedule() []FaultEvent {
 		return c.Faults
 	}
 	return c.Scenario.Faults
+}
+
+// mobilityConfig returns the effective mobility model: Config.Mobility
+// when set, else the scenario's (nil when neither is set).
+func (c *Config) mobilityConfig() *MobilityConfig {
+	if c.Mobility != nil {
+		return c.Mobility
+	}
+	return c.Scenario.Mobility
 }
 
 func (c *Config) setDefaults() {
@@ -316,6 +352,11 @@ func (c *Config) validate() error {
 	}
 	if err := faults.ValidateSchedule(c.faultSchedule(), len(c.Scenario.Positions)); err != nil {
 		return fmt.Errorf("gmp: fault schedule: %w", err)
+	}
+	if mob := c.mobilityConfig(); mob != nil {
+		if err := mob.Validate(len(c.Scenario.Positions)); err != nil {
+			return fmt.Errorf("gmp: %w", err)
+		}
 	}
 	return nil
 }
@@ -374,11 +415,15 @@ type Result struct {
 	// FaultEvents is the applied fault schedule, sorted by time (nil in
 	// fault-free runs).
 	FaultEvents []FaultEvent
-	// RecoveryTime measures re-convergence after the last fault: how
-	// long after it the trace settled back into a steady allocation
-	// (RecoveryReport with DefaultRecoveryTol). Recovered is false when
-	// the post-fault trace never settled, was too short to judge, or
-	// the protocol records no trace.
+	// MobilityEpochs counts the motion epochs that fired (mobility runs
+	// only; zero in static runs).
+	MobilityEpochs int
+	// RecoveryTime measures re-convergence after the last disturbance —
+	// the last fault or the last topology-changing motion epoch,
+	// whichever is later: how long after it the trace settled back into
+	// a steady allocation (RecoveryReport with DefaultRecoveryTol).
+	// Recovered is false when the post-disturbance trace never settled,
+	// was too short to judge, or the protocol records no trace.
 	RecoveryTime time.Duration
 	Recovered    bool
 	// Telemetry holds the run's recorded telemetry (Config.Telemetry
@@ -505,10 +550,26 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		src.Start()
 	}
 
+	var dissAgents []*dissemination.Agent
 	if cfg.InBandControl && cfg.Protocol != ProtocolGMPDistributed {
 		// The distributed runtime's own dissemination is already
 		// in-band; this path covers the other protocols.
-		startInBandControl(sched, topo, nodes, stations, cfg.Period, sim.NewRand(master.Int63()))
+		dissAgents = startInBandControl(sched, topo, nodes, stations, cfg.Period, sim.NewRand(master.Int63()))
+	}
+
+	// rebuildRoutes repairs the routing tables against the live topology,
+	// excluding crashed nodes. Shared by fault-driven and motion-driven
+	// route repair (which compose: a motion epoch must keep excluding
+	// nodes a fault already crashed).
+	rebuildRoutes := func(down []bool) *routing.Table {
+		if cfg.GeographicRouting {
+			if t, gerr := routing.BuildGeographicExcluding(topo, down); gerr == nil {
+				return t
+			}
+			// A crash or motion opened a greedy void: GPSR-style
+			// fallback to shortest-path repair.
+		}
+		return routing.BuildExcluding(topo, down)
 	}
 
 	// Fault injection. The engine draws no randomness and registers all
@@ -516,22 +577,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// to one without this block.
 	var fengine *faults.Engine
 	if events := cfg.faultSchedule(); len(events) > 0 {
-		rebuild := func(down []bool) *routing.Table {
-			if cfg.GeographicRouting {
-				if t, gerr := routing.BuildGeographicExcluding(topo, down); gerr == nil {
-					return t
-				}
-				// The crash opened a greedy void: GPSR-style fallback to
-				// shortest-path repair.
-			}
-			return routing.BuildExcluding(topo, down)
-		}
 		fengine, err = faults.Start(sched, topo.NumNodes(), events, faults.Hooks{
 			Medium:   medium,
 			Stations: stations,
 			Nodes:    nodes,
 			Sources:  registry.Sources(),
-			Rebuild:  rebuild,
+			Rebuild:  rebuildRoutes,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("gmp: fault schedule: %w", err)
@@ -539,6 +590,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	cliques := clique.Build(topo)
+	liveCliques := cliques
 	capacity := par.SaturationRate(packetBytes(cfg.Scenario.Flows), !cfg.DisableRTS)
 	refFlows := make([]maxminref.FlowSpec, len(cfg.Scenario.Flows))
 	for i, spec := range cfg.Scenario.Flows {
@@ -555,7 +607,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		// it over real 802.11 broadcasts instead — which have no
 		// collision recovery and can starve under the very congestion
 		// GMP exists to control (see EXPERIMENTS.md).
-		dissAgents := make([]*dissemination.Agent, topo.NumNodes())
+		dissAgents = make([]*dissemination.Agent, topo.NumNodes())
 		if cfg.InBandControl {
 			for _, id := range topo.Nodes() {
 				dissAgents[id] = dissemination.NewAgent(id, topo, stations[id])
@@ -607,6 +659,61 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		if dist != nil {
 			dist.SetFaultProbe(fengine.DownNodes)
+		}
+	}
+
+	// Node motion. The engine's seed is drawn only when mobility is on
+	// and after every unconditional draw above, so a mobility-off run
+	// consumes the identical random sequence it always did (the nine
+	// static determinism goldens pin this).
+	var mobEngine *mobility.Engine
+	var lastTopoChange time.Duration
+	if mob := cfg.mobilityConfig(); mob != nil {
+		onEpoch := func(moved []topology.NodeID, newPos []geom.Point) {
+			// In-flight transmissions hold carrier-sense counts against
+			// the old neighbor lists: unwind them before mutating the
+			// topology in place, re-key the per-link accounting after.
+			medium.BeginTopologyChange()
+			diff, merr := topo.MoveNodes(moved, newPos)
+			if merr != nil {
+				panic(fmt.Sprintf("gmp: mobility epoch at %v: %v", sched.Now(), merr))
+			}
+			medium.EndTopologyChange(diff.OldLinks)
+			if rec != nil {
+				rec.OnTopologyChange(diff.OldLinks)
+			}
+			if diff.Changed() {
+				lastTopoChange = sched.Now()
+				liveCliques = clique.Update(topo, liveCliques, diff.Moved)
+				if engine != nil {
+					engine.SetCliques(liveCliques)
+				}
+				if dist != nil {
+					dist.RefreshCliques(liveCliques)
+				}
+				for _, a := range dissAgents {
+					if a != nil {
+						a.RefreshTopology(topo)
+					}
+				}
+			}
+			// Greedy geographic next hops depend on raw positions, not
+			// just the link set, so they re-resolve on every epoch.
+			if diff.Changed() || cfg.GeographicRouting {
+				var down []bool
+				if fengine != nil {
+					down = fengine.DownSet()
+				}
+				table := rebuildRoutes(down)
+				for _, n := range nodes {
+					n.ResetNeighborState()
+					n.SetRoutes(table)
+				}
+			}
+		}
+		mobEngine, err = mobility.Start(sched, cfg.Scenario.Positions, *mob, sim.NewRand(master.Int63()), onEpoch)
+		if err != nil {
+			return nil, fmt.Errorf("gmp: %w", err)
 		}
 	}
 
@@ -707,10 +814,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if fengine != nil {
 		res.FaultEvents = fengine.Schedule()
-		if len(res.Trace) > 0 {
-			rep := RecoveryReport(res.Trace, fengine.LastFaultTime(), DefaultRecoveryTol)
-			res.RecoveryTime, res.Recovered = rep.Time, rep.Settled
+	}
+	if mobEngine != nil {
+		res.MobilityEpochs = mobEngine.Epochs()
+	}
+	if (fengine != nil || lastTopoChange > 0) && len(res.Trace) > 0 {
+		// Anchor recovery at the last disturbance of either kind.
+		anchor := lastTopoChange
+		if fengine != nil && fengine.LastFaultTime() > anchor {
+			anchor = fengine.LastFaultTime()
 		}
+		rep := RecoveryReport(res.Trace, anchor, DefaultRecoveryTol)
+		res.RecoveryTime, res.Recovered = rep.Time, rep.Settled
 	}
 	if rec != nil {
 		res.Telemetry = rec.Finalize(cfg.Scenario.Name, cfg.Protocol.String())
@@ -764,8 +879,9 @@ func referenceAllocation(flows []maxminref.FlowSpec, routes *routing.Table, cliq
 // startInBandControl wires a dissemination agent per node and floods
 // every node's link-state records once per period, jittered across the
 // first tenth of the period so the group-addressed frames (which have no
-// collision recovery) do not all collide at the boundary.
-func startInBandControl(sched *sim.Scheduler, topo *topology.Topology, nodes []*forwarding.Node, stations []*mac.Station, period time.Duration, rng *rand.Rand) {
+// collision recovery) do not all collide at the boundary. It returns the
+// agents so mobility epochs can refresh their relay sets.
+func startInBandControl(sched *sim.Scheduler, topo *topology.Topology, nodes []*forwarding.Node, stations []*mac.Station, period time.Duration, rng *rand.Rand) []*dissemination.Agent {
 	agents := make([]*dissemination.Agent, topo.NumNodes())
 	for _, id := range topo.Nodes() {
 		agents[id] = dissemination.NewAgent(id, topo, stations[id])
@@ -784,6 +900,7 @@ func startInBandControl(sched *sim.Scheduler, topo *topology.Topology, nodes []*
 		sched.After(period, tick)
 	}
 	sched.After(period, tick)
+	return agents
 }
 
 // packetBytes returns the packet size shared by the flows (the largest,

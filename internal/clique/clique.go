@@ -102,23 +102,23 @@ func Build(topo *topology.Topology) *Set {
 	}
 
 	var out []*Clique
+	for _, r := range maximalCliques(n, adj) {
+		out = append(out, cliqueFromIndices(links, r))
+	}
+	return finish(out)
+}
+
+// maximalCliques enumerates every maximal clique of the graph given by
+// its adjacency matrix, using Bron–Kerbosch with pivoting.
+func maximalCliques(n int, adj [][]bool) [][]int {
+	var out [][]int
 	var bronKerbosch func(r, p, x []int)
 	bronKerbosch = func(r, p, x []int) {
 		if len(p) == 0 && len(x) == 0 {
 			if len(r) == 0 {
-				return // link-free topology: nothing to emit
+				return // edge-free graph: nothing to emit
 			}
-			ls := make([]topology.Link, len(r))
-			for i, idx := range r {
-				ls[i] = links[idx]
-			}
-			sort.Slice(ls, func(i, j int) bool {
-				if ls[i].From != ls[j].From {
-					return ls[i].From < ls[j].From
-				}
-				return ls[i].To < ls[j].To
-			})
-			out = append(out, &Clique{Links: ls})
+			out = append(out, append([]int(nil), r...))
 			return
 		}
 		// Pivot: vertex of p ∪ x with most neighbors in p.
@@ -169,9 +169,30 @@ func Build(topo *topology.Topology) *Set {
 		all[i] = i
 	}
 	bronKerbosch(nil, all, nil)
+	return out
+}
 
-	// Assign IDs: group by owning node, sequence within owner by a
-	// deterministic order (the sorted link lists).
+// cliqueFromIndices materializes a clique from vertex indices into the
+// link table, with the canonical sorted link order.
+func cliqueFromIndices(links []topology.Link, r []int) *Clique {
+	ls := make([]topology.Link, len(r))
+	for i, idx := range r {
+		ls[i] = links[idx]
+	}
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].From != ls[j].From {
+			return ls[i].From < ls[j].From
+		}
+		return ls[i].To < ls[j].To
+	})
+	return &Clique{Links: ls}
+}
+
+// finish sorts the cliques into canonical order, assigns the §6.3
+// owner.seq identifiers, and indexes them by member link. Both Build and
+// the incremental Update funnel through it so identifier assignment is
+// identical for identical clique sets.
+func finish(out []*Clique) *Set {
 	sort.Slice(out, func(i, j int) bool { return cliqueLess(out[i], out[j]) })
 	seq := make(map[topology.NodeID]int)
 	byLink := make(map[topology.Link][]*Clique)

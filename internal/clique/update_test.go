@@ -1,0 +1,100 @@
+package clique
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gmp/internal/geom"
+	"gmp/internal/topology"
+)
+
+// assertEqualSets compares two decompositions clique-by-clique,
+// identifiers included, plus the by-link index.
+func assertEqualSets(t *testing.T, step int, got, want *Set) {
+	t.Helper()
+	if len(got.All()) != len(want.All()) {
+		t.Fatalf("step %d: %d cliques, want %d\n got: %v\n want %v",
+			step, len(got.All()), len(want.All()), render(got), render(want))
+	}
+	for i, g := range got.All() {
+		w := want.All()[i]
+		if g.ID != w.ID || !reflect.DeepEqual(g.Links, w.Links) {
+			t.Fatalf("step %d: clique %d mismatch: got %v %v, want %v %v",
+				step, i, g.ID, g.Links, w.ID, w.Links)
+		}
+	}
+	for _, w := range want.All() {
+		for _, l := range w.Links {
+			gs, ws := got.Of(l), want.Of(l)
+			if len(gs) != len(ws) {
+				t.Fatalf("step %d: Of(%v): %d cliques, want %d", step, l, len(gs), len(ws))
+			}
+			for i := range gs {
+				if gs[i].ID != ws[i].ID {
+					t.Fatalf("step %d: Of(%v)[%d] = %v, want %v", step, l, i, gs[i].ID, ws[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func render(s *Set) [][]topology.Link {
+	var out [][]topology.Link
+	for _, c := range s.All() {
+		out = append(out, c.Links)
+	}
+	return out
+}
+
+// TestUpdateMatchesBuild is the clique half of the mobility differential
+// oracle: over randomized motion sequences the incremental Update must
+// reproduce Build exactly, identifiers and by-link index included.
+func TestUpdateMatchesBuild(t *testing.T) {
+	const (
+		steps = 100
+		n     = 18
+		w, h  = 900.0, 900.0
+	)
+	configs := []topology.Config{
+		{TxRange: 250, CSRange: 250},
+		{TxRange: 250, CSRange: 420},
+	}
+	for _, cfg := range configs {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			pos := make([]geom.Point, n)
+			for i := range pos {
+				pos[i] = geom.Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+			}
+			topo := topology.MustNew(pos, cfg)
+			inc := Build(topo)
+			for step := 0; step < steps; step++ {
+				k := 1 + rng.Intn(3)
+				perm := rng.Perm(n)
+				moved := make([]topology.NodeID, 0, k)
+				np := make([]geom.Point, 0, k)
+				for _, idx := range perm[:k] {
+					moved = append(moved, topology.NodeID(idx))
+					np = append(np, geom.Point{X: rng.Float64() * w, Y: rng.Float64() * h})
+				}
+				if _, err := topo.MoveNodes(moved, np); err != nil {
+					t.Fatalf("cfg %+v seed %d step %d: %v", cfg, seed, step, err)
+				}
+				prevIDs := make([]ID, len(inc.All()))
+				for i, c := range inc.All() {
+					prevIDs[i] = c.ID
+				}
+				next := Update(topo, inc, moved)
+				assertEqualSets(t, step, next, Build(topo))
+				// Update must not write through to its input.
+				for i, c := range inc.All() {
+					if c.ID != prevIDs[i] {
+						t.Fatalf("cfg %+v seed %d step %d: old set mutated", cfg, seed, step)
+					}
+				}
+				inc = next
+			}
+		}
+	}
+}

@@ -166,6 +166,11 @@ func (e *Engine) Start() {
 // Trace returns the recorded adjustment rounds.
 func (e *Engine) Trace() []Round { return e.trace }
 
+// SetCliques replaces the clique decomposition the engine consults when
+// testing the bandwidth-saturated condition. Called on mobility epochs
+// after the incremental clique update; takes effect from the next round.
+func (e *Engine) SetCliques(s *clique.Set) { e.cliques = s }
+
 // SetFaultProbe installs a callback reporting the currently crashed
 // nodes (fault injection); each recorded Round carries its result.
 func (e *Engine) SetFaultProbe(fn func() []topology.NodeID) { e.faultProbe = fn }

@@ -152,16 +152,25 @@ func NewAgent(id topology.NodeID, sched *sim.Scheduler, topo *topology.Topology,
 		slack:      make(map[packet.FlowID]int),
 		rates:      make(map[packet.FlowID]float64),
 	}
-	for _, nb := range topo.Neighbors(id) {
-		l := topology.Link{From: id, To: nb}
+	a.RefreshCliques(cliques)
+	diss.SetUpdateHandler(a.onDissemination)
+	return a, nil
+}
+
+// RefreshCliques rebuilds the agent's local clique views — the cliques
+// owning each adjacent outgoing link and the identifier resolution map —
+// from a new decomposition after node motion changed the topology.
+func (a *Agent) RefreshCliques(cliques *clique.Set) {
+	a.myCliques = make(map[topology.Link][]*clique.Clique)
+	a.cliqueByID = make(map[clique.ID]*clique.Clique)
+	for _, nb := range a.topo.Neighbors(a.id) {
+		l := topology.Link{From: a.id, To: nb}
 		owners := cliques.Of(l)
 		a.myCliques[l] = owners
 		for _, c := range owners {
 			a.cliqueByID[c.ID] = c
 		}
 	}
-	diss.SetUpdateHandler(a.onDissemination)
-	return a, nil
 }
 
 // AttachLocalFlow registers a flow originating at this node.
@@ -695,6 +704,14 @@ func (d *Distributed) SetFaultProbe(fn func() []topology.NodeID) { d.faultProbe 
 func (d *Distributed) SetRecorder(rec *obs.Recorder) {
 	for _, a := range d.Agents {
 		a.rec = rec
+	}
+}
+
+// RefreshCliques pushes a new clique decomposition to every agent after
+// a topology change under mobility.
+func (d *Distributed) RefreshCliques(cliques *clique.Set) {
+	for _, a := range d.Agents {
+		a.RefreshCliques(cliques)
 	}
 }
 

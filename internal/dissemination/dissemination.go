@@ -115,14 +115,22 @@ func newAgent(id topology.NodeID, topo *topology.Topology) *Agent {
 		seen:     make(map[topology.NodeID]int64),
 		db:       make(map[topology.NodeID]any),
 	}
-	for _, n := range topo.Neighbors(id) {
+	a.RefreshTopology(topo)
+	return a
+}
+
+// RefreshTopology recomputes the agent's relay responsibilities from the
+// (possibly mutated) topology: the agent relays for neighbor n when it
+// belongs to n's dominating set. Called on mobility epochs.
+func (a *Agent) RefreshTopology(topo *topology.Topology) {
+	a.relayFor = make(map[topology.NodeID]bool)
+	for _, n := range topo.Neighbors(a.id) {
 		for _, d := range topo.DominatingSet(n) {
-			if d == id {
+			if d == a.id {
 				a.relayFor[n] = true
 			}
 		}
 	}
-	return a
 }
 
 // SetUpdateHandler registers a callback for accepted record sets.

@@ -255,6 +255,11 @@ func (e *Engine) DownNodes() []topology.NodeID {
 	return out
 }
 
+// DownSet returns a copy of the per-node crashed flags, indexed by
+// NodeID. It is the composition point for mobility route repair: routes
+// rebuilt on a motion epoch must still exclude crashed nodes.
+func (e *Engine) DownSet() []bool { return append([]bool(nil), e.down...) }
+
 // LastFaultTime returns the virtual time of the last fault applied so
 // far (0 if none yet). After a run it anchors recovery-time analysis.
 func (e *Engine) LastFaultTime() time.Duration { return e.lastFault }

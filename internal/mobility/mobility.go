@@ -1,0 +1,422 @@
+// Package mobility drives node motion for the wireless simulator. Three
+// classic models are provided — random waypoint, random walk, and a
+// simplified reference-point group model — all advanced on fixed epoch
+// boundaries by the discrete-event kernel and drawing exclusively from an
+// injected *rand.Rand, so runs stay byte-for-byte deterministic for a
+// given seed.
+//
+// The engine owns only positions. On every epoch whose motion changed at
+// least one position it invokes the caller's hook with the moved set;
+// the simulator layers the incremental topology update, clique
+// maintenance, radio re-indexing and route repair on top of that hook.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gmp/internal/geom"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+)
+
+// Model selects the motion model.
+type Model int
+
+// The supported motion models.
+const (
+	// RandomWaypoint: each node picks a uniform waypoint in the field and
+	// a uniform speed in [MinSpeed, MaxSpeed], travels there in a straight
+	// line, pauses for Pause, and repeats.
+	RandomWaypoint Model = iota + 1
+	// RandomWalk: each epoch every node picks a fresh uniform heading and
+	// speed and moves for one epoch, reflecting off the field boundary.
+	RandomWalk
+	// Group: a simplified reference-point group model. Nodes are split
+	// into Groups contiguous groups; each group's reference point follows
+	// a random waypoint trajectory and every member sits at a fresh
+	// uniform offset of at most GroupRadius from it each epoch.
+	Group
+)
+
+// String renders the model in the scenario-JSON spelling.
+func (m Model) String() string {
+	switch m {
+	case RandomWaypoint:
+		return "random-waypoint"
+	case RandomWalk:
+		return "random-walk"
+	case Group:
+		return "group"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ParseModel parses a model name. The canonical spellings are
+// "random-waypoint", "random-walk" and "group"; "rwp" and "walk" are
+// accepted as shorthands.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "random-waypoint", "rwp":
+		return RandomWaypoint, nil
+	case "random-walk", "walk":
+		return RandomWalk, nil
+	case "group":
+		return Group, nil
+	default:
+		return 0, fmt.Errorf("mobility: unknown model %q", s)
+	}
+}
+
+// Config parameterizes one mobility process.
+type Config struct {
+	// Model selects the motion model. Required.
+	Model Model
+	// Epoch is the interval between position updates. Required positive.
+	Epoch time.Duration
+	// Start delays the first motion epoch; the first update fires at
+	// Start+Epoch. Stop, when positive, is the last instant an epoch may
+	// fire; zero means motion continues for the whole run.
+	Start, Stop time.Duration
+	// MinSpeed and MaxSpeed bound the per-leg (waypoint) or per-epoch
+	// (walk) speed draw, in meters per second. MaxSpeed must be positive.
+	MinSpeed, MaxSpeed float64
+	// Pause is how long a random-waypoint node rests at each waypoint.
+	Pause time.Duration
+	// MinX..MaxY bound the field. All-zero means "derive from the initial
+	// placement": the bounding box of the positions, with degenerate
+	// dimensions widened to a 200 m span.
+	MinX, MinY, MaxX, MaxY float64
+	// Groups and GroupRadius parameterize the group model: the number of
+	// contiguous node groups and the members' maximum offset from their
+	// group's reference point.
+	Groups      int
+	GroupRadius float64
+	// Pinned lists nodes that never move (gateways, anchors — and test
+	// rigs that want exactly one wanderer).
+	Pinned []topology.NodeID
+}
+
+// boundsSet reports whether the field bounds were given explicitly.
+func (c *Config) boundsSet() bool {
+	return c.MinX != 0 || c.MinY != 0 || c.MaxX != 0 || c.MaxY != 0
+}
+
+// Validate checks the configuration against a node count. It is the
+// hardening layer behind the scenario-JSON "mobility" block, so it must
+// reject every non-finite or out-of-range numeric field.
+func (c *Config) Validate(numNodes int) error {
+	switch c.Model {
+	case RandomWaypoint, RandomWalk, Group:
+	default:
+		return fmt.Errorf("mobility: unknown model %d", int(c.Model))
+	}
+	if c.Epoch <= 0 {
+		return fmt.Errorf("mobility: non-positive epoch %v", c.Epoch)
+	}
+	if c.Start < 0 {
+		return fmt.Errorf("mobility: negative start %v", c.Start)
+	}
+	if c.Stop < 0 {
+		return fmt.Errorf("mobility: negative stop %v", c.Stop)
+	}
+	if c.Stop > 0 && c.Stop <= c.Start {
+		return fmt.Errorf("mobility: stop %v not after start %v", c.Stop, c.Start)
+	}
+	if c.Pause < 0 {
+		return fmt.Errorf("mobility: negative pause %v", c.Pause)
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"min speed", c.MinSpeed}, {"max speed", c.MaxSpeed},
+		{"min x", c.MinX}, {"min y", c.MinY}, {"max x", c.MaxX}, {"max y", c.MaxY},
+		{"group radius", c.GroupRadius},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("mobility: %s is not finite", v.name)
+		}
+	}
+	if c.MinSpeed < 0 {
+		return fmt.Errorf("mobility: negative min speed %v", c.MinSpeed)
+	}
+	if c.MaxSpeed <= 0 {
+		return fmt.Errorf("mobility: non-positive max speed %v", c.MaxSpeed)
+	}
+	if c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("mobility: max speed %v below min speed %v", c.MaxSpeed, c.MinSpeed)
+	}
+	if c.boundsSet() && (c.MaxX <= c.MinX || c.MaxY <= c.MinY) {
+		return fmt.Errorf("mobility: empty field [%v,%v]x[%v,%v]", c.MinX, c.MaxX, c.MinY, c.MaxY)
+	}
+	if c.Model == Group {
+		if c.Groups < 1 || c.Groups > numNodes {
+			return fmt.Errorf("mobility: %d groups for %d nodes", c.Groups, numNodes)
+		}
+		if c.GroupRadius <= 0 {
+			return fmt.Errorf("mobility: non-positive group radius %v", c.GroupRadius)
+		}
+	}
+	seen := make(map[topology.NodeID]bool, len(c.Pinned))
+	for _, n := range c.Pinned {
+		if n < 0 || int(n) >= numNodes {
+			return fmt.Errorf("mobility: pinned node %d out of range [0,%d)", n, numNodes)
+		}
+		if seen[n] {
+			return fmt.Errorf("mobility: pinned node %d listed twice", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// wpState is one random-waypoint walker (a node, or a group reference
+// point).
+type wpState struct {
+	target geom.Point
+	speed  float64 // m/s, per leg
+	pause  float64 // seconds of rest remaining
+	has    bool    // target/speed drawn
+}
+
+// Engine advances one mobility process on the simulation clock.
+type Engine struct {
+	sched   *sim.Scheduler
+	cfg     Config
+	rng     *rand.Rand
+	onEpoch func(moved []topology.NodeID, pos []geom.Point)
+
+	pos    []geom.Point
+	mobile []topology.NodeID // non-pinned nodes, ascending
+
+	minX, minY, maxX, maxY float64
+
+	walkers []wpState // RandomWaypoint: indexed like mobile
+	refs    []wpState // Group: per-group reference point
+	refPos  []geom.Point
+	group   []int // Group: mobile index -> group index
+
+	epochs     int
+	totalMoved int
+}
+
+// Start validates cfg, seeds the model state, and schedules the epoch
+// chain on sched. positions is copied (node i at positions[i]). onEpoch
+// is invoked, inside the event kernel, on every epoch where at least one
+// node moved: moved lists the nodes ascending and pos[i] is moved[i]'s
+// new position. All randomness comes from rng, drawn in a fixed order, so
+// equal seeds give equal trajectories.
+func Start(sched *sim.Scheduler, positions []geom.Point, cfg Config, rng *rand.Rand,
+	onEpoch func(moved []topology.NodeID, pos []geom.Point)) (*Engine, error) {
+	if err := cfg.Validate(len(positions)); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		sched:   sched,
+		cfg:     cfg,
+		rng:     rng,
+		onEpoch: onEpoch,
+		pos:     append([]geom.Point(nil), positions...),
+	}
+	pinned := make([]bool, len(positions))
+	for _, n := range cfg.Pinned {
+		pinned[n] = true
+	}
+	for i := range positions {
+		if !pinned[i] {
+			e.mobile = append(e.mobile, topology.NodeID(i))
+		}
+	}
+	e.deriveBounds()
+	switch cfg.Model {
+	case RandomWaypoint:
+		e.walkers = make([]wpState, len(e.mobile))
+	case Group:
+		e.group = make([]int, len(e.mobile))
+		e.refs = make([]wpState, cfg.Groups)
+		e.refPos = make([]geom.Point, cfg.Groups)
+		counts := make([]int, cfg.Groups)
+		for i := range e.mobile {
+			g := i * cfg.Groups / len(e.mobile)
+			e.group[i] = g
+			e.refPos[g].X += e.pos[e.mobile[i]].X
+			e.refPos[g].Y += e.pos[e.mobile[i]].Y
+			counts[g]++
+		}
+		// Reference points start at their group's centroid.
+		for g := range e.refPos {
+			if counts[g] > 0 {
+				e.refPos[g].X /= float64(counts[g])
+				e.refPos[g].Y /= float64(counts[g])
+			}
+		}
+	}
+	if len(e.mobile) > 0 {
+		e.schedule(cfg.Start + cfg.Epoch)
+	}
+	return e, nil
+}
+
+// deriveBounds fills the field rectangle, defaulting to the bounding box
+// of the initial placement with degenerate dimensions widened so linear
+// topologies (chains) still get a 2-D field to roam.
+func (e *Engine) deriveBounds() {
+	c := &e.cfg
+	if c.boundsSet() {
+		e.minX, e.minY, e.maxX, e.maxY = c.MinX, c.MinY, c.MaxX, c.MaxY
+		return
+	}
+	e.minX, e.minY = math.Inf(1), math.Inf(1)
+	e.maxX, e.maxY = math.Inf(-1), math.Inf(-1)
+	for _, p := range e.pos {
+		e.minX = math.Min(e.minX, p.X)
+		e.maxX = math.Max(e.maxX, p.X)
+		e.minY = math.Min(e.minY, p.Y)
+		e.maxY = math.Max(e.maxY, p.Y)
+	}
+	const minSpan = 200.0
+	if e.maxX-e.minX < minSpan {
+		mid := (e.minX + e.maxX) / 2
+		e.minX, e.maxX = mid-minSpan/2, mid+minSpan/2
+	}
+	if e.maxY-e.minY < minSpan {
+		mid := (e.minY + e.maxY) / 2
+		e.minY, e.maxY = mid-minSpan/2, mid+minSpan/2
+	}
+}
+
+func (e *Engine) schedule(at time.Duration) {
+	if e.cfg.Stop > 0 && at > e.cfg.Stop {
+		return
+	}
+	e.sched.At(at, e.tick)
+}
+
+// tick advances every mobile node by one epoch and fires the hook.
+func (e *Engine) tick() {
+	dt := e.cfg.Epoch.Seconds()
+	var moved []topology.NodeID
+	var newPos []geom.Point
+	record := func(n topology.NodeID, p geom.Point) {
+		if p != e.pos[n] {
+			e.pos[n] = p
+			moved = append(moved, n)
+			newPos = append(newPos, p)
+		}
+	}
+	switch e.cfg.Model {
+	case RandomWaypoint:
+		for i, n := range e.mobile {
+			record(n, e.advanceWaypoint(&e.walkers[i], e.pos[n], dt))
+		}
+	case RandomWalk:
+		for _, n := range e.mobile {
+			theta := e.rng.Float64() * 2 * math.Pi
+			speed := e.drawSpeed()
+			p := e.pos[n]
+			p.X = reflect1D(p.X+speed*dt*math.Cos(theta), e.minX, e.maxX)
+			p.Y = reflect1D(p.Y+speed*dt*math.Sin(theta), e.minY, e.maxY)
+			record(n, p)
+		}
+	case Group:
+		// Reference points first (ascending group), then member offsets
+		// (ascending node): a fixed draw order keeps runs reproducible.
+		for g := range e.refs {
+			e.refPos[g] = e.advanceWaypoint(&e.refs[g], e.refPos[g], dt)
+		}
+		for i, n := range e.mobile {
+			ref := e.refPos[e.group[i]]
+			r := e.cfg.GroupRadius * math.Sqrt(e.rng.Float64())
+			phi := e.rng.Float64() * 2 * math.Pi
+			p := geom.Point{
+				X: reflect1D(ref.X+r*math.Cos(phi), e.minX, e.maxX),
+				Y: reflect1D(ref.Y+r*math.Sin(phi), e.minY, e.maxY),
+			}
+			record(n, p)
+		}
+	}
+	e.epochs++
+	e.totalMoved += len(moved)
+	if len(moved) > 0 && e.onEpoch != nil {
+		e.onEpoch(moved, newPos)
+	}
+	e.schedule(e.sched.Now() + e.cfg.Epoch)
+}
+
+// advanceWaypoint moves one random-waypoint walker for dt seconds:
+// consume any remaining pause, then travel toward the target (drawing a
+// new target and per-leg speed whenever the previous one is reached).
+func (e *Engine) advanceWaypoint(s *wpState, p geom.Point, dt float64) geom.Point {
+	rem := dt
+	for iter := 0; rem > 1e-12 && iter < 64; iter++ {
+		if s.pause > 0 {
+			if s.pause >= rem {
+				s.pause -= rem
+				return p
+			}
+			rem -= s.pause
+			s.pause = 0
+		}
+		if !s.has {
+			s.target = geom.Point{
+				X: e.minX + e.rng.Float64()*(e.maxX-e.minX),
+				Y: e.minY + e.rng.Float64()*(e.maxY-e.minY),
+			}
+			s.speed = e.drawSpeed()
+			s.has = true
+		}
+		if s.speed <= 0 {
+			return p // zero-speed leg: parked until the next draw
+		}
+		d := geom.Dist(p, s.target)
+		reach := s.speed * rem
+		if reach >= d {
+			p = s.target
+			rem -= d / s.speed
+			s.has = false
+			s.pause = e.cfg.Pause.Seconds()
+			continue
+		}
+		frac := reach / d
+		p.X += (s.target.X - p.X) * frac
+		p.Y += (s.target.Y - p.Y) * frac
+		return p
+	}
+	return p
+}
+
+func (e *Engine) drawSpeed() float64 {
+	return e.cfg.MinSpeed + e.rng.Float64()*(e.cfg.MaxSpeed-e.cfg.MinSpeed)
+}
+
+// reflect1D folds v into [lo, hi] by mirroring at the boundaries, the
+// standard boundary rule for random-walk mobility. It is total: any
+// finite v (even one starting far outside the field) lands inside.
+func reflect1D(v, lo, hi float64) float64 {
+	span := hi - lo
+	if span <= 0 {
+		return lo
+	}
+	v = math.Mod(v-lo, 2*span)
+	if v < 0 {
+		v += 2 * span
+	}
+	if v > span {
+		v = 2*span - v
+	}
+	return lo + v
+}
+
+// Epochs returns how many motion epochs have fired.
+func (e *Engine) Epochs() int { return e.epochs }
+
+// TotalMoved returns the cumulative number of node moves across all
+// epochs.
+func (e *Engine) TotalMoved() int { return e.totalMoved }
+
+// Position returns the engine's current position for node n.
+func (e *Engine) Position(n topology.NodeID) geom.Point { return e.pos[n] }

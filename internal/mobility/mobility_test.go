@@ -1,0 +1,240 @@
+package mobility
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"gmp/internal/geom"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+)
+
+func baseConfig(model Model) Config {
+	c := Config{
+		Model:    model,
+		Epoch:    time.Second,
+		MinSpeed: 1,
+		MaxSpeed: 10,
+	}
+	if model == Group {
+		c.Groups = 2
+		c.GroupRadius = 50
+	}
+	return c
+}
+
+func linePositions(n int, spacing float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * spacing}
+	}
+	return pts
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range []Model{RandomWaypoint, RandomWalk, Group} {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if m, err := ParseModel("rwp"); err != nil || m != RandomWaypoint {
+		t.Fatalf("rwp shorthand: %v, %v", m, err)
+	}
+	if m, err := ParseModel("walk"); err != nil || m != RandomWalk {
+		t.Fatalf("walk shorthand: %v, %v", m, err)
+	}
+	if _, err := ParseModel("teleport"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"unknown model", func(c *Config) { c.Model = 0 }},
+		{"zero epoch", func(c *Config) { c.Epoch = 0 }},
+		{"negative epoch", func(c *Config) { c.Epoch = -time.Second }},
+		{"negative start", func(c *Config) { c.Start = -time.Second }},
+		{"negative stop", func(c *Config) { c.Stop = -time.Second }},
+		{"stop before start", func(c *Config) { c.Start = 10 * time.Second; c.Stop = 5 * time.Second }},
+		{"negative pause", func(c *Config) { c.Pause = -time.Second }},
+		{"nan speed", func(c *Config) { c.MaxSpeed = math.NaN() }},
+		{"inf speed", func(c *Config) { c.MinSpeed = math.Inf(1) }},
+		{"negative min speed", func(c *Config) { c.MinSpeed = -1 }},
+		{"zero max speed", func(c *Config) { c.MaxSpeed = 0 }},
+		{"max below min", func(c *Config) { c.MinSpeed = 5; c.MaxSpeed = 2 }},
+		{"nan bound", func(c *Config) { c.MaxX = math.NaN() }},
+		{"empty field", func(c *Config) { c.MinX = 10; c.MaxX = 5; c.MinY = 0; c.MaxY = 1 }},
+		{"pinned out of range", func(c *Config) { c.Pinned = []topology.NodeID{9} }},
+		{"pinned negative", func(c *Config) { c.Pinned = []topology.NodeID{-1} }},
+		{"pinned duplicate", func(c *Config) { c.Pinned = []topology.NodeID{1, 1} }},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig(RandomWaypoint)
+		tc.mut(&cfg)
+		if err := cfg.Validate(4); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	groupCases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero groups", func(c *Config) { c.Groups = 0 }},
+		{"too many groups", func(c *Config) { c.Groups = 5 }},
+		{"zero radius", func(c *Config) { c.GroupRadius = 0 }},
+	}
+	for _, tc := range groupCases {
+		cfg := baseConfig(Group)
+		tc.mut(&cfg)
+		if err := cfg.Validate(4); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	for _, m := range []Model{RandomWaypoint, RandomWalk, Group} {
+		cfg := baseConfig(m)
+		if err := cfg.Validate(4); err != nil {
+			t.Errorf("valid %v config rejected: %v", m, err)
+		}
+	}
+}
+
+// run drives one engine for d of virtual time and returns it.
+func run(t *testing.T, pos []geom.Point, cfg Config, seed int64, d time.Duration) *Engine {
+	t.Helper()
+	sched := sim.NewScheduler()
+	e, err := Start(sched, pos, cfg, sim.NewRand(seed), nil)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched.Run(d)
+	return e
+}
+
+func TestTrajectoriesAreDeterministic(t *testing.T) {
+	for _, m := range []Model{RandomWaypoint, RandomWalk, Group} {
+		cfg := baseConfig(m)
+		pos := linePositions(6, 150)
+		a := run(t, pos, cfg, 42, 30*time.Second)
+		b := run(t, pos, cfg, 42, 30*time.Second)
+		c := run(t, pos, cfg, 43, 30*time.Second)
+		if a.Epochs() != 30 {
+			t.Fatalf("%v: %d epochs, want 30", m, a.Epochs())
+		}
+		diverged := false
+		for i := range pos {
+			n := topology.NodeID(i)
+			if a.Position(n) != b.Position(n) {
+				t.Fatalf("%v: same seed diverged at node %d", m, i)
+			}
+			if a.Position(n) != c.Position(n) {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("%v: different seeds gave identical trajectories", m)
+		}
+	}
+}
+
+func TestBoundsAndPinsRespected(t *testing.T) {
+	for _, m := range []Model{RandomWaypoint, RandomWalk, Group} {
+		cfg := baseConfig(m)
+		cfg.MinX, cfg.MaxX = 0, 500
+		cfg.MinY, cfg.MaxY = -100, 100
+		cfg.MaxSpeed = 80
+		cfg.Pinned = []topology.NodeID{2}
+		pos := linePositions(6, 100)
+		e := run(t, pos, cfg, 7, 60*time.Second)
+		if e.Position(2) != pos[2] {
+			t.Fatalf("%v: pinned node moved to %v", m, e.Position(2))
+		}
+		for i := range pos {
+			if topology.NodeID(i) == 2 {
+				continue
+			}
+			p := e.Position(topology.NodeID(i))
+			if p.X < cfg.MinX-1e-9 || p.X > cfg.MaxX+1e-9 || p.Y < cfg.MinY-1e-9 || p.Y > cfg.MaxY+1e-9 {
+				t.Fatalf("%v: node %d escaped to %v", m, i, p)
+			}
+			if m != RandomWaypoint && p == pos[i] {
+				t.Errorf("%v: node %d never moved", m, i)
+			}
+		}
+	}
+}
+
+// TestDerivedBoundsWidenDegenerateBox: a chain is one-dimensional, so the
+// derived field must widen the Y span instead of collapsing motion onto
+// the line.
+func TestDerivedBoundsWidenDegenerateBox(t *testing.T) {
+	cfg := baseConfig(RandomWalk)
+	cfg.MaxSpeed = 50
+	e := run(t, linePositions(5, 200), cfg, 3, 60*time.Second)
+	if e.minY >= e.maxY {
+		t.Fatalf("degenerate Y bounds kept: [%v,%v]", e.minY, e.maxY)
+	}
+	sawOffAxis := false
+	for i := 0; i < 5; i++ {
+		if e.Position(topology.NodeID(i)).Y != 0 {
+			sawOffAxis = true
+		}
+	}
+	if !sawOffAxis {
+		t.Error("no node ever left the chain axis")
+	}
+}
+
+func TestStartStopWindow(t *testing.T) {
+	cfg := baseConfig(RandomWalk)
+	cfg.Start = 10 * time.Second
+	cfg.Stop = 20 * time.Second
+	var epochTimes []time.Duration
+	sched := sim.NewScheduler()
+	e, err := Start(sched, linePositions(4, 100), cfg, sim.NewRand(1), func([]topology.NodeID, []geom.Point) {
+		epochTimes = append(epochTimes, sched.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(60 * time.Second)
+	if e.Epochs() != 10 {
+		t.Fatalf("%d epochs, want 10 (11s..20s)", e.Epochs())
+	}
+	for _, at := range epochTimes {
+		if at <= cfg.Start || at > cfg.Stop {
+			t.Fatalf("epoch fired at %v outside (%v,%v]", at, cfg.Start, cfg.Stop)
+		}
+	}
+}
+
+// TestWaypointPauseHolds: with a pause far longer than the run, a
+// random-waypoint node stops for good once it reaches its first target.
+func TestWaypointPauseHolds(t *testing.T) {
+	cfg := baseConfig(RandomWaypoint)
+	cfg.MinSpeed, cfg.MaxSpeed = 1000, 1000 // reach the first waypoint within one epoch
+	cfg.Pause = time.Hour
+	e := run(t, linePositions(3, 50), cfg, 5, 30*time.Second)
+	for i := 0; i < 3; i++ {
+		n := topology.NodeID(i)
+		got := e.Position(n)
+		want := e.walkers[i].target
+		if got != want {
+			t.Fatalf("node %d at %v, want parked at waypoint %v", i, got, want)
+		}
+	}
+}
+
+func TestValidateMessageMentionsField(t *testing.T) {
+	cfg := baseConfig(RandomWaypoint)
+	cfg.MaxSpeed = math.NaN()
+	err := cfg.Validate(3)
+	if err == nil || !strings.Contains(err.Error(), "max speed") {
+		t.Fatalf("err = %v, want mention of max speed", err)
+	}
+}

@@ -281,8 +281,10 @@ type Recorder struct {
 	nodes []NodeStats
 
 	// linkAir accumulates on-air time per dense link index since the
-	// last SampleLinkUtil call.
-	linkAir []time.Duration
+	// last SampleLinkUtil call. linkAirFar parks airtime whose link
+	// vanished in a topology change before the interval closed.
+	linkAir    []time.Duration
+	linkAirFar map[topology.Link]time.Duration
 
 	samples    []Sample
 	conditions []ConditionEvent
@@ -379,10 +381,44 @@ func (r *Recorder) LinkAirtime(idx int, d time.Duration) {
 	r.linkAir[idx] += d
 }
 
+// OnTopologyChange re-keys the per-link airtime accumulators after the
+// recorder's topology was mutated in place (node motion). oldLinks is
+// the pre-move dense link slice: airtime recorded under the old indices
+// moves to the link's new index, or — when the link vanished — into a
+// side map so the interval's sample still reports it.
+func (r *Recorder) OnTopologyChange(oldLinks []topology.Link) {
+	if r == nil {
+		return
+	}
+	newAir := make([]time.Duration, r.topo.NumLinks())
+	for idx, d := range r.linkAir {
+		if d == 0 {
+			continue
+		}
+		l := oldLinks[idx]
+		if ni := r.topo.LinkIndex(l.From, l.To); ni >= 0 {
+			newAir[ni] = d
+		} else {
+			if r.linkAirFar == nil {
+				r.linkAirFar = make(map[topology.Link]time.Duration)
+			}
+			r.linkAirFar[l] += d
+		}
+	}
+	for l, d := range r.linkAirFar {
+		if ni := r.topo.LinkIndex(l.From, l.To); ni >= 0 {
+			newAir[ni] += d
+			delete(r.linkAirFar, l)
+		}
+	}
+	r.linkAir = newAir
+}
+
 // SampleLinkUtil closes one sampling interval: it converts the per-link
 // airtime accumulated since the previous call into utilization
 // fractions, resets the accumulators, and returns the non-zero entries
-// in dense link-index order.
+// in dense link-index order. Airtime of links that vanished mid-interval
+// (node motion) follows, ordered by (From, To).
 func (r *Recorder) SampleLinkUtil(interval time.Duration) []LinkUtil {
 	if r == nil || interval <= 0 {
 		return nil
@@ -399,6 +435,24 @@ func (r *Recorder) SampleLinkUtil(interval time.Duration) []LinkUtil {
 			Util: float64(d) / float64(interval),
 		})
 		r.linkAir[idx] = 0
+	}
+	if len(r.linkAirFar) > 0 {
+		base := len(out)
+		for l, d := range r.linkAirFar {
+			out = append(out, LinkUtil{
+				From: l.From,
+				To:   l.To,
+				Util: float64(d) / float64(interval),
+			})
+		}
+		gone := out[base:]
+		sort.Slice(gone, func(i, j int) bool {
+			if gone[i].From != gone[j].From {
+				return gone[i].From < gone[j].From
+			}
+			return gone[i].To < gone[j].To
+		})
+		r.linkAirFar = nil
 	}
 	return out
 }

@@ -263,6 +263,7 @@ type Medium struct {
 	txFree    []*transmission
 
 	idleScratch []topology.NodeID // reused by finish
+	busyBefore  []bool            // scratch for Begin/EndTopologyChange
 
 	stats    Stats
 	observer func(trace.Event)
@@ -481,6 +482,103 @@ func (m *Medium) TakeOccupancy() map[topology.Link]time.Duration {
 	}
 	m.occupancyFar = nil
 	return out
+}
+
+// BeginTopologyChange must be called immediately before the medium's
+// topology is mutated in place (topology.MoveNodes). Carrier-sense busy
+// counts were raised against the old CS neighbor lists when each
+// in-flight transmission started; this unwinds them (and snapshots each
+// node's sensed state) so EndTopologyChange can re-raise them against
+// the new lists.
+func (m *Medium) BeginTopologyChange() {
+	if m.busyBefore == nil {
+		m.busyBefore = make([]bool, len(m.busy))
+	}
+	for n := range m.busy {
+		m.busyBefore[n] = m.busy[n] > 0
+	}
+	for _, tx := range m.active {
+		for _, n := range m.topo.CSNeighbors(tx.src) {
+			m.busy[n]--
+		}
+	}
+}
+
+// EndTopologyChange completes a topology change opened with
+// BeginTopologyChange, after the topology was mutated. oldLinks is the
+// pre-move dense link slice (Diff.OldLinks): per-link state recorded
+// under the old indices — injected link loss and occupancy accounting —
+// is re-keyed through the Link values into the new index space, with
+// vanished links parked in the far maps and reappeared far entries
+// pulled back into the dense slices. In-flight transmissions then
+// re-raise carrier sense against the new CS neighbor lists, and any
+// node whose sensed state flipped (it walked into or out of an active
+// transmitter's CS range) gets the corresponding OnBusy/OnIdle edge.
+// Corruption already marked on in-flight frames is kept: interference
+// is assessed at transmit time, delivery at the new positions.
+func (m *Medium) EndTopologyChange(oldLinks []topology.Link) {
+	nl := m.topo.NumLinks()
+	newLoss := make([]float64, nl)
+	newOcc := make([]time.Duration, nl)
+	count := 0
+	for idx, l := range oldLinks {
+		if p := m.linkLoss[idx]; p != 0 {
+			if ni := m.topo.LinkIndex(l.From, l.To); ni >= 0 {
+				newLoss[ni] = p
+				count++
+			} else {
+				if m.linkLossFar == nil {
+					m.linkLossFar = make(map[topology.Link]float64)
+				}
+				m.linkLossFar[l] = p
+			}
+		}
+		if d := m.occupancy[idx]; d != 0 {
+			if ni := m.topo.LinkIndex(l.From, l.To); ni >= 0 {
+				newOcc[ni] = d
+			} else {
+				if m.occupancyFar == nil {
+					m.occupancyFar = make(map[topology.Link]time.Duration)
+				}
+				m.occupancyFar[l] += d
+			}
+		}
+	}
+	// Far entries whose pair became a live link go dense again. A pair is
+	// never in both places, so no entry can collide with the remap above.
+	for l, p := range m.linkLossFar {
+		if ni := m.topo.LinkIndex(l.From, l.To); ni >= 0 {
+			newLoss[ni] = p
+			count++
+			delete(m.linkLossFar, l)
+		}
+	}
+	for l, d := range m.occupancyFar {
+		if ni := m.topo.LinkIndex(l.From, l.To); ni >= 0 {
+			newOcc[ni] += d
+			delete(m.occupancyFar, l)
+		}
+	}
+	m.linkLoss, m.linkLossCount, m.occupancy = newLoss, count, newOcc
+
+	for _, tx := range m.active {
+		for _, n := range m.topo.CSNeighbors(tx.src) {
+			m.busy[n]++
+		}
+	}
+	for n := range m.busy {
+		nowBusy := m.busy[n] > 0
+		if nowBusy == m.busyBefore[n] || m.transmitting[n] {
+			continue
+		}
+		if st := m.stations[n]; st != nil {
+			if nowBusy {
+				st.OnBusy()
+			} else {
+				st.OnIdle()
+			}
+		}
+	}
 }
 
 type transmission struct {

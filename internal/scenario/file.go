@@ -10,6 +10,7 @@ import (
 	"gmp/internal/faults"
 	"gmp/internal/flow"
 	"gmp/internal/geom"
+	"gmp/internal/mobility"
 	"gmp/internal/packet"
 	"gmp/internal/topology"
 )
@@ -33,9 +34,10 @@ type fileFormat struct {
 	Description string       `json:"description,omitempty"`
 	TxRangeM    float64      `json:"tx_range_m,omitempty"`
 	CSRangeM    float64      `json:"cs_range_m,omitempty"`
-	Nodes       [][2]float64 `json:"nodes"`
-	Flows       []fileFlow   `json:"flows"`
-	Faults      []fileFault  `json:"faults,omitempty"`
+	Nodes       [][2]float64  `json:"nodes"`
+	Flows       []fileFlow    `json:"flows"`
+	Faults      []fileFault   `json:"faults,omitempty"`
+	Mobility    *fileMobility `json:"mobility,omitempty"`
 }
 
 type fileFlow struct {
@@ -62,6 +64,33 @@ type fileFault struct {
 	From     int     `json:"from,omitempty"`
 	To       int     `json:"to,omitempty"`
 	LossProb float64 `json:"loss_prob,omitempty"`
+}
+
+// fileMobility is the optional node-motion block (see internal/mobility):
+//
+//	{"model": "random-waypoint", "epoch_s": 1, "min_speed_mps": 1,
+//	 "max_speed_mps": 10, "pause_s": 2,
+//	 "min_x": 0, "max_x": 800, "min_y": -200, "max_y": 200,
+//	 "pinned": [0, 5]}
+//
+// Bounds omitted (all four zero) are derived from the bounding box of
+// the node placement. "group" additionally takes groups and
+// group_radius_m. Pinned nodes never move.
+type fileMobility struct {
+	Model       string  `json:"model"`
+	EpochS      float64 `json:"epoch_s"`
+	StartS      float64 `json:"start_s,omitempty"`
+	StopS       float64 `json:"stop_s,omitempty"`
+	MinSpeed    float64 `json:"min_speed_mps,omitempty"`
+	MaxSpeed    float64 `json:"max_speed_mps"`
+	PauseS      float64 `json:"pause_s,omitempty"`
+	MinX        float64 `json:"min_x,omitempty"`
+	MinY        float64 `json:"min_y,omitempty"`
+	MaxX        float64 `json:"max_x,omitempty"`
+	MaxY        float64 `json:"max_y,omitempty"`
+	Groups      int     `json:"groups,omitempty"`
+	GroupRadius float64 `json:"group_radius_m,omitempty"`
+	Pinned      []int   `json:"pinned,omitempty"`
 }
 
 // maxScheduleSeconds bounds flow start/stop times in scenario files.
@@ -159,7 +188,57 @@ func Load(r io.Reader) (Scenario, error) {
 	if err := faults.ValidateSchedule(s.Faults, len(ff.Nodes)); err != nil {
 		return Scenario{}, fmt.Errorf("scenario: %w", err)
 	}
+	if ff.Mobility != nil {
+		cfg, err := ff.Mobility.toConfig(len(ff.Nodes))
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Mobility = cfg
+	}
 	return s, nil
+}
+
+// toConfig converts the JSON mobility block to a validated config.
+func (fm *fileMobility) toConfig(numNodes int) (*mobility.Config, error) {
+	model, err := mobility.ParseModel(fm.Model)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: mobility: %w", err)
+	}
+	for _, t := range []struct {
+		name string
+		v    float64
+	}{
+		{"epoch_s", fm.EpochS},
+		{"start_s", fm.StartS},
+		{"stop_s", fm.StopS},
+		{"pause_s", fm.PauseS},
+	} {
+		if t.v < 0 || t.v > maxScheduleSeconds {
+			return nil, fmt.Errorf("scenario: mobility %s outside [0, %g] s", t.name, float64(maxScheduleSeconds))
+		}
+	}
+	cfg := &mobility.Config{
+		Model:       model,
+		Epoch:       secondsToDuration(fm.EpochS),
+		Start:       secondsToDuration(fm.StartS),
+		Stop:        secondsToDuration(fm.StopS),
+		MinSpeed:    fm.MinSpeed,
+		MaxSpeed:    fm.MaxSpeed,
+		Pause:       secondsToDuration(fm.PauseS),
+		MinX:        fm.MinX,
+		MinY:        fm.MinY,
+		MaxX:        fm.MaxX,
+		MaxY:        fm.MaxY,
+		Groups:      fm.Groups,
+		GroupRadius: fm.GroupRadius,
+	}
+	for _, p := range fm.Pinned {
+		cfg.Pinned = append(cfg.Pinned, topology.NodeID(p))
+	}
+	if err := cfg.Validate(numNodes); err != nil {
+		return nil, fmt.Errorf("scenario: mobility: %w", err)
+	}
+	return cfg, nil
 }
 
 // secondsToDuration converts a seconds value from a scenario file to a
@@ -201,6 +280,27 @@ func (s Scenario) Save(w io.Writer) error {
 			To:       int(e.To),
 			LossProb: e.LossProb,
 		})
+	}
+	if m := s.Mobility; m != nil {
+		fm := &fileMobility{
+			Model:       m.Model.String(),
+			EpochS:      m.Epoch.Seconds(),
+			StartS:      m.Start.Seconds(),
+			StopS:       m.Stop.Seconds(),
+			MinSpeed:    m.MinSpeed,
+			MaxSpeed:    m.MaxSpeed,
+			PauseS:      m.Pause.Seconds(),
+			MinX:        m.MinX,
+			MinY:        m.MinY,
+			MaxX:        m.MaxX,
+			MaxY:        m.MaxY,
+			Groups:      m.Groups,
+			GroupRadius: m.GroupRadius,
+		}
+		for _, p := range m.Pinned {
+			fm.Pinned = append(fm.Pinned, int(p))
+		}
+		ff.Mobility = fm
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

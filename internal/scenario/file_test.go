@@ -2,11 +2,14 @@ package scenario
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"gmp/internal/faults"
+	"gmp/internal/mobility"
+	"gmp/internal/topology"
 )
 
 func TestLoadMinimalFile(t *testing.T) {
@@ -177,6 +180,48 @@ func TestSaveLoadRoundTripWithFaults(t *testing.T) {
 	for i := range orig.Faults {
 		if loaded.Faults[i] != orig.Faults[i] {
 			t.Errorf("fault %d: %+v != %+v", i, loaded.Faults[i], orig.Faults[i])
+		}
+	}
+}
+
+func TestSaveLoadRoundTripWithMobility(t *testing.T) {
+	orig := Fig3().WithMobility(&mobility.Config{
+		Model:    mobility.RandomWaypoint,
+		Epoch:    1500 * time.Millisecond,
+		Start:    10 * time.Second,
+		Stop:     90 * time.Second,
+		MinSpeed: 1,
+		MaxSpeed: 12.5,
+		Pause:    250 * time.Millisecond,
+		MinX:     -100, MaxX: 700, MinY: -200, MaxY: 200,
+		Pinned: []topology.NodeID{3},
+	})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Mobility == nil || !reflect.DeepEqual(loaded.Mobility, orig.Mobility) {
+		t.Fatalf("mobility round trip:\norig:   %+v\nloaded: %+v", orig.Mobility, loaded.Mobility)
+	}
+}
+
+func TestLoadRejectsBadMobility(t *testing.T) {
+	cases := []string{
+		`{"model":"teleport","epoch_s":1,"max_speed_mps":10}`,
+		`{"model":"random-walk","epoch_s":0,"max_speed_mps":10}`,
+		`{"model":"random-walk","epoch_s":1e300,"max_speed_mps":10}`,
+		`{"model":"random-walk","epoch_s":1,"max_speed_mps":0}`,
+		`{"model":"random-walk","epoch_s":1,"max_speed_mps":10,"pinned":[9]}`,
+		`{"model":"group","epoch_s":1,"max_speed_mps":10}`,
+	}
+	for _, mob := range cases {
+		input := `{"nodes":[[0,0],[200,0],[400,0]],"flows":[{"src":0,"dst":2}],"mobility":` + mob + `}`
+		if _, err := Load(strings.NewReader(input)); err == nil {
+			t.Errorf("accepted bad mobility block %s", mob)
 		}
 	}
 }

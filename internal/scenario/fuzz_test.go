@@ -119,3 +119,61 @@ func FuzzFaultSchedule(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMobilitySchedule splices the fuzzed bytes in as the "mobility"
+// block of an otherwise fixed, valid scenario, concentrating coverage
+// on mobility parsing and validation. Invariants match the other two
+// fuzzers: Load never panics, and anything it accepts is a Save→Load
+// fixed point (including the duration conversions and pinned lists).
+func FuzzMobilitySchedule(f *testing.F) {
+	seeds := []string{
+		// Each model, minimal and fully populated.
+		`{"model":"random-waypoint","epoch_s":1,"max_speed_mps":10}`,
+		`{"model":"random-walk","epoch_s":2,"min_speed_mps":1,"max_speed_mps":5,
+		  "min_x":0,"max_x":800,"min_y":-200,"max_y":200,"pinned":[0,2]}`,
+		`{"model":"group","epoch_s":1,"max_speed_mps":8,"groups":2,"group_radius_m":100}`,
+		`{"model":"rwp","epoch_s":0.5,"max_speed_mps":3,"pause_s":2.25,
+		  "start_s":10,"stop_s":60.125}`,
+		// Inputs the loader must reject: unknown model, bad durations,
+		// bad speeds, empty field, bad groups, bad pinned entries.
+		`{"model":"teleport","epoch_s":1,"max_speed_mps":10}`,
+		`{"model":"random-walk","epoch_s":0,"max_speed_mps":10}`,
+		`{"model":"random-walk","epoch_s":-1,"max_speed_mps":10}`,
+		`{"model":"random-walk","epoch_s":1e300,"max_speed_mps":10}`,
+		`{"model":"random-walk","epoch_s":1,"max_speed_mps":0}`,
+		`{"model":"random-walk","epoch_s":1,"min_speed_mps":5,"max_speed_mps":2}`,
+		`{"model":"random-walk","epoch_s":1,"min_speed_mps":-1,"max_speed_mps":2}`,
+		`{"model":"random-walk","epoch_s":1,"max_speed_mps":10,"start_s":60,"stop_s":10}`,
+		`{"model":"random-walk","epoch_s":1,"max_speed_mps":10,"min_x":10,"max_x":5,"max_y":1}`,
+		`{"model":"group","epoch_s":1,"max_speed_mps":10}`,
+		`{"model":"group","epoch_s":1,"max_speed_mps":10,"groups":9,"group_radius_m":50}`,
+		`{"model":"random-walk","epoch_s":1,"max_speed_mps":10,"pinned":[-1]}`,
+		`{"model":"random-walk","epoch_s":1,"max_speed_mps":10,"pinned":[1,1]}`,
+		`{"model":"random-walk","epoch_s":1,"max_speed_mps":10,"bogus":true}`,
+		`null`,
+		`[]`,
+		`nonsense`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, mobilityJSON []byte) {
+		input := `{"nodes":[[0,0],[200,0],[400,0]],"flows":[{"src":0,"dst":2}],"mobility":` +
+			string(mobilityJSON) + `}`
+		s, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("loaded scenario does not save: %v\nmobility: %q", err, mobilityJSON)
+		}
+		reloaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("saved scenario does not reload: %v\nsaved: %s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(s, reloaded) {
+			t.Fatalf("round trip not identical:\nfirst:    %#v\nreloaded: %#v", s, reloaded)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"gmp/internal/faults"
 	"gmp/internal/flow"
 	"gmp/internal/geom"
+	"gmp/internal/mobility"
 	"gmp/internal/packet"
 	"gmp/internal/topology"
 )
@@ -25,7 +26,8 @@ const (
 )
 
 // Scenario couples a topology with a set of flows and, optionally, a
-// fault schedule (node churn and loss episodes; see internal/faults).
+// fault schedule (node churn and loss episodes; see internal/faults)
+// and a mobility model (node motion; see internal/mobility).
 type Scenario struct {
 	Name        string
 	Description string
@@ -33,6 +35,7 @@ type Scenario struct {
 	Radio       topology.Config
 	Flows       []flow.Spec
 	Faults      []faults.Event
+	Mobility    *mobility.Config
 }
 
 // WithFaults returns a copy of the scenario with the given fault
@@ -40,6 +43,23 @@ type Scenario struct {
 func (s Scenario) WithFaults(events []faults.Event) Scenario {
 	out := s
 	out.Faults = append([]faults.Event(nil), events...)
+	return out
+}
+
+// WithMobility returns a copy of the scenario with the given mobility
+// model attached (nil detaches).
+func (s Scenario) WithMobility(cfg *mobility.Config) Scenario {
+	out := s
+	if cfg == nil {
+		out.Mobility = nil
+		return out
+	}
+	c := *cfg
+	c.Pinned = append([]topology.NodeID(nil), cfg.Pinned...)
+	if len(c.Pinned) == 0 {
+		c.Pinned = nil
+	}
+	out.Mobility = &c
 	return out
 }
 

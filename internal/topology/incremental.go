@@ -1,0 +1,283 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"gmp/internal/geom"
+)
+
+// Diff records what one MoveNodes call changed. The mobility layer hands
+// it to the subsystems that index state by dense link number (radio
+// medium, telemetry recorder) and to the incremental clique updater.
+type Diff struct {
+	// Moved lists the nodes whose positions changed, ascending.
+	Moved []NodeID
+	// OldLinks is the dense directed-link slice as it was before the
+	// update. Dense per-link state recorded under the old indices must be
+	// re-keyed through these Link values into the new index space.
+	OldLinks []Link
+	// AddedLinks and RemovedLinks are the directed links that appeared
+	// and vanished. Both directions of an undirected edge are listed.
+	AddedLinks   []Link
+	RemovedLinks []Link
+	// CSChanged reports whether any carrier-sense adjacency changed.
+	// When CSRange equals TxRange it mirrors the link diffs; otherwise
+	// CS edges can change while no transmission link does (and vice
+	// versa), and contention cliques depend on both.
+	CSChanged bool
+}
+
+// Changed reports whether the update altered any adjacency at all. When
+// false, positions moved but every neighbor list, bitset, link index and
+// contention relation is exactly as before.
+func (d *Diff) Changed() bool {
+	return len(d.AddedLinks) > 0 || len(d.RemovedLinks) > 0 || d.CSChanged
+}
+
+// MoveNodes updates the positions of the given nodes in place and
+// incrementally repairs every derived structure — Tx/CS neighbor lists,
+// bitset adjacency, the dense directed-link index, and the two-hop sets —
+// without the O(N²) scan of a from-scratch rebuild. Cost is
+// O(movers·N + N + L + dirty·deg²) where dirty is the set of nodes within
+// two hops of a changed edge.
+//
+// newPos[i] is the new position of moved[i]. The moved list must name
+// valid nodes with no duplicates. From-scratch construction via New
+// remains in-tree as the differential oracle: for any sequence of
+// MoveNodes calls the mutated topology is deep-equal to New on the final
+// positions (enforced by TestIncrementalMatchesRebuild).
+//
+// Slices handed out before the call (Neighbors, TwoHopNeighbors, Links)
+// are never mutated: every changed list is replaced with a fresh slice,
+// so old snapshots — including Diff.OldLinks — stay valid.
+func (t *Topology) MoveNodes(moved []NodeID, newPos []geom.Point) (*Diff, error) {
+	if len(moved) != len(newPos) {
+		return nil, fmt.Errorf("topology: %d moved nodes but %d positions", len(moved), len(newPos))
+	}
+	n := len(t.pos)
+	isMover := make([]bool, n)
+	for _, m := range moved {
+		if !t.Valid(m) {
+			return nil, fmt.Errorf("topology: moved node %d out of range", m)
+		}
+		if isMover[m] {
+			return nil, fmt.Errorf("topology: node %d moved twice in one update", m)
+		}
+		isMover[m] = true
+	}
+	diff := &Diff{
+		Moved:    append([]NodeID(nil), moved...),
+		OldLinks: t.links,
+	}
+	sort.Slice(diff.Moved, func(i, j int) bool { return diff.Moved[i] < diff.Moved[j] })
+	if len(moved) == 0 {
+		return diff, nil
+	}
+
+	// Snapshot the movers' old adjacency before touching anything: the
+	// old two-hop sets seed the dirty region, the old neighbor lists
+	// drive the edge diffs.
+	sameRange := t.cfg.CSRange == t.cfg.TxRange
+	oldTx := make([][]NodeID, len(diff.Moved))
+	oldCS := make([][]NodeID, len(diff.Moved))
+	oldTwo := make([][]NodeID, len(diff.Moved))
+	for i, m := range diff.Moved {
+		oldTx[i] = t.neighbors[m]
+		oldCS[i] = t.csNeighbors[m]
+		oldTwo[i] = t.twoHop[m]
+	}
+	for i, m := range moved {
+		t.pos[m] = newPos[i]
+	}
+
+	// Recompute each mover's neighbor lists by one O(N) scan.
+	newTx := make([][]NodeID, len(diff.Moved))
+	newCS := make([][]NodeID, len(diff.Moved))
+	for i, m := range diff.Moved {
+		var tx, cs []NodeID
+		for j := 0; j < n; j++ {
+			if NodeID(j) == m {
+				continue
+			}
+			if geom.WithinRange(t.pos[m], t.pos[j], t.cfg.TxRange) {
+				tx = append(tx, NodeID(j))
+			}
+			if !sameRange && geom.WithinRange(t.pos[m], t.pos[j], t.cfg.CSRange) {
+				cs = append(cs, NodeID(j))
+			}
+		}
+		newTx[i] = tx
+		if sameRange {
+			newCS[i] = tx
+		} else {
+			newCS[i] = cs
+		}
+	}
+
+	// Apply the Tx edge diffs: patch bitsets both directions and splice
+	// the non-mover endpoints' sorted lists. Edges between two movers are
+	// processed once (from the lower-ID side); both endpoints' lists are
+	// replaced wholesale below, so only the bitset and the Diff entry are
+	// needed for those.
+	for i, m := range diff.Moved {
+		added, removed := diffSorted(oldTx[i], newTx[i])
+		for _, x := range added {
+			if isMover[x] && x < m {
+				continue
+			}
+			t.txAdj.set(int(m), int(x))
+			t.txAdj.set(int(x), int(m))
+			diff.AddedLinks = append(diff.AddedLinks, Link{m, x}, Link{x, m})
+			if !isMover[x] {
+				t.neighbors[x] = insertID(t.neighbors[x], m)
+			}
+		}
+		for _, x := range removed {
+			if isMover[x] && x < m {
+				continue
+			}
+			t.txAdj.clear(int(m), int(x))
+			t.txAdj.clear(int(x), int(m))
+			diff.RemovedLinks = append(diff.RemovedLinks, Link{m, x}, Link{x, m})
+			if !isMover[x] {
+				t.neighbors[x] = removeID(t.neighbors[x], m)
+			}
+		}
+	}
+	// Same for the CS structures when they are distinct from the Tx ones;
+	// with equal ranges csNeighbors/csAdj alias neighbors/txAdj and are
+	// already up to date.
+	if sameRange {
+		diff.CSChanged = len(diff.AddedLinks) > 0 || len(diff.RemovedLinks) > 0
+	} else {
+		for i, m := range diff.Moved {
+			added, removed := diffSorted(oldCS[i], newCS[i])
+			for _, x := range added {
+				if isMover[x] && x < m {
+					continue
+				}
+				diff.CSChanged = true
+				t.csAdj.set(int(m), int(x))
+				t.csAdj.set(int(x), int(m))
+				if !isMover[x] {
+					t.csNeighbors[x] = insertID(t.csNeighbors[x], m)
+				}
+			}
+			for _, x := range removed {
+				if isMover[x] && x < m {
+					continue
+				}
+				diff.CSChanged = true
+				t.csAdj.clear(int(m), int(x))
+				t.csAdj.clear(int(x), int(m))
+				if !isMover[x] {
+					t.csNeighbors[x] = removeID(t.csNeighbors[x], m)
+				}
+			}
+		}
+	}
+	// Install the movers' fresh lists. With equal ranges the outer
+	// csNeighbors slice is the same object as neighbors, so the element
+	// assignment keeps the alias intact.
+	for i, m := range diff.Moved {
+		t.neighbors[m] = newTx[i]
+		if !sameRange {
+			t.csNeighbors[m] = newCS[i]
+		}
+	}
+
+	if len(diff.AddedLinks) > 0 || len(diff.RemovedLinks) > 0 {
+		// Regenerate the dense link index in O(N + L). The old slice is
+		// left intact for Diff.OldLinks holders.
+		total := 0
+		for i := range t.neighbors {
+			t.linkBase[i] = total
+			total += len(t.neighbors[i])
+		}
+		t.linkBase[n] = total
+		t.links = make([]Link, 0, total)
+		for i := range t.neighbors {
+			for _, j := range t.neighbors[i] {
+				t.links = append(t.links, Link{From: NodeID(i), To: j})
+			}
+		}
+
+		// Two-hop sets: a node's set can only change if it lies within
+		// one hop of a changed edge endpoint, i.e. within the union of
+		// every mover's old and new two-hop neighborhoods (plus the
+		// movers themselves).
+		dirty := make([]bool, n)
+		var dirtyList []NodeID
+		mark := func(v NodeID) {
+			if !dirty[v] {
+				dirty[v] = true
+				dirtyList = append(dirtyList, v)
+			}
+		}
+		seen := make([]bool, n)
+		for i, m := range diff.Moved {
+			mark(m)
+			for _, v := range oldTwo[i] {
+				mark(v)
+			}
+			t.twoHop[m] = t.computeTwoHop(m, seen)
+			for _, v := range t.twoHop[m] {
+				mark(v)
+			}
+		}
+		for _, v := range dirtyList {
+			if !isMover[v] {
+				t.twoHop[v] = t.computeTwoHop(v, seen)
+			}
+		}
+	}
+	return diff, nil
+}
+
+// diffSorted returns the elements of b not in a (added) and of a not in b
+// (removed). Both inputs are sorted ascending.
+func diffSorted(a, b []NodeID) (added, removed []NodeID) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			removed = append(removed, a[i])
+			i++
+		default:
+			added = append(added, b[j])
+			j++
+		}
+	}
+	removed = append(removed, a[i:]...)
+	added = append(added, b[j:]...)
+	return added, removed
+}
+
+// insertID returns a fresh sorted copy of list with id inserted. The
+// input slice is not mutated (callers may hold references to it).
+func insertID(list []NodeID, id NodeID) []NodeID {
+	at := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	out := make([]NodeID, 0, len(list)+1)
+	out = append(out, list[:at]...)
+	out = append(out, id)
+	return append(out, list[at:]...)
+}
+
+// removeID returns a fresh copy of list with id removed (no-op copy when
+// absent). The input slice is not mutated.
+func removeID(list []NodeID, id NodeID) []NodeID {
+	at := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if at == len(list) || list[at] != id {
+		return list
+	}
+	if len(list) == 1 {
+		return nil // match New, which leaves empty lists nil
+	}
+	out := make([]NodeID, 0, len(list)-1)
+	out = append(out, list[:at]...)
+	return append(out, list[at+1:]...)
+}

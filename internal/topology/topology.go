@@ -79,6 +79,10 @@ func (b bitset) set(row, col int) {
 	b.words[row*b.stride+col>>6] |= 1 << (uint(col) & 63)
 }
 
+func (b bitset) clear(row, col int) {
+	b.words[row*b.stride+col>>6] &^= 1 << (uint(col) & 63)
+}
+
 func (b bitset) test(row, col int) bool {
 	return b.words[row*b.stride+col>>6]&(1<<(uint(col)&63)) != 0
 }
@@ -176,26 +180,33 @@ func New(positions []geom.Point, cfg Config) (*Topology, error) {
 	t.twoHop = make([][]NodeID, n)
 	seen := make([]bool, n)
 	for v := range t.twoHop {
-		touched := t.twoHop[v][:0]
-		for _, m := range t.neighbors[v] {
-			if !seen[m] {
-				seen[m] = true
-				touched = append(touched, m)
-			}
-			for _, k := range t.neighbors[m] {
-				if k != NodeID(v) && !seen[k] {
-					seen[k] = true
-					touched = append(touched, k)
-				}
-			}
-		}
-		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
-		t.twoHop[v] = touched
-		for _, m := range touched {
-			seen[m] = false
-		}
+		t.twoHop[v] = t.computeTwoHop(NodeID(v), seen)
 	}
 	return t, nil
+}
+
+// computeTwoHop builds node v's one-and-two-hop neighborhood from the
+// current neighbor lists. seen is an all-false scratch slice of length
+// NumNodes; it is restored to all-false before returning.
+func (t *Topology) computeTwoHop(v NodeID, seen []bool) []NodeID {
+	var touched []NodeID
+	for _, m := range t.neighbors[v] {
+		if !seen[m] {
+			seen[m] = true
+			touched = append(touched, m)
+		}
+		for _, k := range t.neighbors[m] {
+			if k != v && !seen[k] {
+				seen[k] = true
+				touched = append(touched, k)
+			}
+		}
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	for _, m := range touched {
+		seen[m] = false
+	}
+	return touched
 }
 
 // MustNew is New for static scenario tables; it panics on error.
