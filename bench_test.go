@@ -230,6 +230,46 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(tx)/b.Elapsed().Seconds(), "frames/s")
 }
 
+// BenchmarkChurnOverhead measures what the churn engine and admission
+// control cost on top of a comparable static run: the mesh-gateway
+// overload demo with Poisson arrivals and admission on. The schedule
+// is pre-generated and the admission test is O(path cliques) per
+// arrival, so the frames/s metric should track the static throughput
+// benchmark, not fall off a cliff.
+func BenchmarkChurnOverhead(b *testing.B) {
+	sc, err := MeshGatewayScenario(3, 3, 3, 200, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Scenario: sc,
+		Protocol: ProtocolGMP,
+		Duration: 20 * time.Second,
+		Warmup:   10 * time.Second,
+		Churn: &ChurnConfig{
+			Process:     ChurnPoisson,
+			Rate:        1.0,
+			Matrix:      ChurnGateway,
+			MinSizePkts: 4000,
+			MaxSizePkts: 40000,
+			Admission:   &AdmissionParams{MinShare: 40},
+		},
+	}
+	var tx int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Churn == nil || res.Churn.Arrivals == 0 {
+			b.Fatal("churn workload produced no arrivals")
+		}
+		tx += res.Channel.Transmissions
+	}
+	b.ReportMetric(float64(tx)/b.Elapsed().Seconds(), "frames/s")
+}
+
 // BenchmarkParallelSweep measures the experiment runner's fan-out: one
 // op is a complete 16-seed sweep of the Figure 3 scenario, executed
 // serially (Workers=1) and across all CPUs. On an N-core machine the

@@ -16,11 +16,17 @@
 // Every run is deterministic: the fault engine draws no randomness, so
 // rows depend only on (scenario, mode, intensity, seed).
 //
+// -churn-rate λ overlays a Poisson flow-churn workload (with optional
+// admission control via -admit) on every run, measuring resilience when
+// faults and flow dynamics compose; churn rows report min_rate over the
+// static flows only and append admitted/rejected/shed CI95 columns.
+//
 // Usage:
 //
 //	faultsweep -scenario fig3 -mode churn -node 1 -intensities 0,0.25,0.5,1 -seeds 8
 //	faultsweep -scenario grid23 -mode churn -node 1 -seeds 16 -out churn.csv
 //	faultsweep -scenario fig3 -mode loss -from 1 -to 2 -intensities 0,0.2,0.4
+//	faultsweep -scenario fig3 -mode churn -node 1 -churn-rate 0.5 -admit 40
 package main
 
 import (
@@ -60,6 +66,8 @@ func run(args []string, stdout io.Writer) error {
 	duration := fs.Duration("duration", 200*time.Second, "session length")
 	warmup := fs.Duration("warmup", 40*time.Second, "warmup (faults start here)")
 	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = all CPUs, 1 = serial)")
+	churnRate := fs.Float64("churn-rate", 0, "overlay Poisson flow churn at this arrival rate in flows/s (0 = off)")
+	admitShare := fs.Float64("admit", 0, "churn admission control: minimum weighted per-flow share (pkt/s; 0 = admit everything)")
 	out := fs.String("out", "", "CSV output path (default stdout)")
 	telemetry := fs.String("telemetry", "", "record per-run telemetry; write one summary JSON line per run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +93,12 @@ func run(args []string, stdout io.Writer) error {
 	if *warmup >= *duration {
 		return fmt.Errorf("warmup %v must be shorter than duration %v", *warmup, *duration)
 	}
+	if *churnRate < 0 {
+		return fmt.Errorf("negative churn rate %v", *churnRate)
+	}
+	if *admitShare != 0 && *churnRate == 0 {
+		return fmt.Errorf("-admit requires -churn-rate")
+	}
 
 	var cfgs []gmp.Config
 	for _, v := range vals {
@@ -97,6 +111,19 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Faults, err = schedule(*mode, v, *node, *from, *to, *warmup, *duration)
 		if err != nil {
 			return err
+		}
+		if *churnRate > 0 {
+			cc := &gmp.ChurnConfig{
+				Process:     gmp.ChurnPoisson,
+				Rate:        *churnRate,
+				Matrix:      gmp.ChurnRandom,
+				MinSizePkts: 4000,
+				MaxSizePkts: 40000,
+			}
+			if *admitShare > 0 {
+				cc.Admission = &gmp.AdmissionParams{MinShare: *admitShare}
+			}
+			cfg.Churn = cc
 		}
 		if *telemetry != "" {
 			cfg.Telemetry = &gmp.TelemetryConfig{}
@@ -127,7 +154,11 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 	cw := csv.NewWriter(w)
-	if err := write(cw, sc.Name, *mode, vals, *seeds, results); err != nil {
+	staticN := 0
+	if *churnRate > 0 {
+		staticN = len(sc.Flows)
+	}
+	if err := write(cw, sc.Name, *mode, vals, *seeds, staticN, results); err != nil {
 		return err
 	}
 	cw.Flush()
@@ -196,20 +227,28 @@ func writeTelemetrySummaries(path, mode string, vals []float64, seeds int, resul
 
 // write emits one row per intensity: cross-seed means with 95% CI
 // half-widths, plus the fraction of runs whose post-fault trace
-// re-settled and the recovery time over those runs.
-func write(cw *csv.Writer, scenario, mode string, vals []float64, seeds int, results []*gmp.Result) error {
+// re-settled and the recovery time over those runs. Churn runs
+// (staticN > 0) aggregate scalar-by-scalar instead of via gmp.Summarize
+// — arrival counts differ between seeds, so the flow counts do too —
+// take min_rate over the static prefix only, and append the admission
+// counters.
+func write(cw *csv.Writer, scenario, mode string, vals []float64, seeds, staticN int, results []*gmp.Result) error {
 	header := []string{
 		"scenario", "mode", "intensity", "seeds",
 		"i_mm", "i_mm_ci95", "i_eq", "i_eq_ci95",
 		"u_pps", "u_pps_ci95", "min_rate_pps", "min_rate_ci95",
 		"recovered_frac", "recovery_s", "recovery_s_ci95",
 	}
+	if staticN > 0 {
+		header = append(header,
+			"arrivals", "arrivals_ci95", "admitted", "admitted_ci95",
+			"rejected", "rejected_ci95", "shed", "shed_ci95")
+	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for vi, v := range vals {
 		batch := results[vi*seeds : (vi+1)*seeds]
-		sum := gmp.Summarize(batch)
 		var rec []float64
 		for _, res := range batch {
 			if res != nil && res.Recovered {
@@ -220,13 +259,52 @@ func write(cw *csv.Writer, scenario, mode string, vals []float64, seeds int, res
 		row := []string{
 			scenario, mode,
 			strconv.FormatFloat(v, 'g', -1, 64),
-			strconv.Itoa(sum.Runs),
-			fmt.Sprintf("%.4f", sum.Imm.Mean), fmt.Sprintf("%.4f", sum.Imm.CI95),
-			fmt.Sprintf("%.4f", sum.Ieq.Mean), fmt.Sprintf("%.4f", sum.Ieq.CI95),
-			fmt.Sprintf("%.2f", sum.U.Mean), fmt.Sprintf("%.2f", sum.U.CI95),
-			fmt.Sprintf("%.2f", sum.MinRate.Mean), fmt.Sprintf("%.2f", sum.MinRate.CI95),
-			fmt.Sprintf("%.2f", float64(len(rec))/float64(sum.Runs)),
-			fmt.Sprintf("%.2f", recSum.Mean), fmt.Sprintf("%.2f", recSum.CI95),
+			strconv.Itoa(len(batch)),
+		}
+		if staticN == 0 {
+			sum := gmp.Summarize(batch)
+			row = append(row,
+				fmt.Sprintf("%.4f", sum.Imm.Mean), fmt.Sprintf("%.4f", sum.Imm.CI95),
+				fmt.Sprintf("%.4f", sum.Ieq.Mean), fmt.Sprintf("%.4f", sum.Ieq.CI95),
+				fmt.Sprintf("%.2f", sum.U.Mean), fmt.Sprintf("%.2f", sum.U.CI95),
+				fmt.Sprintf("%.2f", sum.MinRate.Mean), fmt.Sprintf("%.2f", sum.MinRate.CI95))
+		} else {
+			cols := make([][]float64, 4)
+			for _, res := range batch {
+				minRate := res.Rates[0]
+				for _, r := range res.Rates[:staticN] {
+					if r < minRate {
+						minRate = r
+					}
+				}
+				for j, x := range []float64{res.Imm, res.Ieq, res.U, minRate} {
+					cols[j] = append(cols[j], x)
+				}
+			}
+			prec := []string{"%.4f", "%.4f", "%.2f", "%.2f"}
+			for j, xs := range cols {
+				s := stats.Summarize(xs)
+				row = append(row, fmt.Sprintf(prec[j], s.Mean), fmt.Sprintf(prec[j], s.CI95))
+			}
+		}
+		row = append(row,
+			fmt.Sprintf("%.2f", float64(len(rec))/float64(len(batch))),
+			fmt.Sprintf("%.2f", recSum.Mean), fmt.Sprintf("%.2f", recSum.CI95))
+		if staticN > 0 {
+			churnCols := make([][]float64, 4)
+			for _, res := range batch {
+				c := res.Churn
+				for j, x := range []float64{
+					float64(c.Arrivals), float64(c.Admitted),
+					float64(c.Rejected), float64(c.Shed),
+				} {
+					churnCols[j] = append(churnCols[j], x)
+				}
+			}
+			for _, xs := range churnCols {
+				s := stats.Summarize(xs)
+				row = append(row, fmt.Sprintf("%.2f", s.Mean), fmt.Sprintf("%.2f", s.CI95))
+			}
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -78,6 +78,21 @@ func run(args []string, stdout io.Writer) error {
 		mobGroups    = fs.Int("mob-groups", 2, "group count (group model)")
 		mobRadius    = fs.Float64("mob-radius", 100, "member offset radius in meters (group model)")
 		mobPinned    = fs.String("mob-pinned", "", "comma-separated nodes that never move")
+		churnProc    = fs.String("churn", "", "overlay a dynamic flow workload: poisson|diurnal")
+		churnRate    = fs.Float64("churn-rate", 0.5, "churn mean arrival rate (flows/s)")
+		churnStart   = fs.Duration("churn-start", 0, "delay before arrivals begin")
+		churnStop    = fs.Duration("churn-stop", 0, "time after which arrivals cease (0 = whole run)")
+		churnMinSize = fs.Int64("churn-min-size", 0, "bounded-Pareto minimum flow size in packets (0 = default)")
+		churnMaxSize = fs.Int64("churn-max-size", 0, "bounded-Pareto maximum flow size in packets (0 = default)")
+		churnAlpha   = fs.Float64("churn-alpha", 0, "bounded-Pareto tail exponent (0 = default 1.5)")
+		churnMatrix  = fs.String("churn-matrix", "gateway", "churn traffic matrix: gateway|random")
+		churnGateway = fs.Int("churn-gateway", 0, "gateway node for the gateway matrix")
+		churnMax     = fs.Int("churn-max-flows", 0, "cap on scheduled arrivals (0 = default)")
+		churnPeriod  = fs.Duration("churn-period", 0, "diurnal cycle period (diurnal process)")
+		churnAmp     = fs.Float64("churn-amplitude", 0, "diurnal modulation depth in [0,1]")
+		admitShare   = fs.Float64("admit", 0, "enable admission control: refuse arrivals that would push any clique's weighted min share below this rate (pkt/s)")
+		admitRoom    = fs.Float64("admit-headroom", 0, "fraction of clique capacity admission may book (0 = default 1)")
+		admitShed    = fs.Int("admit-shed-after", 0, "overload periods before the watchdog sheds the newest flow (0 = default 3)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +155,12 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	churnCfg, err := buildChurn(*churnProc, *churnRate, *churnStart, *churnStop,
+		*churnMinSize, *churnMaxSize, *churnAlpha, *churnMatrix, *churnGateway,
+		*churnMax, *churnPeriod, *churnAmp, *admitShare, *admitRoom, *admitShed)
+	if err != nil {
+		return err
+	}
 
 	res, err := gmp.Run(gmp.Config{
 		Scenario:         sc,
@@ -158,6 +179,7 @@ func run(args []string, stdout io.Writer) error {
 		InBandControl:    *inband,
 		FairAggregation:  *fairAgg,
 		Mobility:         mob,
+		Churn:            churnCfg,
 		Telemetry:        tcfg,
 	})
 	if err != nil {
@@ -214,6 +236,27 @@ type jsonResult struct {
 	Channel  jsonChannel `json:"channel"`
 	MAC      []jsonMAC   `json:"mac"`
 	Events   []jsonEvent `json:"events,omitempty"`
+	Churn    *jsonChurn  `json:"churn,omitempty"`
+}
+
+// jsonChurn is the dynamic-workload outcome (churn runs only).
+type jsonChurn struct {
+	Arrivals    int            `json:"arrivals"`
+	Admitted    int            `json:"admitted"`
+	Rejected    int            `json:"rejected"`
+	Shed        int            `json:"shed"`
+	StaleLimits int            `json:"stale_limits"`
+	Decisions   []jsonDecision `json:"decisions"`
+}
+
+// jsonDecision is one admission event; TTFSNS is -1 when the flow was
+// refused or its time to fair share was unmeasurable.
+type jsonDecision struct {
+	Flow     int    `json:"flow"`
+	AtNS     int64  `json:"at_ns"`
+	Admitted bool   `json:"admitted"`
+	Reason   string `json:"reason,omitempty"`
+	TTFSNS   int64  `json:"ttfs_ns"`
 }
 
 // jsonChannel summarizes the medium-level counters.
@@ -286,6 +329,19 @@ func printJSON(stdout io.Writer, res *gmp.Result, events []gmp.TraceEvent) error
 			Node: int(e.Node), Peer: int(e.Peer), Detail: e.Detail,
 		})
 	}
+	if c := res.Churn; c != nil {
+		jc := &jsonChurn{
+			Arrivals: c.Arrivals, Admitted: c.Admitted,
+			Rejected: c.Rejected, Shed: c.Shed, StaleLimits: c.StaleLimits,
+		}
+		for i, d := range c.Decisions {
+			jc.Decisions = append(jc.Decisions, jsonDecision{
+				Flow: int(d.Flow), AtNS: int64(d.At), Admitted: d.Admitted,
+				Reason: d.Reason, TTFSNS: int64(c.TimeToFairShare[i]),
+			})
+		}
+		out.Churn = jc
+	}
 	for i, f := range res.Flows {
 		limit := -1.0
 		if !math.IsInf(f.Limit, 1) {
@@ -301,6 +357,51 @@ func printJSON(stdout io.Writer, res *gmp.Result, events []gmp.TraceEvent) error
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// buildChurn assembles the -churn-* and -admit-* flags into a
+// ChurnConfig (nil when -churn is unset; scenario-file churn then
+// applies). Zero-valued optional flags fall through to the package
+// defaults.
+func buildChurn(process string, rate float64, start, stop time.Duration,
+	minSize, maxSize int64, alpha float64, matrix string, gateway, maxFlows int,
+	period time.Duration, amplitude, admitShare, admitRoom float64, admitShed int) (*gmp.ChurnConfig, error) {
+	if process == "" {
+		if admitShare != 0 {
+			return nil, fmt.Errorf("-admit requires -churn")
+		}
+		return nil, nil
+	}
+	p, err := gmp.ParseChurnProcess(process)
+	if err != nil {
+		return nil, err
+	}
+	m, err := gmp.ParseChurnMatrix(matrix)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &gmp.ChurnConfig{
+		Process:          p,
+		Rate:             rate,
+		Start:            start,
+		Stop:             stop,
+		DiurnalPeriod:    period,
+		DiurnalAmplitude: amplitude,
+		Alpha:            alpha,
+		MinSizePkts:      minSize,
+		MaxSizePkts:      maxSize,
+		Matrix:           m,
+		GatewayNode:      gmp.NodeID(gateway),
+		MaxFlows:         maxFlows,
+	}
+	if admitShare != 0 {
+		cfg.Admission = &gmp.AdmissionParams{
+			MinShare:  admitShare,
+			Headroom:  admitRoom,
+			ShedAfter: admitShed,
+		}
+	}
+	return cfg, nil
 }
 
 // buildMobility assembles the -mob-* flags into a MobilityConfig (nil
@@ -410,6 +511,22 @@ func printResult(stdout io.Writer, res *gmp.Result, trace bool) {
 	}
 	if res.MobilityEpochs > 0 {
 		fmt.Fprintf(stdout, "mobility: %d motion epochs\n", res.MobilityEpochs)
+	}
+	if c := res.Churn; c != nil {
+		fmt.Fprintf(stdout, "churn: %d arrivals, %d admitted, %d rejected, %d shed\n",
+			c.Arrivals, c.Admitted, c.Rejected, c.Shed)
+		for i, d := range c.Decisions {
+			verdict := "admitted"
+			if !d.Admitted {
+				verdict = "refused (" + d.Reason + ")"
+			}
+			ttfs := ""
+			if c.TimeToFairShare[i] >= 0 {
+				ttfs = fmt.Sprintf(", fair share after %s", c.TimeToFairShare[i].Round(time.Millisecond))
+			}
+			fmt.Fprintf(stdout, "  t=%6s flow %d %s%s\n",
+				d.At.Round(time.Millisecond), d.Flow, verdict, ttfs)
+		}
 	}
 	if trace && len(res.Trace) > 0 {
 		fmt.Fprintln(stdout, "\nadjustment rounds (time, per-flow rates, requests):")

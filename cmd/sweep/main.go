@@ -16,9 +16,13 @@
 //	sweep -scenario fig3 -param loss -values 0,0.01,0.05 -protocol gmp
 //	sweep -scenario fig3 -param beta -values 0.05,0.1 -seeds 16 -ci -parallel 8
 //	sweep -scenario fig3 -mobility random-waypoint -param speed -values 1,5,10,20
+//	sweep -scenario fig3 -churn poisson -admit 40 -param lambda -values 0.2,0.5,1,2 -ci
 //
 // Supported parameters: beta, period_s, additive, omega, queue, loss,
-// and — with -mobility set — speed (pins both speed bounds to the value).
+// with -mobility set — speed (pins both speed bounds to the value), and
+// with -churn set — lambda (the churn arrival rate in flows/s; churn
+// runs add admitted/rejected/shed columns and report min_rate over the
+// static flows only, since refused arrivals deliver nothing by design).
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 
 	"gmp"
 	"gmp/internal/prof"
+	"gmp/internal/stats"
 )
 
 func main() {
@@ -49,8 +54,10 @@ func run(args []string, stdout io.Writer) error {
 	pf := prof.Register(fs)
 	scenarioName := fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4")
 	protocolName := fs.String("protocol", "gmp", "protocol: gmp|gmp-dist|802.11|2pp")
-	param := fs.String("param", "beta", "parameter to sweep: beta|period_s|additive|omega|queue|loss|speed")
+	param := fs.String("param", "beta", "parameter to sweep: beta|period_s|additive|omega|queue|loss|speed|lambda")
 	mobModel := fs.String("mobility", "", "move nodes during every run: random-waypoint|random-walk|group")
+	churnProc := fs.String("churn", "", "overlay a dynamic flow workload on every run: poisson|diurnal")
+	admitShare := fs.Float64("admit", 0, "churn admission control: minimum weighted per-flow share (pkt/s; 0 = admit everything)")
 	values := fs.String("values", "0.05,0.10,0.20", "comma-separated parameter values")
 	seeds := fs.Int("seeds", 3, "seeds per value")
 	duration := fs.Duration("duration", 400*time.Second, "session length")
@@ -94,6 +101,13 @@ func run(args []string, stdout io.Writer) error {
 	if *param == "speed" && mob == nil {
 		return fmt.Errorf("the speed parameter needs -mobility")
 	}
+	ch, err := baseChurn(*churnProc, *admitShare)
+	if err != nil {
+		return err
+	}
+	if *param == "lambda" && ch == nil {
+		return fmt.Errorf("the lambda parameter needs -churn")
+	}
 
 	// Build the full value × seed grid, then fan it out in one batch so
 	// the worker pool stays busy across value boundaries.
@@ -109,6 +123,14 @@ func run(args []string, stdout io.Writer) error {
 			if mob != nil {
 				m := *mob
 				cfg.Mobility = &m
+			}
+			if ch != nil {
+				c := *ch
+				if c.Admission != nil {
+					a := *c.Admission
+					c.Admission = &a
+				}
+				cfg.Churn = &c
 			}
 			if err := applyParam(&cfg, *param, v); err != nil {
 				return err
@@ -146,10 +168,14 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 	cw := csv.NewWriter(w)
+	staticN := 0
+	if ch != nil {
+		staticN = len(sc.Flows)
+	}
 	if *ci {
-		err = writeAggregated(cw, sc.Name, protocol.String(), *param, vals, *seeds, results)
+		err = writeAggregated(cw, sc.Name, protocol.String(), *param, vals, *seeds, staticN, results)
 	} else {
-		err = writePerRun(cw, sc.Name, protocol.String(), *param, vals, *seeds, results)
+		err = writePerRun(cw, sc.Name, protocol.String(), *param, vals, *seeds, staticN, results)
 	}
 	if err != nil {
 		return err
@@ -188,21 +214,38 @@ func writeTelemetrySummaries(path, param string, vals []float64, seeds int, resu
 	return f.Close()
 }
 
-// writePerRun emits the historical one-row-per-run format.
-func writePerRun(cw *csv.Writer, scenario, protocol, param string, vals []float64, seeds int, results []*gmp.Result) error {
+// minRate returns the smallest end-of-run rate that the row should
+// report. Static runs take the minimum over every flow; churn runs
+// (staticN > 0) take it over the static prefix only — refused or
+// departed arrivals deliver nothing by design and would always pin the
+// column to zero.
+func minRate(res *gmp.Result, staticN int) float64 {
+	rates := res.Rates
+	if staticN > 0 && staticN <= len(rates) {
+		rates = rates[:staticN]
+	}
+	min := rates[0]
+	for _, r := range rates {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// writePerRun emits the historical one-row-per-run format. Churn runs
+// (staticN > 0) append the admission counters to every row.
+func writePerRun(cw *csv.Writer, scenario, protocol, param string, vals []float64, seeds, staticN int, results []*gmp.Result) error {
 	header := []string{"scenario", "protocol", "param", "value", "seed", "i_mm", "i_eq", "u_pps", "min_rate_pps"}
+	if staticN > 0 {
+		header = append(header, "arrivals", "admitted", "rejected", "shed")
+	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for vi, v := range vals {
 		for seed := 1; seed <= seeds; seed++ {
 			res := results[vi*seeds+seed-1]
-			minRate := res.Rates[0]
-			for _, r := range res.Rates {
-				if r < minRate {
-					minRate = r
-				}
-			}
 			row := []string{
 				scenario, protocol, param,
 				strconv.FormatFloat(v, 'g', -1, 64),
@@ -210,7 +253,13 @@ func writePerRun(cw *csv.Writer, scenario, protocol, param string, vals []float6
 				fmt.Sprintf("%.4f", res.Imm),
 				fmt.Sprintf("%.4f", res.Ieq),
 				fmt.Sprintf("%.2f", res.U),
-				fmt.Sprintf("%.2f", minRate),
+				fmt.Sprintf("%.2f", minRate(res, staticN)),
+			}
+			if staticN > 0 {
+				c := res.Churn
+				row = append(row,
+					strconv.Itoa(c.Arrivals), strconv.Itoa(c.Admitted),
+					strconv.Itoa(c.Rejected), strconv.Itoa(c.Shed))
 			}
 			if err := cw.Write(row); err != nil {
 				return err
@@ -221,26 +270,54 @@ func writePerRun(cw *csv.Writer, scenario, protocol, param string, vals []float6
 }
 
 // writeAggregated emits one row per parameter value: across-seed means
-// with Student-t 95% confidence half-widths (gmp.Summarize).
-func writeAggregated(cw *csv.Writer, scenario, protocol, param string, vals []float64, seeds int, results []*gmp.Result) error {
+// with Student-t 95% confidence half-widths. Static runs go through
+// gmp.Summarize; churn runs aggregate scalar-by-scalar instead, because
+// arrival counts (and therefore flow counts) differ between seeds.
+func writeAggregated(cw *csv.Writer, scenario, protocol, param string, vals []float64, seeds, staticN int, results []*gmp.Result) error {
 	header := []string{
 		"scenario", "protocol", "param", "value", "seeds",
 		"i_mm", "i_mm_ci95", "i_eq", "i_eq_ci95",
 		"u_pps", "u_pps_ci95", "min_rate_pps", "min_rate_ci95",
 	}
+	if staticN > 0 {
+		header = append(header,
+			"arrivals", "arrivals_ci95", "admitted", "admitted_ci95",
+			"rejected", "rejected_ci95", "shed", "shed_ci95")
+	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for vi, v := range vals {
-		sum := gmp.Summarize(results[vi*seeds : (vi+1)*seeds])
+		block := results[vi*seeds : (vi+1)*seeds]
 		row := []string{
 			scenario, protocol, param,
 			strconv.FormatFloat(v, 'g', -1, 64),
-			strconv.Itoa(sum.Runs),
-			fmt.Sprintf("%.4f", sum.Imm.Mean), fmt.Sprintf("%.4f", sum.Imm.CI95),
-			fmt.Sprintf("%.4f", sum.Ieq.Mean), fmt.Sprintf("%.4f", sum.Ieq.CI95),
-			fmt.Sprintf("%.2f", sum.U.Mean), fmt.Sprintf("%.2f", sum.U.CI95),
-			fmt.Sprintf("%.2f", sum.MinRate.Mean), fmt.Sprintf("%.2f", sum.MinRate.CI95),
+			strconv.Itoa(len(block)),
+		}
+		if staticN == 0 {
+			sum := gmp.Summarize(block)
+			row = append(row,
+				fmt.Sprintf("%.4f", sum.Imm.Mean), fmt.Sprintf("%.4f", sum.Imm.CI95),
+				fmt.Sprintf("%.4f", sum.Ieq.Mean), fmt.Sprintf("%.4f", sum.Ieq.CI95),
+				fmt.Sprintf("%.2f", sum.U.Mean), fmt.Sprintf("%.2f", sum.U.CI95),
+				fmt.Sprintf("%.2f", sum.MinRate.Mean), fmt.Sprintf("%.2f", sum.MinRate.CI95))
+		} else {
+			cols := make([][]float64, 8)
+			for _, res := range block {
+				c := res.Churn
+				for j, x := range []float64{
+					res.Imm, res.Ieq, res.U, minRate(res, staticN),
+					float64(c.Arrivals), float64(c.Admitted),
+					float64(c.Rejected), float64(c.Shed),
+				} {
+					cols[j] = append(cols[j], x)
+				}
+			}
+			prec := []string{"%.4f", "%.4f", "%.2f", "%.2f", "%.2f", "%.2f", "%.2f", "%.2f"}
+			for j, xs := range cols {
+				s := stats.Summarize(xs)
+				row = append(row, fmt.Sprintf(prec[j], s.Mean), fmt.Sprintf(prec[j], s.CI95))
+			}
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -315,6 +392,9 @@ func applyParam(cfg *gmp.Config, param string, v float64) error {
 		// baseMobility guarantees cfg.Mobility is set on this path.
 		cfg.Mobility.MinSpeed = v
 		cfg.Mobility.MaxSpeed = v
+	case "lambda":
+		// baseChurn guarantees cfg.Churn is set on this path.
+		cfg.Churn.Rate = v
 	default:
 		return fmt.Errorf("unknown parameter %q", param)
 	}
@@ -341,6 +421,34 @@ func baseMobility(model string) (*gmp.MobilityConfig, error) {
 	if m == gmp.MobilityGroup {
 		cfg.Groups = 2
 		cfg.GroupRadius = 100
+	}
+	return cfg, nil
+}
+
+// baseChurn returns the sweep's shared churn template: the chosen
+// arrival process over random node pairs at λ = 0.5/s (overridden per
+// value by the lambda parameter) with mid-sized bounded-Pareto flows,
+// and optional admission control when -admit is set.
+func baseChurn(process string, admitShare float64) (*gmp.ChurnConfig, error) {
+	if process == "" {
+		if admitShare != 0 {
+			return nil, fmt.Errorf("-admit requires -churn")
+		}
+		return nil, nil
+	}
+	p, err := gmp.ParseChurnProcess(process)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &gmp.ChurnConfig{
+		Process:     p,
+		Rate:        0.5,
+		Matrix:      gmp.ChurnRandom,
+		MinSizePkts: 4000,
+		MaxSizePkts: 40000,
+	}
+	if admitShare > 0 {
+		cfg.Admission = &gmp.AdmissionParams{MinShare: admitShare}
 	}
 	return cfg, nil
 }

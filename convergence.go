@@ -102,6 +102,58 @@ func Convergence(trace []Round, tol float64) ConvergenceReport {
 	return rep
 }
 
+// FlowTimeToFairShare measures how long a single flow took to reach its
+// fair share after arriving mid-run: the earliest trace round in
+// (from, until] from which the flow's per-period rate stays within tol
+// (fractionally) of its settled mean — the mean over the last half of
+// its active rounds — for at least 90% of the remaining active rounds.
+// The returned duration is relative to from (the arrival time);
+// until <= 0 means the end of the trace. It reports false when fewer
+// than 4 active rounds exist or the flow never settled.
+func FlowTimeToFairShare(trace []Round, flow int, from, until time.Duration, tol float64) (time.Duration, bool) {
+	if tol <= 0 || flow < 0 {
+		return 0, false
+	}
+	var act []Round
+	for _, r := range trace {
+		if r.Time <= from || flow >= len(r.Rates) {
+			continue
+		}
+		if until > 0 && r.Time > until {
+			break
+		}
+		act = append(act, r)
+	}
+	if len(act) < 4 {
+		return 0, false
+	}
+	half := act[len(act)/2:]
+	vals := make([]float64, len(half))
+	for i, r := range half {
+		vals[i] = r.Rates[flow]
+	}
+	mean := stats.Mean(vals)
+	inBand := func(r Round) bool {
+		if mean <= 0 {
+			return r.Rates[flow] <= tol*10
+		}
+		return math.Abs(r.Rates[flow]-mean) <= tol*mean
+	}
+	bad := make([]int, len(act)+1)
+	for i := len(act) - 1; i >= 0; i-- {
+		bad[i] = bad[i+1]
+		if !inBand(act[i]) {
+			bad[i]++
+		}
+	}
+	for i := 0; i < len(act)-2; i++ {
+		if float64(bad[i]) <= 0.1*float64(len(act)-i) {
+			return act[i].Time - from, true
+		}
+	}
+	return 0, false
+}
+
 // RecoveryReport measures re-convergence after a perturbation: it runs
 // Convergence over only the rounds recorded strictly after the given
 // time (the last fault of a schedule) and reports the settle time

@@ -54,6 +54,10 @@ func gateCases(t *testing.T) []struct {
 		t.Fatal(err)
 	}
 	mobGrid = mobGrid.WithFlows([][3]int{{0, 8, 1}, {6, 2, 1}})
+	mesh, err := MeshGatewayScenario(3, 3, 3, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	short := func(cfg Config) Config {
 		cfg.Duration = 60 * time.Second
 		cfg.Warmup = 30 * time.Second
@@ -99,6 +103,28 @@ func gateCases(t *testing.T) []struct {
 				MinSpeed: 1, MaxSpeed: 5,
 				MinX: 0, MaxX: 400, MinY: 0, MaxY: 400,
 				Groups: 3, GroupRadius: 100,
+			},
+		})},
+		{"churn_fig3_gmp", short(Config{
+			Scenario: Fig3Scenario(),
+			Protocol: ProtocolGMP,
+			Churn: &ChurnConfig{
+				Process:   ChurnPoisson,
+				Rate:      0.2,
+				Matrix:    ChurnRandom,
+				Admission: &AdmissionParams{MinShare: 50},
+			},
+		})},
+		{"churn_mesh_diurnal_gmp", short(Config{
+			Scenario: mesh,
+			Protocol: ProtocolGMP,
+			Churn: &ChurnConfig{
+				Process:          ChurnDiurnal,
+				Rate:             0.3,
+				DiurnalPeriod:    30 * time.Second,
+				DiurnalAmplitude: 0.8,
+				Matrix:           ChurnGateway,
+				Admission:        &AdmissionParams{MinShare: 50},
 			},
 		})},
 	}
@@ -241,6 +267,16 @@ func dumpResult(res *Result) string {
 		// Gated so the static goldens predating mobility stay
 		// byte-identical.
 		fmt.Fprintf(&b, "mobility epochs %d\n", res.MobilityEpochs)
+	}
+	if res.Churn != nil {
+		// Gated so the goldens predating churn stay byte-identical.
+		c := res.Churn
+		fmt.Fprintf(&b, "churn arrivals %d admitted %d rejected %d shed %d stale %d\n",
+			c.Arrivals, c.Admitted, c.Rejected, c.Shed, c.StaleLimits)
+		for i, d := range c.Decisions {
+			fmt.Fprintf(&b, "admit flow %d at %d ok %v reason %q ttfs %d\n",
+				d.Flow, int64(d.At), d.Admitted, d.Reason, int64(c.TimeToFairShare[i]))
+		}
 	}
 	fmt.Fprintf(&b, "recovered %v recovery %d\n", res.Recovered, int64(res.RecoveryTime))
 	return b.String()

@@ -26,7 +26,9 @@ import (
 	"math/rand"
 	"time"
 
+	"gmp/internal/admission"
 	"gmp/internal/baseline"
+	"gmp/internal/churn"
 	"gmp/internal/clique"
 	"gmp/internal/core"
 	"gmp/internal/dissemination"
@@ -100,7 +102,43 @@ type (
 	TelemetrySummary = obs.RunSummary
 	// TelemetryFlowSummary is one flow's row in a TelemetrySummary.
 	TelemetryFlowSummary = obs.FlowSummary
+	// ChurnConfig parameterizes a flow-churn workload: a deterministic
+	// arrival process, heavy-tailed flow sizes, a traffic matrix, and an
+	// optional admission-control policy (see Config.Churn and
+	// internal/churn).
+	ChurnConfig = churn.Config
+	// ChurnProcess selects the arrival process (Poisson or diurnal).
+	ChurnProcess = churn.Process
+	// ChurnMatrix selects the traffic matrix (gateway-oriented or random).
+	ChurnMatrix = churn.Matrix
+	// AdmissionParams parameterizes distributed admission control and the
+	// overload watchdog (see internal/admission).
+	AdmissionParams = admission.Params
+	// AdmissionReason classifies a refused arrival (zero = admitted).
+	AdmissionReason = admission.Reason
 )
+
+// Churn arrival processes and traffic matrices, re-exported.
+const (
+	ChurnPoisson = churn.Poisson
+	ChurnDiurnal = churn.Diurnal
+	ChurnGateway = churn.Gateway
+	ChurnRandom  = churn.Random
+)
+
+// Admission refusal reasons, re-exported for AdmissionDecision handling.
+const (
+	AdmitNoRoute        = admission.NoRoute
+	AdmitCliqueOverload = admission.CliqueOverload
+	AdmitShed           = admission.Shed
+)
+
+// ParseChurnProcess parses an arrival-process name: "poisson" or
+// "diurnal".
+func ParseChurnProcess(s string) (ChurnProcess, error) { return churn.ParseProcess(s) }
+
+// ParseChurnMatrix parses a traffic-matrix name: "gateway" or "random".
+func ParseChurnMatrix(s string) (ChurnMatrix, error) { return churn.ParseMatrix(s) }
 
 // The four local conditions of the telemetry timeline, re-exported.
 const (
@@ -273,6 +311,17 @@ type Config struct {
 	// the identical random sequence as before this field existed, so
 	// they reproduce byte for byte.
 	Mobility *MobilityConfig
+	// Churn, when non-nil, overlays a dynamic flow workload on the
+	// scenario's static flows: arrivals drawn from a seedable process
+	// (Poisson or diurnal) with heavy-tailed sizes, each admitted flow
+	// running for size/rate seconds before departing. When Admission is
+	// set inside it, every arrival faces the distributed admission test
+	// and an overload watchdog sheds the newest flows of persistently
+	// overloaded cliques (central GMP only). When nil, the scenario's own
+	// Churn (loadable from scenario JSON) applies; setting this field
+	// overrides it. Churn-off runs draw the identical random sequence as
+	// before this field existed, so they reproduce byte for byte.
+	Churn *ChurnConfig
 	// Telemetry, when non-nil, enables the telemetry layer: per-packet
 	// lifecycle histograms, periodic queue/utilization/limit samples,
 	// and the GMP condition-state timeline, surfaced as
@@ -299,6 +348,15 @@ func (c *Config) mobilityConfig() *MobilityConfig {
 		return c.Mobility
 	}
 	return c.Scenario.Mobility
+}
+
+// churnConfig returns the effective churn workload: Config.Churn when
+// set, else the scenario's (nil when neither is set).
+func (c *Config) churnConfig() *ChurnConfig {
+	if c.Churn != nil {
+		return c.Churn
+	}
+	return c.Scenario.Churn
 }
 
 func (c *Config) setDefaults() {
@@ -355,6 +413,11 @@ func (c *Config) validate() error {
 	}
 	if mob := c.mobilityConfig(); mob != nil {
 		if err := mob.Validate(len(c.Scenario.Positions)); err != nil {
+			return fmt.Errorf("gmp: %w", err)
+		}
+	}
+	if ch := c.churnConfig(); ch != nil {
+		if err := ch.Validate(len(c.Scenario.Positions)); err != nil {
 			return fmt.Errorf("gmp: %w", err)
 		}
 	}
@@ -426,9 +489,47 @@ type Result struct {
 	// was too short to judge, or the protocol records no trace.
 	RecoveryTime time.Duration
 	Recovered    bool
+	// Churn reports the dynamic-workload outcome (Config.Churn or the
+	// scenario's churn block only; nil in static runs).
+	Churn *ChurnOutcome
 	// Telemetry holds the run's recorded telemetry (Config.Telemetry
 	// non-nil only).
 	Telemetry *Telemetry
+}
+
+// AdmissionDecision is one recorded churn admission event: an arrival
+// admitted or refused, or an admitted flow shed later by the overload
+// watchdog (Admitted false, Reason "shed").
+type AdmissionDecision struct {
+	Flow     FlowID
+	At       time.Duration
+	Admitted bool
+	// Reason is the refusal class ("no-route", "clique-overload",
+	// "shed"); empty when admitted.
+	Reason string
+}
+
+// ChurnOutcome reports a churn run's workload-level results.
+type ChurnOutcome struct {
+	// Arrivals counts the scheduled arrivals that fired; Admitted,
+	// Rejected and Shed partition their fates (a shed flow counts under
+	// both Admitted and Shed).
+	Arrivals int
+	Admitted int
+	Rejected int
+	Shed     int
+	// StaleLimits counts churn flows that departed still holding a
+	// self-imposed rate limit — the teardown bug class this field
+	// regression-tests; always 0 when teardown is correct.
+	StaleLimits int
+	// Decisions is every admission event in simulation order.
+	Decisions []AdmissionDecision
+	// TimeToFairShare is parallel to Decisions: for each admitted
+	// arrival, how long after it the flow's rate first settled into the
+	// band it held for the rest of its life (-1 for refused arrivals and
+	// whenever the trace is too short to judge). Requires a protocol
+	// that records a trace (GMP).
+	TimeToFairShare []time.Duration
 }
 
 // Run simulates the scenario under the selected protocol and reports the
@@ -481,6 +582,32 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	sched := sim.NewScheduler()
 	master := sim.NewRand(cfg.Seed)
+
+	// Churn workload. Its randomness is drawn first and only when churn
+	// is enabled, so churn-off runs consume the identical random sequence
+	// they always did (the static determinism goldens pin this).
+	var ccfg *churn.Config
+	var churnFlows []churn.Flow
+	if c := cfg.churnConfig(); c != nil {
+		cc := c.WithDefaults()
+		ccfg = &cc
+		churnFlows = churn.Generate(cc, len(cfg.Scenario.Positions), cfg.Duration, sim.NewRand(master.Int63()))
+	}
+	staticN := len(cfg.Scenario.Flows)
+	allFlows := append([]flow.Spec(nil), cfg.Scenario.Flows...)
+	for i, cf := range churnFlows {
+		allFlows = append(allFlows, flow.Spec{
+			ID:          packet.FlowID(staticN + i),
+			Src:         cf.Src,
+			Dst:         cf.Dst,
+			Weight:      cf.Weight,
+			DesiredRate: cf.DesiredRate,
+			SizeBytes:   cf.SizeBytes,
+			Start:       cf.At,
+			Stop:        cf.At + cf.Lifetime,
+		})
+	}
+
 	medium := radio.NewMedium(sched, topo, par, sim.NewRand(master.Int63()))
 
 	fwdCfg, err := forwardingConfig(cfg)
@@ -488,7 +615,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	registry, err := flow.NewRegistry(cfg.Scenario.Flows)
+	registry, err := flow.NewRegistry(allFlows)
 	if err != nil {
 		return nil, fmt.Errorf("gmp: %w", err)
 	}
@@ -503,7 +630,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if interval <= 0 {
 			interval = cfg.Period
 		}
-		rec = obs.NewRecorder(topo, len(cfg.Scenario.Flows), interval, sched.Now)
+		rec = obs.NewRecorder(topo, len(allFlows), interval, sched.Now)
 		medium.SetRecorder(rec)
 		sinkFn = func(p *packet.Packet, from topology.NodeID) {
 			rec.Delivered(p.Flow, sched.Now()-p.Created)
@@ -543,11 +670,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		stations[id] = st
 	}
 
-	for _, spec := range cfg.Scenario.Flows {
+	for _, spec := range allFlows {
 		src := flow.NewSource(spec, sched, nodes[spec.Src], cfg.Period, sim.NewRand(master.Int63()))
 		src.SetCBR(cfg.CBRSources)
 		registry.AttachSource(spec.ID, src)
-		src.Start()
+		// Static flows start immediately; churn flows wait for their
+		// arrival's admission decision (StartNow in the admit hook).
+		if int(spec.ID) < staticN {
+			src.Start()
+		}
 	}
 
 	var dissAgents []*dissemination.Agent
@@ -560,16 +691,23 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// rebuildRoutes repairs the routing tables against the live topology,
 	// excluding crashed nodes. Shared by fault-driven and motion-driven
 	// route repair (which compose: a motion epoch must keep excluding
-	// nodes a fault already crashed).
+	// nodes a fault already crashed). liveRoutes tracks the latest table
+	// so churn admission tests arrivals against current reachability.
+	liveRoutes := routes
 	rebuildRoutes := func(down []bool) *routing.Table {
+		var t *routing.Table
 		if cfg.GeographicRouting {
-			if t, gerr := routing.BuildGeographicExcluding(topo, down); gerr == nil {
-				return t
+			if gt, gerr := routing.BuildGeographicExcluding(topo, down); gerr == nil {
+				t = gt
 			}
 			// A crash or motion opened a greedy void: GPSR-style
 			// fallback to shortest-path repair.
 		}
-		return routing.BuildExcluding(topo, down)
+		if t == nil {
+			t = routing.BuildExcluding(topo, down)
+		}
+		liveRoutes = t
+		return t
 	}
 
 	// Fault injection. The engine draws no randomness and registers all
@@ -591,7 +729,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	cliques := clique.Build(topo)
 	liveCliques := cliques
-	capacity := par.SaturationRate(packetBytes(cfg.Scenario.Flows), !cfg.DisableRTS)
+	capacity := par.SaturationRate(packetBytes(allFlows), !cfg.DisableRTS)
 	refFlows := make([]maxminref.FlowSpec, len(cfg.Scenario.Flows))
 	for i, spec := range cfg.Scenario.Flows {
 		refFlows[i] = maxminref.FlowSpec{Src: spec.Src, Dst: spec.Dst, Weight: spec.Weight, Demand: spec.DesiredRate}
@@ -662,6 +800,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// admCtrl is the churn admission controller (set further below, when
+	// churn runs with admission); mobility epochs re-book its clique
+	// budgets against the repaired decomposition.
+	var admCtrl *admission.Controller
+
 	// Node motion. The engine's seed is drawn only when mobility is on
 	// and after every unconditional draw above, so a mobility-off run
 	// consumes the identical random sequence it always did (the nine
@@ -691,6 +834,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if dist != nil {
 					dist.RefreshCliques(liveCliques)
 				}
+				if admCtrl != nil {
+					admCtrl.SetCliques(liveCliques)
+				}
 				for _, a := range dissAgents {
 					if a != nil {
 						a.RefreshTopology(topo)
@@ -714,6 +860,103 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		mobEngine, err = mobility.Start(sched, cfg.Scenario.Positions, *mob, sim.NewRand(master.Int63()), onEpoch)
 		if err != nil {
 			return nil, fmt.Errorf("gmp: %w", err)
+		}
+	}
+
+	// Flow churn. Every arrival was generated up front from the churn
+	// rng; the engine and all hooks below run as scheduled callbacks that
+	// draw no randomness, so churn-on runs reproduce byte for byte and
+	// churn-off runs are untouched.
+	var churnEng *churn.Engine
+	if ccfg != nil {
+		baseID := packet.FlowID(staticN)
+		if ccfg.Admission != nil {
+			admCtrl = admission.NewController(*ccfg.Admission, cliques, capacity)
+			// Static flows are grandfathered: they book clique budget so
+			// arrivals test against the true load, but never face the
+			// admission test themselves.
+			for _, spec := range cfg.Scenario.Flows {
+				if links, lerr := routes.Links(spec.Src, spec.Dst); lerr == nil {
+					admCtrl.Book(spec.ID, spec.Weight, links)
+				}
+			}
+		}
+		// releaseQueues frees a departed flow's queues along its former
+		// path where idle (in-flight stragglers recreate them on demand,
+		// so a second sweep one period later catches the tail). The
+		// shared FIFO of plain 802.11 belongs to every flow and is never
+		// released.
+		releaseQueues := func(id packet.FlowID, f churn.Flow) {
+			if fwdCfg.Mode == forwarding.Shared {
+				return
+			}
+			path, perr := liveRoutes.Path(f.Src, f.Dst)
+			if perr != nil {
+				return
+			}
+			qid := fwdCfg.Mode.QueueKey(&packet.Packet{Flow: id, Dst: f.Dst})
+			sweep := func() {
+				for _, n := range path[:len(path)-1] {
+					nodes[n].ReleaseQueueIfIdle(qid)
+				}
+			}
+			sweep()
+			sched.After(cfg.Period, sweep)
+		}
+		teardown := func(id packet.FlowID, f churn.Flow) {
+			registry.Source(id).Teardown()
+			if admCtrl != nil {
+				admCtrl.Release(id)
+			}
+			if engine != nil {
+				engine.OnFlowDeparted(id)
+			}
+			if dist != nil {
+				dist.OnFlowDeparted(id, f.Src)
+			}
+			releaseQueues(id, f)
+		}
+		churnEng = churn.Start(sched, churnFlows, baseID, churn.Hooks{
+			Admit: func(id packet.FlowID, f churn.Flow) admission.Reason {
+				if fengine != nil && (fengine.Down(f.Src) || fengine.Down(f.Dst)) {
+					return admission.NoRoute
+				}
+				links, lerr := liveRoutes.Links(f.Src, f.Dst)
+				if lerr != nil || len(links) == 0 {
+					return admission.NoRoute
+				}
+				if admCtrl == nil {
+					return 0
+				}
+				return admCtrl.Admit(id, f.Weight, links)
+			},
+			OnAdmit: func(id packet.FlowID, f churn.Flow) {
+				registry.Source(id).StartNow()
+				rec.Admission(id, true, "")
+			},
+			OnReject: func(id packet.FlowID, f churn.Flow, reason admission.Reason) {
+				rec.Admission(id, false, reason.String())
+			},
+			OnDepart: teardown,
+			OnShed: func(id packet.FlowID, f churn.Flow) {
+				teardown(id, f)
+				rec.Admission(id, false, admission.Shed.String())
+			},
+		})
+		if engine != nil && admCtrl != nil {
+			// Overload watchdog (central GMP only: the distributed
+			// runtime has no global view of reduce conditions, see
+			// DESIGN.md). When a clique's §5.3 reduce condition persists
+			// ShedAfter consecutive periods, the newest churn flow
+			// crossing it is shed; static flows are never shed.
+			wd := admission.NewWatchdog(ccfg.Admission.ShedAfter)
+			engine.SetOverloadNotifier(func(overloaded []clique.ID) {
+				for _, q := range wd.Observe(overloaded) {
+					if victim, ok := admCtrl.NewestCrossing(q, baseID); ok {
+						churnEng.Shed(victim)
+					}
+				}
+			})
 		}
 	}
 
@@ -763,9 +1006,35 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("gmp: run aborted at t=%v: %w", sched.Now(), err)
 	}
 
+	// The maxmin ground truth. Under churn the reference covers the
+	// static flows plus the churn flows still active at the end of the
+	// run — the set whose allocation the protocol should approach —
+	// scattered into a full-length vector (0 for refused, shed and
+	// departed flows).
+	refIdx := make([]int, 0, len(allFlows))
+	for i := range cfg.Scenario.Flows {
+		refIdx = append(refIdx, i)
+	}
+	if churnEng != nil {
+		for i := range churnFlows {
+			id := packet.FlowID(staticN + i)
+			spec := allFlows[id]
+			if churnEng.Active(id) && routes.HopCount(spec.Src, spec.Dst) > 0 {
+				refFlows = append(refFlows, maxminref.FlowSpec{Src: spec.Src, Dst: spec.Dst, Weight: spec.Weight, Demand: spec.DesiredRate})
+				refIdx = append(refIdx, int(id))
+			}
+		}
+	}
 	reference, err := referenceAllocation(refFlows, routes, cliques, capacity)
 	if err != nil {
 		return nil, err
+	}
+	if len(allFlows) > staticN {
+		full := make([]float64, len(allFlows))
+		for j, v := range reference {
+			full[refIdx[j]] = v
+		}
+		reference = full
 	}
 
 	rates := registry.MeasuredRates(cfg.Duration)
@@ -785,7 +1054,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res.ControlOverhead = float64(res.Channel.ControlAirtime) / float64(cfg.Duration)
 	hops := make([]int, len(rates))
-	for i, spec := range cfg.Scenario.Flows {
+	for i, spec := range allFlows {
 		src := registry.Source(spec.ID)
 		limit := math.Inf(1)
 		if l, ok := src.Limited(); ok {
@@ -803,14 +1072,60 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			Limit:         limit,
 		})
 	}
-	res.Imm = metrics.MaxminIndex(rates)
-	res.Ieq = metrics.EqualityIndex(rates)
-	res.U = metrics.EffectiveThroughput(rates, hops)
+	// Under churn the fairness indices cover the same set as Reference —
+	// static flows plus churn flows active at the end — so refused and
+	// departed flows (rate 0 by construction) do not masquerade as
+	// starvation.
+	mRates, mHops := rates, hops
+	if len(allFlows) > staticN {
+		mRates = make([]float64, 0, len(refIdx))
+		mHops = make([]int, 0, len(refIdx))
+		for _, i := range refIdx {
+			mRates = append(mRates, rates[i])
+			mHops = append(mHops, hops[i])
+		}
+	}
+	res.Imm = metrics.MaxminIndex(mRates)
+	res.Ieq = metrics.EqualityIndex(mRates)
+	res.U = metrics.EffectiveThroughput(mRates, mHops)
 	if engine != nil {
 		res.Trace = engine.Trace()
 	}
 	if dist != nil {
 		res.Trace = dist.Trace()
+	}
+	if churnEng != nil {
+		out := &ChurnOutcome{}
+		out.Arrivals, out.Admitted, out.Rejected, out.Shed = churnEng.Counts()
+		for _, d := range churnEng.Decisions() {
+			ad := AdmissionDecision{Flow: d.Flow, At: d.At, Admitted: d.Admitted}
+			if !d.Admitted {
+				ad.Reason = d.Reason.String()
+			}
+			out.Decisions = append(out.Decisions, ad)
+		}
+		out.TimeToFairShare = make([]time.Duration, len(out.Decisions))
+		for i, d := range out.Decisions {
+			out.TimeToFairShare[i] = -1
+			if d.Admitted {
+				spec := allFlows[d.Flow]
+				if ttfs, ok := FlowTimeToFairShare(res.Trace, int(d.Flow), d.At, spec.Stop, DefaultRecoveryTol); ok {
+					out.TimeToFairShare[i] = ttfs
+				}
+			}
+		}
+		// Departed flows must leave no rate-limit state behind; a
+		// non-zero count here is the teardown bug this field exists to
+		// catch.
+		for id := packet.FlowID(staticN); int(id) < len(allFlows); id++ {
+			src := registry.Source(id)
+			if src.Started() && !churnEng.Active(id) {
+				if _, limited := src.Limited(); limited {
+					out.StaleLimits++
+				}
+			}
+		}
+		res.Churn = out
 	}
 	if fengine != nil {
 		res.FaultEvents = fengine.Schedule()

@@ -1,0 +1,490 @@
+// Package churn generates and drives deterministic flow-arrival/
+// departure workloads: Poisson and diurnal arrival processes,
+// heavy-tailed (bounded-Pareto) flow sizes, and gateway-oriented
+// mesh-ISP traffic matrices.
+//
+// The paper's experiments use a handful of static flows; a production
+// mesh sees users arriving and leaving continuously. Generate expands a
+// Config into a concrete arrival schedule up front — drawing only from
+// the injected *rand.Rand, so equal seeds reproduce the workload byte
+// for byte — and Start registers every arrival and departure with the
+// event kernel, the same pattern internal/faults and internal/mobility
+// use. The simulator layers admission control (internal/admission),
+// source start/teardown, and telemetry on the engine's hooks.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gmp/internal/admission"
+	"gmp/internal/packet"
+	"gmp/internal/sim"
+	"gmp/internal/topology"
+)
+
+// Process selects the arrival process.
+type Process int
+
+// The supported arrival processes.
+const (
+	// Poisson: arrivals form a homogeneous Poisson process at Rate.
+	Poisson Process = iota + 1
+	// Diurnal: a nonhomogeneous Poisson process whose intensity follows
+	// a sinusoid λ(t) = Rate·(1 + Amplitude·sin(2πt/DiurnalPeriod)),
+	// sampled by thinning — the classic day/night load shape compressed
+	// to simulation time scales.
+	Diurnal
+)
+
+// String renders the process in the scenario-JSON spelling.
+func (p Process) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case Diurnal:
+		return "diurnal"
+	default:
+		return fmt.Sprintf("Process(%d)", int(p))
+	}
+}
+
+// ParseProcess parses a process name.
+func ParseProcess(s string) (Process, error) {
+	switch s {
+	case "poisson":
+		return Poisson, nil
+	case "diurnal":
+		return Diurnal, nil
+	default:
+		return 0, fmt.Errorf("churn: unknown arrival process %q", s)
+	}
+}
+
+// Matrix selects the traffic matrix: where arriving flows go.
+type Matrix int
+
+// The supported traffic matrices.
+const (
+	// Gateway: every arrival sends to the Gateway node from a uniform
+	// non-gateway source — the mesh-ISP workload (§1: "many flows may
+	// destine for the same destination, i.e., the gateway").
+	Gateway Matrix = iota + 1
+	// Random: uniform ordered source/destination pairs.
+	Random
+)
+
+// String renders the matrix in the scenario-JSON spelling.
+func (m Matrix) String() string {
+	switch m {
+	case Gateway:
+		return "gateway"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Matrix(%d)", int(m))
+	}
+}
+
+// ParseMatrix parses a matrix name.
+func ParseMatrix(s string) (Matrix, error) {
+	switch s {
+	case "gateway":
+		return Gateway, nil
+	case "random":
+		return Random, nil
+	default:
+		return 0, fmt.Errorf("churn: unknown traffic matrix %q", s)
+	}
+}
+
+// Defaults for the optional Config fields.
+const (
+	DefaultAlpha       = 1.5    // bounded-Pareto shape (heavy-tailed, infinite variance)
+	DefaultMinSizePkts = 4000   // ≈5 s at the default desired rate
+	DefaultMaxSizePkts = 400000 // ≈500 s at the default desired rate
+	DefaultDesiredRate = 800    // pkt/s, the paper's d(f)
+	DefaultPacketBytes = 1024
+	DefaultMaxFlows    = 256
+)
+
+// maxRate bounds the arrival intensity: beyond ~1000 arrivals per
+// simulated second the schedule, not the network, is the bottleneck.
+const maxRate = 1000.0
+
+// Config parameterizes one churn workload.
+type Config struct {
+	// Process selects the arrival process. Required.
+	Process Process
+	// Rate is the mean arrival intensity λ in flows per second (the
+	// diurnal baseline). Required positive.
+	Rate float64
+	// Start delays the first arrival; Stop (when positive) ends the
+	// arrival window. Zero values mean the whole run. Flows admitted
+	// before Stop still run to their own departure times.
+	Start, Stop time.Duration
+	// DiurnalPeriod is the sinusoid period (Diurnal only; required
+	// positive there). DiurnalAmplitude is the relative swing in [0,1]:
+	// 1 means intensity oscillates between 0 and 2·Rate.
+	DiurnalPeriod    time.Duration
+	DiurnalAmplitude float64
+	// Alpha, MinSizePkts, MaxSizePkts parameterize the bounded-Pareto
+	// flow-size draw in packets; a flow's lifetime is its size divided
+	// by its desired rate. Zero values take the defaults above.
+	Alpha       float64
+	MinSizePkts int64
+	MaxSizePkts int64
+	// Matrix selects the traffic matrix (default Gateway); GatewayNode
+	// is the common destination under Gateway.
+	Matrix      Matrix
+	GatewayNode topology.NodeID
+	// Weight, DesiredRate, SizeBytes apply to every generated flow.
+	// Zero values take the defaults (weight 1, 800 pkt/s, 1024 B).
+	Weight      float64
+	DesiredRate float64
+	SizeBytes   int
+	// MaxFlows caps the number of generated arrivals (default 256) so a
+	// hot λ cannot explode the schedule.
+	MaxFlows int
+	// Admission, when non-nil, enables the admission test and overload
+	// watchdog (see internal/admission). Nil admits everything.
+	Admission *admission.Params
+}
+
+// WithDefaults returns a copy with zero optional fields replaced by the
+// package defaults. Load-time and run-time both normalize through it,
+// so a defaulted config saved to JSON reloads as a fixed point.
+func (c Config) WithDefaults() Config {
+	if c.Matrix == 0 {
+		c.Matrix = Gateway
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.MinSizePkts == 0 {
+		c.MinSizePkts = DefaultMinSizePkts
+	}
+	if c.MaxSizePkts == 0 {
+		c.MaxSizePkts = DefaultMaxSizePkts
+	}
+	if c.Weight == 0 {
+		c.Weight = 1
+	}
+	if c.DesiredRate == 0 {
+		c.DesiredRate = DefaultDesiredRate
+	}
+	if c.SizeBytes == 0 {
+		c.SizeBytes = DefaultPacketBytes
+	}
+	if c.MaxFlows == 0 {
+		c.MaxFlows = DefaultMaxFlows
+	}
+	if c.Admission != nil {
+		p := c.Admission.WithDefaults()
+		c.Admission = &p
+	}
+	return c
+}
+
+// Validate checks the configuration against a node count. It is the
+// hardening layer behind the scenario-JSON "churn" block, so it must
+// reject every non-finite or out-of-range numeric field. Zero-valued
+// optional fields are defaulted before checking.
+func (c *Config) Validate(numNodes int) error {
+	cc := c.WithDefaults()
+	switch cc.Process {
+	case Poisson, Diurnal:
+	default:
+		return fmt.Errorf("churn: unknown arrival process %d", int(cc.Process))
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"rate", cc.Rate}, {"amplitude", cc.DiurnalAmplitude}, {"alpha", cc.Alpha},
+		{"weight", cc.Weight}, {"desired rate", cc.DesiredRate},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("churn: %s is not finite", v.name)
+		}
+	}
+	if cc.Rate <= 0 || cc.Rate > maxRate {
+		return fmt.Errorf("churn: arrival rate %v outside (0,%g] /s", cc.Rate, maxRate)
+	}
+	if cc.Start < 0 {
+		return fmt.Errorf("churn: negative start %v", cc.Start)
+	}
+	if cc.Stop < 0 {
+		return fmt.Errorf("churn: negative stop %v", cc.Stop)
+	}
+	if cc.Stop > 0 && cc.Stop <= cc.Start {
+		return fmt.Errorf("churn: stop %v not after start %v", cc.Stop, cc.Start)
+	}
+	if cc.Process == Diurnal {
+		if cc.DiurnalPeriod <= 0 {
+			return fmt.Errorf("churn: diurnal process needs a positive period, got %v", cc.DiurnalPeriod)
+		}
+		if cc.DiurnalAmplitude < 0 || cc.DiurnalAmplitude > 1 {
+			return fmt.Errorf("churn: diurnal amplitude %v outside [0,1]", cc.DiurnalAmplitude)
+		}
+	} else if cc.DiurnalPeriod != 0 || cc.DiurnalAmplitude != 0 {
+		return fmt.Errorf("churn: diurnal fields set on a %s process", cc.Process)
+	}
+	if cc.Alpha <= 0 {
+		return fmt.Errorf("churn: non-positive pareto alpha %v", cc.Alpha)
+	}
+	if cc.MinSizePkts < 1 {
+		return fmt.Errorf("churn: min size %d below 1 packet", cc.MinSizePkts)
+	}
+	if cc.MaxSizePkts < cc.MinSizePkts {
+		return fmt.Errorf("churn: max size %d below min size %d", cc.MaxSizePkts, cc.MinSizePkts)
+	}
+	if cc.Weight <= 0 {
+		return fmt.Errorf("churn: non-positive weight %v", cc.Weight)
+	}
+	if cc.DesiredRate <= 0 {
+		return fmt.Errorf("churn: non-positive desired rate %v", cc.DesiredRate)
+	}
+	if cc.SizeBytes <= 0 {
+		return fmt.Errorf("churn: non-positive packet size %d", cc.SizeBytes)
+	}
+	if cc.MaxFlows < 1 {
+		return fmt.Errorf("churn: non-positive flow cap %d", cc.MaxFlows)
+	}
+	if numNodes < 2 {
+		return fmt.Errorf("churn: need at least 2 nodes, got %d", numNodes)
+	}
+	if cc.GatewayNode < 0 || int(cc.GatewayNode) >= numNodes {
+		return fmt.Errorf("churn: gateway %d outside [0,%d)", cc.GatewayNode, numNodes)
+	}
+	if cc.Matrix != Gateway && cc.Matrix != Random {
+		return fmt.Errorf("churn: unknown traffic matrix %d", int(cc.Matrix))
+	}
+	if cc.Admission != nil {
+		if err := cc.Admission.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flow is one generated arrival.
+type Flow struct {
+	// At is the arrival time; Lifetime = SizePkts / DesiredRate is how
+	// long the flow generates once admitted.
+	At       time.Duration
+	Lifetime time.Duration
+	Src, Dst topology.NodeID
+	Weight   float64
+	// DesiredRate and SizeBytes mirror flow.Spec.
+	DesiredRate float64
+	SizeBytes   int
+	// SizePkts is the bounded-Pareto size draw behind Lifetime.
+	SizePkts int64
+}
+
+// Generate expands the config into a concrete arrival schedule over a
+// run of the given duration, drawing only from rng (per arrival: the
+// exponential gap, the thinning coin under Diurnal, the endpoint draws,
+// then the size draw — a fixed order, so the schedule is a pure
+// function of the seed). The config must already validate.
+func Generate(cfg Config, numNodes int, duration time.Duration, rng *rand.Rand) []Flow {
+	cc := cfg.WithDefaults()
+	end := duration
+	if cc.Stop > 0 && cc.Stop < end {
+		end = cc.Stop
+	}
+	// Thinning needs the intensity envelope λmax ≥ λ(t).
+	lambdaMax := cc.Rate
+	if cc.Process == Diurnal {
+		lambdaMax = cc.Rate * (1 + cc.DiurnalAmplitude)
+	}
+	var out []Flow
+	t := cc.Start
+	for len(out) < cc.MaxFlows {
+		t += time.Duration(rng.ExpFloat64() / lambdaMax * float64(time.Second))
+		if t >= end {
+			break
+		}
+		if cc.Process == Diurnal {
+			phase := 2 * math.Pi * float64(t) / float64(cc.DiurnalPeriod)
+			intensity := cc.Rate * (1 + cc.DiurnalAmplitude*math.Sin(phase))
+			if rng.Float64()*lambdaMax >= intensity {
+				continue // thinned out
+			}
+		}
+		var src, dst topology.NodeID
+		switch cc.Matrix {
+		case Gateway:
+			dst = cc.GatewayNode
+			src = topology.NodeID(rng.Intn(numNodes - 1))
+			if src >= dst {
+				src++ // uniform over the non-gateway nodes
+			}
+		case Random:
+			src = topology.NodeID(rng.Intn(numNodes))
+			dst = topology.NodeID(rng.Intn(numNodes - 1))
+			if dst >= src {
+				dst++
+			}
+		}
+		size := boundedPareto(rng, cc.Alpha, cc.MinSizePkts, cc.MaxSizePkts)
+		out = append(out, Flow{
+			At:          t,
+			Lifetime:    time.Duration(float64(size) / cc.DesiredRate * float64(time.Second)),
+			Src:         src,
+			Dst:         dst,
+			Weight:      cc.Weight,
+			DesiredRate: cc.DesiredRate,
+			SizeBytes:   cc.SizeBytes,
+			SizePkts:    size,
+		})
+	}
+	return out
+}
+
+// boundedPareto draws from the bounded Pareto distribution on [lo, hi]
+// with shape alpha by inverse-CDF sampling — the standard heavy-tailed
+// flow-size model (most flows are mice, a few elephants dominate).
+func boundedPareto(rng *rand.Rand, alpha float64, lo, hi int64) int64 {
+	l, h := float64(lo), float64(hi)
+	u := rng.Float64()
+	ratio := math.Pow(l/h, alpha)
+	x := l / math.Pow(1-u*(1-ratio), 1/alpha)
+	size := int64(math.Round(x))
+	if size < lo {
+		size = lo
+	}
+	if size > hi {
+		size = hi
+	}
+	return size
+}
+
+// Decision records one admission outcome (including watchdog sheds,
+// which appear as a second decision for the flow at shed time).
+type Decision struct {
+	Flow     packet.FlowID
+	At       time.Duration
+	Admitted bool
+	Reason   admission.Reason // zero when admitted
+}
+
+// Hooks are the engine's handles into the simulation. All are optional
+// except OnAdmit (an engine that admits flows nobody starts is a bug).
+type Hooks struct {
+	// Admit decides an arrival; nil admits everything. A non-zero
+	// reason rejects the flow.
+	Admit func(id packet.FlowID, f Flow) admission.Reason
+	// OnAdmit starts the admitted flow's source.
+	OnAdmit func(id packet.FlowID, f Flow)
+	// OnReject observes a refused arrival.
+	OnReject func(id packet.FlowID, f Flow, reason admission.Reason)
+	// OnDepart tears an admitted flow down when its lifetime ends.
+	OnDepart func(id packet.FlowID, f Flow)
+	// OnShed tears a watchdog-shed flow down.
+	OnShed func(id packet.FlowID, f Flow)
+}
+
+// Engine drives a generated churn schedule over a running simulation.
+// All work happens in scheduled callbacks on the simulation goroutine;
+// the engine draws no randomness of its own.
+type Engine struct {
+	sched  *sim.Scheduler
+	flows  []Flow
+	baseID packet.FlowID
+	hooks  Hooks
+
+	active    map[packet.FlowID]int // admitted, not yet departed/shed → schedule index
+	decisions []Decision
+
+	arrivals, admitted, rejected, shed int
+}
+
+// Start registers every arrival with the scheduler. baseID is the flow
+// ID of the first churn flow (schedule index i maps to baseID+i; the
+// static flows occupy the IDs below).
+func Start(sched *sim.Scheduler, flows []Flow, baseID packet.FlowID, hooks Hooks) *Engine {
+	e := &Engine{
+		sched:  sched,
+		flows:  flows,
+		baseID: baseID,
+		hooks:  hooks,
+		active: make(map[packet.FlowID]int),
+	}
+	for i := range flows {
+		i := i
+		sched.At(flows[i].At, func() { e.arrive(i) })
+	}
+	return e
+}
+
+func (e *Engine) arrive(i int) {
+	f := e.flows[i]
+	id := e.baseID + packet.FlowID(i)
+	e.arrivals++
+	var reason admission.Reason
+	if e.hooks.Admit != nil {
+		reason = e.hooks.Admit(id, f)
+	}
+	if reason != 0 {
+		e.rejected++
+		e.decisions = append(e.decisions, Decision{Flow: id, At: e.sched.Now(), Reason: reason})
+		if e.hooks.OnReject != nil {
+			e.hooks.OnReject(id, f, reason)
+		}
+		return
+	}
+	e.admitted++
+	e.active[id] = i
+	e.decisions = append(e.decisions, Decision{Flow: id, At: e.sched.Now(), Admitted: true})
+	if e.hooks.OnAdmit != nil {
+		e.hooks.OnAdmit(id, f)
+	}
+	e.sched.At(f.At+f.Lifetime, func() { e.depart(id) })
+}
+
+func (e *Engine) depart(id packet.FlowID) {
+	i, ok := e.active[id]
+	if !ok {
+		return // shed before its natural departure
+	}
+	delete(e.active, id)
+	if e.hooks.OnDepart != nil {
+		e.hooks.OnDepart(id, e.flows[i])
+	}
+}
+
+// Shed removes an admitted flow ahead of its departure (the overload
+// watchdog's action). Inactive IDs are a no-op.
+func (e *Engine) Shed(id packet.FlowID) {
+	i, ok := e.active[id]
+	if !ok {
+		return
+	}
+	delete(e.active, id)
+	e.shed++
+	e.decisions = append(e.decisions, Decision{Flow: id, At: e.sched.Now(), Reason: admission.Shed})
+	if e.hooks.OnShed != nil {
+		e.hooks.OnShed(id, e.flows[i])
+	}
+}
+
+// Active reports whether the flow is admitted and not yet departed.
+func (e *Engine) Active(id packet.FlowID) bool { _, ok := e.active[id]; return ok }
+
+// Schedule returns the generated arrivals.
+func (e *Engine) Schedule() []Flow { return e.flows }
+
+// BaseID returns the first churn flow's ID.
+func (e *Engine) BaseID() packet.FlowID { return e.baseID }
+
+// Decisions returns every admission decision so far, in event order.
+func (e *Engine) Decisions() []Decision { return append([]Decision(nil), e.decisions...) }
+
+// Counts returns (arrivals fired, admitted, rejected, shed).
+func (e *Engine) Counts() (arrivals, admitted, rejected, shed int) {
+	return e.arrivals, e.admitted, e.rejected, e.shed
+}

@@ -132,6 +132,14 @@ type Engine struct {
 	// trace Round records the fault state it was measured under.
 	faultProbe func() []topology.NodeID
 
+	// overloadNotifier, when set, receives after every round the cliques
+	// whose §5.3 reduce-conditions fired (sorted, deduplicated; empty
+	// slice on calm rounds so streak-based consumers can reset). The
+	// admission watchdog sheds flows from persistently overloaded
+	// cliques through it.
+	overloadNotifier func([]clique.ID)
+	overloaded       map[clique.ID]bool
+
 	// rec is the telemetry recorder (nil when telemetry is off). The
 	// engine records which local condition generated each adjustment
 	// request and every applied limit change.
@@ -180,6 +188,28 @@ func (e *Engine) SetFaultProbe(fn func() []topology.NodeID) { e.faultProbe = fn 
 // alters the requests themselves.
 func (e *Engine) SetRecorder(rec *obs.Recorder) { e.rec = rec }
 
+// SetOverloadNotifier installs the per-round overload callback (nil
+// disables). It observes which cliques generated reduce requests; it
+// cannot alter the requests.
+func (e *Engine) SetOverloadNotifier(fn func([]clique.ID)) { e.overloadNotifier = fn }
+
+// OnFlowDeparted drops the engine's per-flow adjustment state when a
+// flow leaves mid-run (churn): its pending request and slack streak
+// must not outlive it — flow IDs are never reused, but the maps would
+// otherwise grow without bound under sustained churn.
+func (e *Engine) OnFlowDeparted(f packet.FlowID) {
+	delete(e.slack, f)
+	delete(e.pending, f)
+}
+
+// markOverloaded notes a clique as having generated a reduce this round.
+func (e *Engine) markOverloaded(id clique.ID) {
+	if e.overloaded == nil {
+		e.overloaded = make(map[clique.ID]bool)
+	}
+	e.overloaded[id] = true
+}
+
 // recordAll logs one condition event per flow in the set, in flow-ID
 // order so the telemetry stream does not inherit map iteration order.
 func (e *Engine) recordAll(flows map[packet.FlowID]topology.NodeID, node topology.NodeID, cond obs.Condition, reduce bool, factor float64) {
@@ -212,6 +242,19 @@ func (e *Engine) onBoundary() {
 	e.apply(e.pending, rates, snap)
 	e.pending = e.evaluate(snap)
 	e.lastSat = len(snap.Saturated)
+	if e.overloadNotifier != nil {
+		ids := make([]clique.ID, 0, len(e.overloaded))
+		for id := range e.overloaded {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].Owner != ids[j].Owner {
+				return ids[i].Owner < ids[j].Owner
+			}
+			return ids[i].Seq < ids[j].Seq
+		})
+		e.overloadNotifier(ids)
+	}
 	e.sched.After(e.params.Period, e.onBoundary)
 }
 
@@ -256,6 +299,7 @@ func (r reqSet) addIncreaseAll(flows map[packet.FlowID]topology.NodeID, factor f
 // aggregated per-flow requests.
 func (e *Engine) evaluate(snap *measure.Snapshot) map[packet.FlowID]Request {
 	e.augmentWithLimitPressure(snap)
+	e.overloaded = nil
 	reqs := make(reqSet)
 	e.testSourceAndBufferConditions(snap, reqs)
 	e.testBandwidthCondition(snap, reqs)
@@ -366,6 +410,12 @@ func (e *Engine) testSourceAndBufferConditions(snap *measure.Snapshot, reqs reqS
 			if e.eq(ul.NormRate, l1) {
 				reqs.addReduceAll(ul.Primaries, down)
 				e.recordAll(ul.Primaries, v.Node, cond, true, down)
+				if e.overloadNotifier != nil && len(ul.Primaries) > 0 {
+					wl := topology.Link{From: ul.Key.From, To: ul.Key.To}
+					for _, c := range e.cliques.Of(wl) {
+						e.markOverloaded(c.ID)
+					}
+				}
 			}
 			if ul.Type == measure.BufferSaturated && e.eq(ul.NormRate, s1) {
 				reqs.addIncreaseAll(ul.Primaries, up)
@@ -466,6 +516,11 @@ func (e *Engine) testBandwidthCondition(snap *measure.Snapshot, reqs reqSet) {
 
 		// Violation: ask the top flows of the saturated cliques down by β
 		// and the penalized link's peers up by β (§6.3).
+		if e.overloadNotifier != nil {
+			for _, c := range saturated {
+				e.markOverloaded(c.ID)
+			}
+		}
 		down, up := 1-e.params.Beta, 1+e.params.Beta
 		seen := make(map[topology.Link]bool)
 		for _, c := range saturated {
@@ -502,6 +557,14 @@ func (e *Engine) apply(reqs map[packet.FlowID]Request, rates []float64, snap *me
 	limits := make([]float64, e.registry.NumFlows())
 	for i, src := range e.registry.Sources() {
 		f := packet.FlowID(i)
+		if src.Stopped() {
+			// A departed churn flow's final partial period can still show
+			// a nonzero rate crossing a saturated clique; installing a
+			// limit on it would persist forever (the stale-limit bug).
+			limits[i] = math.Inf(1)
+			delete(e.slack, f)
+			continue
+		}
 		spec := src.Spec()
 		req, has := reqs[f]
 		limit, limited := src.Limited()

@@ -239,6 +239,12 @@ func (a *Agent) measure() {
 func (a *Agent) applyPending() {
 	for i, src := range a.localSources {
 		f := a.localFlows[i].ID
+		if src.Stopped() {
+			// Never install a limit on a departed flow: its final
+			// partial period's rate would freeze into a stale limit.
+			delete(a.slack, f)
+			continue
+		}
 		req, has := a.pending[f]
 		limit, limited := src.Limited()
 		rate := a.rates[f]
@@ -705,6 +711,15 @@ func (d *Distributed) SetRecorder(rec *obs.Recorder) {
 	for _, a := range d.Agents {
 		a.rec = rec
 	}
+}
+
+// OnFlowDeparted drops the per-flow adjustment state a departed churn
+// flow left on its source's agent (pending request, slack streak), so
+// long churn runs do not accumulate state for dead flows.
+func (d *Distributed) OnFlowDeparted(f packet.FlowID, src topology.NodeID) {
+	a := d.Agents[src]
+	delete(a.slack, f)
+	delete(a.pending, f)
 }
 
 // RefreshCliques pushes a new clique decomposition to every agent after

@@ -91,7 +91,8 @@ type Source struct {
 	seq      int64
 	nextSend sim.Timer
 	waiting  bool // paused on a full local queue
-	stopped  bool // past the spec's Stop time
+	started  bool // Start/StartNow was called (churn flows may never start)
+	stopped  bool // past the spec's Stop time or torn down
 	halted   bool // source node crashed (fault injection)
 
 	stamped  bool // at least one period has completed
@@ -154,16 +155,49 @@ func (s *Source) SetCBR(cbr bool) { s.cbr = cbr }
 // times. Generation begins at a random phase within one packet interval
 // so concurrent flows do not tick in lockstep.
 func (s *Source) Start() {
+	s.started = true
 	offset := s.spec.Start + time.Duration(s.rng.Float64()*float64(s.interval()))
 	s.nextSend = s.sched.After(offset, s.generateFn)
 	if s.spec.Stop > 0 {
-		s.sched.At(s.spec.Stop, func() {
-			s.stopped = true
-			s.waiting = false
-			s.nextSend.Cancel()
-		})
+		s.sched.At(s.spec.Stop, s.Teardown)
 	}
 }
+
+// StartNow begins packet generation immediately — the admission path
+// for churn flows, whose spec Start has already elapsed when the
+// admission decision lands. Only the random phase offset is applied;
+// the spec's Stop time still registers the teardown. A halted source
+// (its node crashed between arrival and admission) stays silent until
+// recovery resumes it.
+func (s *Source) StartNow() {
+	s.started = true
+	if s.spec.Stop > 0 {
+		s.sched.At(s.spec.Stop, s.Teardown)
+	}
+	if s.halted {
+		return
+	}
+	s.nextSend = s.sched.After(time.Duration(s.rng.Float64()*float64(s.interval())), s.generateFn)
+}
+
+// Teardown permanently stops the source (flow departure or watchdog
+// shed): generation ceases, any queue-open wait is abandoned, and the
+// rate-limit/stamping state is cleared so no stale limit survives the
+// flow. Irreversible, unlike SetHalted.
+func (s *Source) Teardown() {
+	s.stopped = true
+	s.waiting = false
+	s.nextSend.Cancel()
+	s.RemoveLimit()
+	s.normRate = 0
+	s.stamped = false
+}
+
+// Started reports whether Start or StartNow has been called.
+func (s *Source) Started() bool { return s.started }
+
+// Stopped reports whether the source has permanently stopped.
+func (s *Source) Stopped() bool { return s.stopped }
 
 func (s *Source) rate() float64 {
 	r := s.spec.DesiredRate
@@ -199,7 +233,7 @@ func (s *Source) SetHalted(halted bool) {
 		s.waiting = false
 		return
 	}
-	if s.stopped {
+	if s.stopped || !s.started {
 		return
 	}
 	delay := s.interval()

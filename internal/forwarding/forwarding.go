@@ -423,6 +423,45 @@ func (n *Node) DropAll(reason DropReason) {
 	}
 }
 
+// HasQueue reports whether the node currently holds state for the
+// queue (teardown-regression tests).
+func (n *Node) HasQueue(id packet.QueueID) bool {
+	_, ok := n.queues[id]
+	return ok
+}
+
+// ReleaseQueueIfIdle removes an *empty* queue's bookkeeping: the queue
+// struct, its round-robin slot, its piggyback advertisement, and any
+// queue-open waiters (a departed flow's waiter must never fire again).
+// Called on flow departure so a long run with churn does not leak one
+// queue per flow that ever existed; a non-empty queue is left alone
+// (the packets still need to drain — call again later). Safe against
+// stragglers: queueFor auto-creates, so a late in-flight packet simply
+// re-materializes the queue. Returns whether the queue is gone.
+func (n *Node) ReleaseQueueIfIdle(id packet.QueueID) bool {
+	q, ok := n.queues[id]
+	if !ok {
+		return true
+	}
+	if q.length() > 0 {
+		return false
+	}
+	delete(n.queues, id)
+	delete(n.openWaiters, id)
+	for i, qid := range n.order {
+		if qid == id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+	if len(n.order) == 0 {
+		n.rrOffset = 0
+	} else {
+		n.rrOffset %= len(n.order)
+	}
+	return true
+}
+
 // ResetNeighborState forgets all cached neighbor buffer-state
 // advertisements. Used on topology change: stale "full" entries from a
 // node that crashed (or from before a reroute) would otherwise suppress

@@ -656,3 +656,52 @@ func TestResetNeighborState(t *testing.T) {
 		t.Error("packet still withheld after ResetNeighborState")
 	}
 }
+
+func TestReleaseQueueIfIdle(t *testing.T) {
+	n, _, _ := testNode(t, 1, DefaultConfig())
+	qid := packet.QueueForDest(4)
+	n.Enqueue(pk(0, 1, 4, 0))
+	n.Enqueue(pk(1, 1, 3, 0))
+	if !n.HasQueue(qid) {
+		t.Fatal("queue not created")
+	}
+	// Non-empty: refuses, state intact.
+	if n.ReleaseQueueIfIdle(qid) {
+		t.Fatal("released a non-empty queue")
+	}
+	if !n.HasQueue(qid) {
+		t.Fatal("refused release still removed the queue")
+	}
+	n.NextOutgoing() // drains dest-4 (round-robin starts at creation order)
+	fired := false
+	n.NotifyQueueOpen(qid, func() { fired = true })
+	if !n.ReleaseQueueIfIdle(qid) {
+		t.Fatal("empty queue not released")
+	}
+	if n.HasQueue(qid) {
+		t.Fatal("queue survives release")
+	}
+	// The departed flow's waiter is gone: no advertisement, no callback.
+	for _, st := range n.Piggyback() {
+		if st.Queue == qid {
+			t.Fatal("released queue still advertised")
+		}
+	}
+	// Round-robin over the survivor still works.
+	out := n.NextOutgoing()
+	if out == nil || out.Pkt.Dst != 3 {
+		t.Fatalf("survivor not served: %+v", out)
+	}
+	if fired {
+		t.Fatal("released queue's waiter fired")
+	}
+	// Unknown queue: trivially gone.
+	if !n.ReleaseQueueIfIdle(packet.QueueForDest(2)) {
+		t.Fatal("unknown queue reported as retained")
+	}
+	// Straggler re-materializes the queue.
+	n.Enqueue(pk(0, 1, 4, 1))
+	if !n.HasQueue(qid) {
+		t.Fatal("straggler did not recreate the queue")
+	}
+}

@@ -53,6 +53,11 @@ type limitLine struct {
 	LimitEvent
 }
 
+type admissionLine struct {
+	Type string `json:"type"`
+	AdmissionEvent
+}
+
 // WriteJSONL exports the telemetry as JSON Lines: one meta line, then
 // one line per flow, node, sample, condition event, and limit event, in
 // that order. Output is deterministic: identical telemetry produces
@@ -88,6 +93,11 @@ func (t *Telemetry) WriteJSONL(w io.Writer) error {
 	}
 	for _, l := range t.Limits {
 		if err := enc.Encode(limitLine{Type: "limit", LimitEvent: l}); err != nil {
+			return err
+		}
+	}
+	for _, a := range t.Admissions {
+		if err := enc.Encode(admissionLine{Type: "admission", AdmissionEvent: a}); err != nil {
 			return err
 		}
 	}
@@ -222,6 +232,17 @@ func ValidateJSONL(r io.Reader) (map[string]int, error) {
 			default:
 				return counts, fmt.Errorf("line %d: unknown limit action %q", line, l.Action)
 			}
+		case "admission":
+			var a admissionLine
+			if err := dec.Decode(&a); err != nil {
+				return counts, fmt.Errorf("line %d (admission): %w", line, err)
+			}
+			switch {
+			case a.Admitted && a.Reason != "":
+				return counts, fmt.Errorf("line %d: admitted flow %d carries refusal reason %q", line, a.Flow, a.Reason)
+			case !a.Admitted && a.Reason == "":
+				return counts, fmt.Errorf("line %d: refused flow %d without a reason", line, a.Flow)
+			}
 		default:
 			return counts, fmt.Errorf("line %d: unknown record type %q", line, head.Type)
 		}
@@ -256,6 +277,8 @@ type RunSummary struct {
 	Protocol   string        `json:"protocol"`
 	Samples    int           `json:"samples"`
 	Conditions int           `json:"conditions"`
+	Admitted   int           `json:"admitted,omitempty"`
+	Rejected   int           `json:"rejected,omitempty"`
 	Flows      []FlowSummary `json:"flows"`
 }
 
@@ -266,6 +289,13 @@ func (t *Telemetry) Summarize() RunSummary {
 		Protocol:   t.Meta.Protocol,
 		Samples:    len(t.Samples),
 		Conditions: len(t.Conditions),
+	}
+	for _, a := range t.Admissions {
+		if a.Admitted {
+			s.Admitted++
+		} else {
+			s.Rejected++
+		}
 	}
 	for _, f := range t.Flows {
 		fs := FlowSummary{

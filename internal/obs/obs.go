@@ -247,6 +247,16 @@ type LimitEvent struct {
 	After  float64       `json:"after"`
 }
 
+// AdmissionEvent records one admission-control decision for an arriving
+// churn flow, or a later watchdog shed of an admitted one. Reason is the
+// typed refusal reason's string form ("" when admitted).
+type AdmissionEvent struct {
+	At       time.Duration `json:"at_ns"`
+	Flow     packet.FlowID `json:"flow"`
+	Admitted bool          `json:"admitted"`
+	Reason   string        `json:"reason,omitempty"`
+}
+
 // Meta describes the run a Telemetry belongs to.
 type Meta struct {
 	Scenario       string        `json:"scenario"`
@@ -267,6 +277,7 @@ type Telemetry struct {
 	Samples    []Sample
 	Conditions []ConditionEvent
 	Limits     []LimitEvent
+	Admissions []AdmissionEvent
 }
 
 // Recorder accumulates telemetry during a run. A nil *Recorder is the
@@ -289,6 +300,7 @@ type Recorder struct {
 	samples    []Sample
 	conditions []ConditionEvent
 	limits     []LimitEvent
+	admissions []AdmissionEvent
 
 	sampleInterval time.Duration
 }
@@ -497,6 +509,21 @@ func (r *Recorder) LimitChange(flow packet.FlowID, action LimitAction, before, a
 	})
 }
 
+// Admission records one admission decision (or watchdog shed). Churn
+// flows are recorded by the single churn engine in event order, which
+// is already deterministic — no canonicalizing sort needed.
+func (r *Recorder) Admission(flow packet.FlowID, admitted bool, reason string) {
+	if r == nil {
+		return
+	}
+	r.admissions = append(r.admissions, AdmissionEvent{
+		At:       r.now(),
+		Flow:     flow,
+		Admitted: admitted,
+		Reason:   reason,
+	})
+}
+
 // Finalize assembles the accumulated telemetry. The recorder may keep
 // recording afterwards, but the returned value owns its slices.
 //
@@ -544,6 +571,7 @@ func (r *Recorder) Finalize(scenario, protocol string) *Telemetry {
 		Samples:    append([]Sample(nil), r.samples...),
 		Conditions: conds,
 		Limits:     append([]LimitEvent(nil), r.limits...),
+		Admissions: append([]AdmissionEvent(nil), r.admissions...),
 	}
 }
 

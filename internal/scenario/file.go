@@ -7,6 +7,8 @@ import (
 	"math"
 	"time"
 
+	"gmp/internal/admission"
+	"gmp/internal/churn"
 	"gmp/internal/faults"
 	"gmp/internal/flow"
 	"gmp/internal/geom"
@@ -38,6 +40,7 @@ type fileFormat struct {
 	Flows       []fileFlow    `json:"flows"`
 	Faults      []fileFault   `json:"faults,omitempty"`
 	Mobility    *fileMobility `json:"mobility,omitempty"`
+	Churn       *fileChurn    `json:"churn,omitempty"`
 }
 
 type fileFlow struct {
@@ -91,6 +94,41 @@ type fileMobility struct {
 	Groups      int     `json:"groups,omitempty"`
 	GroupRadius float64 `json:"group_radius_m,omitempty"`
 	Pinned      []int   `json:"pinned,omitempty"`
+}
+
+// fileChurn is the optional flow-churn block (see internal/churn):
+//
+//	{"process": "poisson", "rate_per_s": 0.5,
+//	 "matrix": "gateway", "gateway": 0,
+//	 "min_size_pkts": 4000, "max_size_pkts": 400000, "pareto_alpha": 1.5,
+//	 "admission": {"min_share_pps": 50, "headroom": 0.9, "shed_after": 3}}
+//
+// "diurnal" additionally takes diurnal_period_s and diurnal_amplitude.
+// Omitted fields default per internal/churn; omitting "admission"
+// admits every arrival.
+type fileChurn struct {
+	Process          string         `json:"process"`
+	RatePerS         float64        `json:"rate_per_s"`
+	StartS           float64        `json:"start_s,omitempty"`
+	StopS            float64        `json:"stop_s,omitempty"`
+	DiurnalPeriodS   float64        `json:"diurnal_period_s,omitempty"`
+	DiurnalAmplitude float64        `json:"diurnal_amplitude,omitempty"`
+	ParetoAlpha      float64        `json:"pareto_alpha,omitempty"`
+	MinSizePkts      int64          `json:"min_size_pkts,omitempty"`
+	MaxSizePkts      int64          `json:"max_size_pkts,omitempty"`
+	Matrix           string         `json:"matrix,omitempty"`
+	Gateway          int            `json:"gateway,omitempty"`
+	Weight           float64        `json:"weight,omitempty"`
+	DesiredRate      float64        `json:"desired_rate_pps,omitempty"`
+	PacketBytes      int            `json:"packet_bytes,omitempty"`
+	MaxFlows         int            `json:"max_flows,omitempty"`
+	Admission        *fileAdmission `json:"admission,omitempty"`
+}
+
+type fileAdmission struct {
+	MinSharePPS float64 `json:"min_share_pps"`
+	Headroom    float64 `json:"headroom,omitempty"`
+	ShedAfter   int     `json:"shed_after,omitempty"`
 }
 
 // maxScheduleSeconds bounds flow start/stop times in scenario files.
@@ -195,7 +233,70 @@ func Load(r io.Reader) (Scenario, error) {
 		}
 		s.Mobility = cfg
 	}
+	if ff.Churn != nil {
+		cfg, err := ff.Churn.toConfig(len(ff.Nodes))
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Churn = cfg
+	}
 	return s, nil
+}
+
+// toConfig converts the JSON churn block to a validated config with
+// defaults materialized (so Save → Load is a fixed point).
+func (fc *fileChurn) toConfig(numNodes int) (*churn.Config, error) {
+	process, err := churn.ParseProcess(fc.Process)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: churn: %w", err)
+	}
+	matrix := churn.Gateway
+	if fc.Matrix != "" {
+		if matrix, err = churn.ParseMatrix(fc.Matrix); err != nil {
+			return nil, fmt.Errorf("scenario: churn: %w", err)
+		}
+	}
+	for _, t := range []struct {
+		name string
+		v    float64
+	}{
+		{"start_s", fc.StartS},
+		{"stop_s", fc.StopS},
+		{"diurnal_period_s", fc.DiurnalPeriodS},
+	} {
+		if t.v < 0 || t.v > maxScheduleSeconds {
+			return nil, fmt.Errorf("scenario: churn %s outside [0, %g] s", t.name, float64(maxScheduleSeconds))
+		}
+	}
+	cfg := churn.Config{
+		Process:          process,
+		Rate:             fc.RatePerS,
+		Start:            secondsToDuration(fc.StartS),
+		Stop:             secondsToDuration(fc.StopS),
+		DiurnalPeriod:    secondsToDuration(fc.DiurnalPeriodS),
+		DiurnalAmplitude: fc.DiurnalAmplitude,
+		Alpha:            fc.ParetoAlpha,
+		MinSizePkts:      fc.MinSizePkts,
+		MaxSizePkts:      fc.MaxSizePkts,
+		Matrix:           matrix,
+		GatewayNode:      topology.NodeID(fc.Gateway),
+		Weight:           fc.Weight,
+		DesiredRate:      fc.DesiredRate,
+		SizeBytes:        fc.PacketBytes,
+		MaxFlows:         fc.MaxFlows,
+	}
+	if fc.Admission != nil {
+		cfg.Admission = &admission.Params{
+			MinShare:  fc.Admission.MinSharePPS,
+			Headroom:  fc.Admission.Headroom,
+			ShedAfter: fc.Admission.ShedAfter,
+		}
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(numNodes); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &cfg, nil
 }
 
 // toConfig converts the JSON mobility block to a validated config.
@@ -301,6 +402,36 @@ func (s Scenario) Save(w io.Writer) error {
 			fm.Pinned = append(fm.Pinned, int(p))
 		}
 		ff.Mobility = fm
+	}
+	if s.Churn != nil {
+		// Save the defaulted form: a hand-built config with zero optional
+		// fields serializes to the same canonical block Load produces.
+		c := s.Churn.WithDefaults()
+		fc := &fileChurn{
+			Process:          c.Process.String(),
+			RatePerS:         c.Rate,
+			StartS:           c.Start.Seconds(),
+			StopS:            c.Stop.Seconds(),
+			DiurnalPeriodS:   c.DiurnalPeriod.Seconds(),
+			DiurnalAmplitude: c.DiurnalAmplitude,
+			ParetoAlpha:      c.Alpha,
+			MinSizePkts:      c.MinSizePkts,
+			MaxSizePkts:      c.MaxSizePkts,
+			Matrix:           c.Matrix.String(),
+			Gateway:          int(c.GatewayNode),
+			Weight:           c.Weight,
+			DesiredRate:      c.DesiredRate,
+			PacketBytes:      c.SizeBytes,
+			MaxFlows:         c.MaxFlows,
+		}
+		if a := c.Admission; a != nil {
+			fc.Admission = &fileAdmission{
+				MinSharePPS: a.MinShare,
+				Headroom:    a.Headroom,
+				ShedAfter:   a.ShedAfter,
+			}
+		}
+		ff.Churn = fc
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -177,3 +177,68 @@ func FuzzMobilitySchedule(f *testing.F) {
 		}
 	})
 }
+
+// FuzzChurnSchedule splices the fuzzed bytes in as the "churn" block of
+// an otherwise fixed, valid scenario, concentrating coverage on churn
+// parsing and validation. Invariants match the other fuzzers: Load
+// never panics, and anything it accepts — including the defaulted
+// admission sub-block and the duration conversions — is a Save→Load
+// fixed point.
+func FuzzChurnSchedule(f *testing.F) {
+	seeds := []string{
+		// Each process, minimal and fully populated.
+		`{"process":"poisson","rate_per_s":0.5}`,
+		`{"process":"poisson","rate_per_s":2,"start_s":10,"stop_s":120.25,
+		  "matrix":"gateway","gateway":2,"min_size_pkts":100,"max_size_pkts":5000,
+		  "pareto_alpha":1.2,"weight":2,"desired_rate_pps":400,"packet_bytes":512,
+		  "max_flows":64,"admission":{"min_share_pps":50,"headroom":0.9,"shed_after":2}}`,
+		`{"process":"diurnal","rate_per_s":1,"diurnal_period_s":100,"diurnal_amplitude":0.8}`,
+		`{"process":"poisson","rate_per_s":1,"matrix":"random"}`,
+		`{"process":"poisson","rate_per_s":1,"admission":{"min_share_pps":10}}`,
+		// Inputs the loader must reject: unknown process/matrix, bad
+		// rates/windows/sizes, misplaced diurnal fields, bad admission.
+		`{"process":"bursty","rate_per_s":1}`,
+		`{"process":"poisson","rate_per_s":0}`,
+		`{"process":"poisson","rate_per_s":-2}`,
+		`{"process":"poisson","rate_per_s":1e300}`,
+		`{"process":"poisson","rate_per_s":1,"start_s":60,"stop_s":10}`,
+		`{"process":"poisson","rate_per_s":1,"start_s":1e300}`,
+		`{"process":"diurnal","rate_per_s":1}`,
+		`{"process":"diurnal","rate_per_s":1,"diurnal_period_s":100,"diurnal_amplitude":1.5}`,
+		`{"process":"poisson","rate_per_s":1,"diurnal_amplitude":0.5}`,
+		`{"process":"poisson","rate_per_s":1,"matrix":"broadcast"}`,
+		`{"process":"poisson","rate_per_s":1,"gateway":9}`,
+		`{"process":"poisson","rate_per_s":1,"min_size_pkts":100,"max_size_pkts":10}`,
+		`{"process":"poisson","rate_per_s":1,"pareto_alpha":-1}`,
+		`{"process":"poisson","rate_per_s":1,"weight":-1}`,
+		`{"process":"poisson","rate_per_s":1,"max_flows":-1}`,
+		`{"process":"poisson","rate_per_s":1,"admission":{"min_share_pps":-1}}`,
+		`{"process":"poisson","rate_per_s":1,"admission":{"min_share_pps":10,"headroom":2}}`,
+		`{"process":"poisson","rate_per_s":1,"bogus":true}`,
+		`null`,
+		`[]`,
+		`nonsense`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, churnJSON []byte) {
+		input := `{"nodes":[[0,0],[200,0],[400,0]],"flows":[{"src":0,"dst":2}],"churn":` +
+			string(churnJSON) + `}`
+		s, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("loaded scenario does not save: %v\nchurn: %q", err, churnJSON)
+		}
+		reloaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("saved scenario does not reload: %v\nsaved: %s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(s, reloaded) {
+			t.Fatalf("round trip not identical:\nfirst:    %#v\nreloaded: %#v", s, reloaded)
+		}
+	})
+}

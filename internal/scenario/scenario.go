@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gmp/internal/churn"
 	"gmp/internal/faults"
 	"gmp/internal/flow"
 	"gmp/internal/geom"
@@ -26,8 +27,9 @@ const (
 )
 
 // Scenario couples a topology with a set of flows and, optionally, a
-// fault schedule (node churn and loss episodes; see internal/faults)
-// and a mobility model (node motion; see internal/mobility).
+// fault schedule (node churn and loss episodes; see internal/faults),
+// a mobility model (node motion; see internal/mobility), and a flow
+// churn workload (arrivals/departures; see internal/churn).
 type Scenario struct {
 	Name        string
 	Description string
@@ -36,6 +38,7 @@ type Scenario struct {
 	Flows       []flow.Spec
 	Faults      []faults.Event
 	Mobility    *mobility.Config
+	Churn       *churn.Config
 }
 
 // WithFaults returns a copy of the scenario with the given fault
@@ -60,6 +63,23 @@ func (s Scenario) WithMobility(cfg *mobility.Config) Scenario {
 		c.Pinned = nil
 	}
 	out.Mobility = &c
+	return out
+}
+
+// WithChurn returns a copy of the scenario with the given churn
+// workload attached (nil detaches).
+func (s Scenario) WithChurn(cfg *churn.Config) Scenario {
+	out := s
+	if cfg == nil {
+		out.Churn = nil
+		return out
+	}
+	c := *cfg
+	if cfg.Admission != nil {
+		a := *cfg.Admission
+		c.Admission = &a
+	}
+	out.Churn = &c
 	return out
 }
 
