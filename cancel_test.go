@@ -1,0 +1,92 @@
+package gmp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelWithinEpoch pins the cancellation latency
+// contract gmpd's DELETE endpoint depends on: RunContext aborts within
+// one event-kernel cancellation epoch (the one-simulated-second poll in
+// Run) of the context being cancelled, reports the simulated abort
+// time, and wraps the context's error. Because the poll is the only
+// cancellation point and it fires on whole simulated seconds, the
+// reported abort time must be an integral second.
+func TestRunContextCancelWithinEpoch(t *testing.T) {
+	cfg := shortCfg(Fig3Scenario())
+	// Effectively unbounded: only cancellation can end this run.
+	cfg.Duration = 10 * time.Hour
+	cfg.Warmup = time.Second
+	cfg.Seed = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunContext(ctx, cfg)
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatalf("run of simulated duration %v completed in %v wall time without an error", cfg.Duration, elapsed)
+	}
+	if res != nil {
+		t.Fatal("aborted run returned a non-nil result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	msg := err.Error()
+	i := strings.Index(msg, "aborted at t=")
+	if i < 0 {
+		t.Fatalf("error %q does not report the simulated abort time", msg)
+	}
+	at := msg[i+len("aborted at t="):]
+	if j := strings.Index(at, ":"); j >= 0 {
+		at = at[:j]
+	}
+	d, perr := time.ParseDuration(at)
+	if perr != nil {
+		t.Fatalf("cannot parse abort time from %q: %v", msg, perr)
+	}
+	if d <= 0 || d >= cfg.Duration {
+		t.Fatalf("abort time %v outside (0, %v)", d, cfg.Duration)
+	}
+	// Within one epoch of the cancel: the abort lands exactly on a
+	// cancellation-poll event, i.e. a whole simulated second.
+	if d%time.Second != 0 {
+		t.Fatalf("abort time %v is not on a cancellation-epoch boundary", d)
+	}
+}
+
+// TestVehicularAndDroneScenariosRun smoke-tests the two service-layer
+// scenario generators end to end: a short GMP run over each completes
+// and produces per-flow rates.
+func TestVehicularAndDroneScenariosRun(t *testing.T) {
+	for _, name := range []string{"vehicular", "drones"} {
+		t.Run(name, func(t *testing.T) {
+			sc, err := NamedScenario(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := shortCfg(sc)
+			cfg.Seed = 1
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Flows) != len(sc.Flows) {
+				t.Fatalf("got %d flow results, want %d", len(res.Flows), len(sc.Flows))
+			}
+			for i, f := range res.Flows {
+				if f.Rate < 0 {
+					t.Fatalf("flow %d has negative rate %v", i, f.Rate)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8356", "HTTP listen address")
+		workers      = flag.Int("workers", 2, "number of jobs executed concurrently")
+		cacheEntries = flag.Int("cache-entries", 4096, "in-memory result cache capacity (<=0 = unbounded)")
+		cacheDir     = flag.String("cache-dir", "", "persist cached run records under this directory (empty = memory only)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for running jobs")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: gmpd [flags]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	s, err := newServer(*workers, *cacheEntries, *cacheDir)
+	if err != nil {
+		log.Fatalf("gmpd: %v", err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("gmpd: shutting down: draining jobs (up to %v)", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(drainCtx); err != nil {
+			log.Printf("gmpd: %v", err)
+		}
+		httpSrv.Shutdown(drainCtx)
+	}()
+
+	log.Printf("gmpd: listening on %s (workers=%d, cache=%d entries, dir=%q)",
+		*addr, *workers, *cacheEntries, *cacheDir)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("gmpd: %v", err)
+	}
+}

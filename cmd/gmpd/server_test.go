@@ -1,0 +1,346 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gmp/internal/obs"
+)
+
+func newTestServer(t *testing.T, workers int) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(workers, 256, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) statusResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var st statusResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("submit response %s: %v", raw, err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) statusResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitTerminal polls until the job leaves queued/running.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) statusResponse {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		switch st.Status {
+		case "done", "failed", "cancelled":
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return statusResponse{}
+}
+
+func getResult(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, raw)
+	}
+	return raw
+}
+
+const sweepBody = `{"scenario_name":"fig3","duration_s":4,"warmup_s":2,"seeds":3}`
+
+// TestSubmitPollResultAndCacheHit is the service's end-to-end
+// acceptance test: a sweep runs to completion and aggregates; an
+// identical resubmission is served entirely from the result cache with
+// zero simulations and a byte-identical result document; a different
+// run spec misses the cache.
+func TestSubmitPollResultAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+
+	// Follow the telemetry stream from submission time: this client
+	// reads records as the sweep emits them, not after it ends.
+	first := submit(t, ts, sweepBody)
+	streamed := make(chan []byte, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + first.ID + "/telemetry")
+		if err != nil {
+			streamed <- nil
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		streamed <- raw
+	}()
+
+	st := waitTerminal(t, ts, first.ID)
+	if st.Status != "done" {
+		t.Fatalf("job finished %q (error %q)", st.Status, st.Error)
+	}
+	if st.SimsExecuted != 3 || st.CacheHits != 0 || st.RunsDone != 3 {
+		t.Fatalf("first sweep counters: %+v", st)
+	}
+	res1 := getResult(t, ts, first.ID)
+	var doc jobResult
+	if err := json.Unmarshal(res1, &doc); err != nil {
+		t.Fatalf("result %s: %v", res1, err)
+	}
+	if doc.Scenario != "fig3" || doc.Protocol != "gmp" || doc.Seeds != 3 || len(doc.Runs) != 3 {
+		t.Fatalf("result document: %+v", doc)
+	}
+	if doc.Summary.Runs != 3 || doc.Summary.U.Mean <= 0 {
+		t.Fatalf("summary: %+v", doc.Summary)
+	}
+	if bytes.Contains(res1, []byte(first.ID)) {
+		t.Fatal("result document leaks the job ID (breaks cache-identity)")
+	}
+
+	// The streamed telemetry validates under the obs schema.
+	raw := <-streamed
+	if raw == nil {
+		t.Fatal("telemetry stream failed")
+	}
+	counts, err := obs.ValidateJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("streamed telemetry invalid: %v\n%s", err, raw)
+	}
+	if counts["meta"] != 1 || counts["run"] != 3 {
+		t.Fatalf("telemetry counts: %v", counts)
+	}
+
+	// Identical resubmission: full cache hit, zero simulations,
+	// byte-identical result.
+	second := submit(t, ts, sweepBody)
+	st2 := waitTerminal(t, ts, second.ID)
+	if st2.Status != "done" {
+		t.Fatalf("cached job finished %q (error %q)", st2.Status, st2.Error)
+	}
+	if st2.SimsExecuted != 0 {
+		t.Fatalf("cached sweep executed %d simulations, want 0", st2.SimsExecuted)
+	}
+	if st2.CacheHits != 3 || st2.RunsDone != 3 {
+		t.Fatalf("cached sweep counters: %+v", st2)
+	}
+	res2 := getResult(t, ts, second.ID)
+	if !bytes.Equal(res1, res2) {
+		t.Fatalf("cached result differs from simulated result:\n%s\nvs\n%s", res1, res2)
+	}
+
+	// Extending the sweep reuses the cached seeds and only runs new ones.
+	third := submit(t, ts, `{"scenario_name":"fig3","duration_s":4,"warmup_s":2,"seeds":5}`)
+	st3 := waitTerminal(t, ts, third.ID)
+	if st3.Status != "done" || st3.CacheHits != 3 || st3.SimsExecuted != 2 {
+		t.Fatalf("extended sweep counters: %+v", st3)
+	}
+
+	// A changed run spec addresses different content: no hits.
+	fourth := submit(t, ts, `{"scenario_name":"fig3","duration_s":4,"warmup_s":2,"seeds":3,"loss_prob":0.1}`)
+	st4 := waitTerminal(t, ts, fourth.ID)
+	if st4.Status != "done" || st4.CacheHits != 0 || st4.SimsExecuted != 3 {
+		t.Fatalf("changed-spec sweep counters: %+v", st4)
+	}
+}
+
+// TestInlineScenarioSubmission submits a scenario document instead of
+// a registry name, and checks key-order insensitivity: the same
+// scenario with reordered JSON fields hits the cache.
+func TestInlineScenarioSubmission(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	inline := `{"name":"pair","nodes":[[0,0],[200,0]],"flows":[{"src":0,"dst":1}]}`
+	reordered := `{"flows":[{"dst":1,"src":0}],"nodes":[[0,0],[200,0]],"name":"pair"}`
+
+	first := submit(t, ts, `{"scenario":`+inline+`,"duration_s":4,"warmup_s":2}`)
+	st := waitTerminal(t, ts, first.ID)
+	if st.Status != "done" || st.SimsExecuted != 1 {
+		t.Fatalf("inline sweep: %+v", st)
+	}
+	second := submit(t, ts, `{"scenario":`+reordered+`,"duration_s":4,"warmup_s":2}`)
+	st2 := waitTerminal(t, ts, second.ID)
+	if st2.Status != "done" || st2.CacheHits != 1 || st2.SimsExecuted != 0 {
+		t.Fatalf("reordered scenario missed the cache: %+v", st2)
+	}
+	if a, b := getResult(t, ts, first.ID), getResult(t, ts, second.ID); !bytes.Equal(a, b) {
+		t.Fatal("reordered scenario produced a different result document")
+	}
+}
+
+// TestCancelMidSweep cancels a long sweep while it runs and checks the
+// typed partial status.
+func TestCancelMidSweep(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	// One simulated hour per run: only cancellation ends this sweep.
+	st := submit(t, ts, `{"scenario_name":"fig3","duration_s":3600,"warmup_s":10,"seeds":4,"workers":1}`)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for getStatus(t, ts, st.ID).Status != "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+
+	final := waitTerminal(t, ts, st.ID)
+	if final.Status != "cancelled" {
+		t.Fatalf("cancelled job finished %q", final.Status)
+	}
+	if final.CancelReason != "requested" {
+		t.Fatalf("cancel reason %q, want requested", final.CancelReason)
+	}
+	if final.RunsDone >= 4 {
+		t.Fatalf("cancelled sweep reports %d/4 runs done", final.RunsDone)
+	}
+	// The result endpoint refuses with the cancellation, not a hang.
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of cancelled job: %d", rresp.StatusCode)
+	}
+}
+
+// TestShutdownDrains checks graceful shutdown: the running job
+// finishes, the queued job is cancelled with the typed shutdown
+// reason, and new submissions are refused.
+func TestShutdownDrains(t *testing.T) {
+	s, ts := newTestServer(t, 1)
+	// A few hundred simulated seconds: long enough (seconds of wall
+	// time) that the drain starts while this job is still running,
+	// short enough to finish well inside the drain window.
+	running := submit(t, ts, `{"scenario_name":"fig3","duration_s":1200,"warmup_s":600}`)
+	queued := submit(t, ts, `{"scenario_name":"fig3","duration_s":1200,"warmup_s":600,"seeds":2}`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	st := getStatus(t, ts, running.ID)
+	if st.Status != "done" {
+		t.Fatalf("running job drained as %q (error %q) — drain killed it", st.Status, st.Error)
+	}
+	qst := getStatus(t, ts, queued.ID)
+	if qst.Status != "cancelled" || qst.CancelReason != "shutdown" {
+		t.Fatalf("queued job drained as %q/%q, want cancelled/shutdown", qst.Status, qst.CancelReason)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission after drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	for name, body := range map[string]string{
+		"no scenario":      `{"seeds":2}`,
+		"both scenarios":   `{"scenario_name":"fig3","scenario":{"name":"x","nodes":[[0,0],[1,1]]},"seeds":1}`,
+		"unknown scenario": `{"scenario_name":"nope"}`,
+		"unknown protocol": `{"scenario_name":"fig3","protocol":"tcp"}`,
+		"unknown field":    `{"scenario_name":"fig3","bogus":1}`,
+		"too many seeds":   fmt.Sprintf(`{"scenario_name":"fig3","seeds":%d}`, maxSeeds+1),
+		"bad loss prob":    `{"scenario_name":"fig3","loss_prob":1.5}`,
+		"negative warmup":  `{"scenario_name":"fig3","warmup_s":-1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/telemetry"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	st := submit(t, ts, `{"scenario_name":"fig3","duration_s":4,"warmup_s":2}`)
+	waitTerminal(t, ts, st.ID)
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{"gmpd_jobs_submitted 1", "gmpd_jobs_done 1", "gmpd_cache_puts 1", "gmpd_cache_misses 1"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

@@ -232,6 +232,22 @@ func ValidateJSONL(r io.Reader) (map[string]int, error) {
 			default:
 				return counts, fmt.Errorf("line %d: unknown limit action %q", line, l.Action)
 			}
+		case "run":
+			var rl runLine
+			if err := dec.Decode(&rl); err != nil {
+				return counts, fmt.Errorf("line %d (run): %w", line, err)
+			}
+			if meta == nil {
+				return counts, fmt.Errorf("line %d: run record before meta", line)
+			}
+			for _, f := range rl.Flows {
+				switch f.Bottleneck {
+				case "", "source", "buffer", "bandwidth", "rate-limit":
+				default:
+					return counts, fmt.Errorf("line %d: run seed %d flow %d has unknown bottleneck %q",
+						line, rl.Seed, f.Flow, f.Bottleneck)
+				}
+			}
 		case "admission":
 			var a admissionLine
 			if err := dec.Decode(&a); err != nil {

@@ -42,10 +42,10 @@ type Condition int
 // generated a rate adjustment request; rounds in which a flow has no
 // events are rounds in which every condition held for it.
 const (
-	CondSource Condition = iota + 1 // source condition (§5.3 c1)
-	CondBuffer                      // buffer-saturated condition (c2)
-	CondBandwidth                   // bandwidth-saturated condition (c3)
-	CondRateLimit                   // rate-limit condition (c4)
+	CondSource    Condition = iota + 1 // source condition (§5.3 c1)
+	CondBuffer                         // buffer-saturated condition (c2)
+	CondBandwidth                      // bandwidth-saturated condition (c3)
+	CondRateLimit                      // rate-limit condition (c4)
 )
 
 // String names the condition as in the JSONL schema.

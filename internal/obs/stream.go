@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// runLine is the JSONL "run" record: one completed run's compressed
+// summary inside a multi-run sweep stream. Unlike the single-run export
+// (WriteJSONL), a sweep stream carries one meta record for the whole
+// sweep followed by one run record per seed as runs complete.
+type runLine struct {
+	Type string `json:"type"`
+	Seed int64  `json:"seed"`
+	RunSummary
+}
+
+// StreamWriter emits a telemetry JSONL stream for a multi-run sweep
+// incrementally: exactly one meta record up front, then one "run"
+// record per completed run, flushed per record so a follower (the gmpd
+// telemetry endpoint) sees each run as soon as it finishes rather than
+// after the sweep. The emitted stream validates under ValidateJSONL.
+// Methods are safe for concurrent use; callers wanting a deterministic
+// stream must still serialize runs into seed order themselves.
+type StreamWriter struct {
+	mu        sync.Mutex
+	bw        *bufio.Writer
+	enc       *json.Encoder
+	wroteMeta bool
+}
+
+// NewStreamWriter wraps w in a sweep-stream encoder.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	bw := bufio.NewWriter(w)
+	return &StreamWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteMeta writes the stream's single meta record. It must be called
+// exactly once, before any run record.
+func (sw *StreamWriter) WriteMeta(m Meta) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.wroteMeta {
+		return fmt.Errorf("obs: duplicate meta record in sweep stream")
+	}
+	sw.wroteMeta = true
+	if err := sw.enc.Encode(metaLine{Type: "meta", Meta: m}); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}
+
+// WriteRun appends one completed run's summary and flushes it through
+// to the underlying writer.
+func (sw *StreamWriter) WriteRun(seed int64, s RunSummary) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if !sw.wroteMeta {
+		return fmt.Errorf("obs: run record before meta in sweep stream")
+	}
+	if err := sw.enc.Encode(runLine{Type: "run", Seed: seed, RunSummary: s}); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}
+
+// Flush forces any buffered bytes through to the underlying writer.
+func (sw *StreamWriter) Flush() error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.bw.Flush()
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sweepMeta() Meta {
+	return Meta{
+		Scenario:       "fig3",
+		Protocol:       "gmp",
+		Flows:          3,
+		Nodes:          4,
+		SampleInterval: time.Second,
+		BucketBounds:   DefaultLatencyBounds,
+	}
+}
+
+func TestStreamWriterValidates(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	if err := sw.WriteMeta(sweepMeta()); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		s := RunSummary{
+			Scenario: "fig3", Protocol: "gmp", Samples: 10, Conditions: 2,
+			Flows: []FlowSummary{{Flow: 0, Delivered: 100, Bottleneck: "bandwidth"}},
+		}
+		if err := sw.WriteRun(seed, s); err != nil {
+			t.Fatal(err)
+		}
+		// The stream is incrementally valid: every prefix ending on a
+		// record boundary passes the schema.
+		counts, err := ValidateJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("after %d runs: %v", seed, err)
+		}
+		if counts["run"] != int(seed) || counts["meta"] != 1 {
+			t.Fatalf("after %d runs: counts = %v", seed, counts)
+		}
+	}
+}
+
+func TestStreamWriterOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	if err := sw.WriteRun(1, RunSummary{}); err == nil {
+		t.Fatal("run record accepted before meta")
+	}
+	if err := sw.WriteMeta(sweepMeta()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteMeta(sweepMeta()); err == nil {
+		t.Fatal("duplicate meta accepted")
+	}
+}
+
+func TestValidateJSONLRejectsBadRun(t *testing.T) {
+	meta := `{"type":"meta","scenario":"s","protocol":"gmp","flows":1,"nodes":2,"sample_interval_ns":0,"bucket_bounds_ns":[1000]}`
+	for name, lines := range map[string]string{
+		"run before meta": `{"type":"run","seed":1,"scenario":"s","protocol":"gmp","samples":0,"conditions":0,"flows":null}`,
+		"unknown field":   meta + "\n" + `{"type":"run","seed":1,"scenario":"s","protocol":"gmp","samples":0,"conditions":0,"flows":null,"bogus":1}`,
+		"bad bottleneck": meta + "\n" + `{"type":"run","seed":1,"scenario":"s","protocol":"gmp","samples":0,"conditions":0,` +
+			`"flows":[{"flow":0,"delivered":1,"retries":0,"mean_latency_ns":0,"p50_latency_ns":0,"p99_latency_ns":0,"conditions":[0,0,0,0],"bottleneck":"gremlins","limit_changes":0}]}`,
+	} {
+		if _, err := ValidateJSONL(strings.NewReader(lines)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -143,6 +143,15 @@ dispatch:
 	return results, ctx.Err()
 }
 
+// Run executes a single job in the calling goroutine with the pool's
+// panic capture and optional deadline: a panicking job yields a
+// PanicError instead of unwinding the caller. It is the one-job form of
+// Map, used by long-running services (the gmpd job queue) that manage
+// their own dispatch but want the same containment semantics.
+func Run[T any](ctx context.Context, job Job[T], timeout time.Duration) Result[T] {
+	return runOne(ctx, 0, job, timeout)
+}
+
 // runOne executes a single job with panic capture and the optional
 // per-job deadline.
 func runOne[T any](ctx context.Context, index int, job Job[T], timeout time.Duration) (res Result[T]) {

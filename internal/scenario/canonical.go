@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CanonicalJSON returns a canonical, deterministic serialization of the
+// scenario: the Save form (defaults materialized, durations normalized
+// to seconds with exact nanosecond round-trip) re-encoded compactly
+// with every object's keys sorted. Two scenarios have equal
+// CanonicalJSON iff Save writes them identically up to key order, so
+// the bytes are a content address: the gmpd result cache hashes them
+// (with the run config and seed) to decide whether a simulation has
+// already been computed.
+//
+// The encoding is a fixed point: Load(CanonicalJSON(s)) canonicalizes
+// back to the same bytes.
+func (s Scenario) CanonicalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return nil, err
+	}
+	out, err := CanonicalizeJSON(buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing: %w", err)
+	}
+	return out, nil
+}
+
+// CanonicalizeJSON rewrites a JSON document into its canonical form:
+// compact, object keys sorted lexicographically, number literals
+// preserved verbatim (no float re-rounding; decoding uses json.Number).
+// Any two semantically equal documents whose number literals match
+// canonicalize to identical bytes. gmpd uses it on job configuration
+// blocks so that field order in a client's request does not change the
+// cache key.
+func CanonicalizeJSON(data []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after document")
+	}
+	// encoding/json sorts map keys and emits json.Number literals
+	// verbatim, which is exactly the canonical form.
+	return json.Marshal(v)
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"gmp/internal/churn"
+	"gmp/internal/faults"
+	"gmp/internal/mobility"
+	"gmp/internal/topology"
+)
+
+// canonicalFixtures covers every block of the file format: plain
+// topologies, faults, mobility and churn.
+func canonicalFixtures(t *testing.T) map[string]Scenario {
+	t.Helper()
+	veh, err := Vehicular(6, 180, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drones, err := DroneSwarm(9, 3, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Scenario{
+		"fig1":          Fig1(),
+		"fig2-weighted": Fig2([4]float64{1, 2, 1, 3}),
+		"fig3":          Fig3(),
+		"fig4":          Fig4(),
+		"faults": Fig2([4]float64{1, 1, 1, 1}).WithFaults([]faults.Event{
+			{At: 1500 * time.Millisecond, Kind: faults.LinkDegrade, From: 0, To: 1, LossProb: 0.25},
+			{At: 30 * time.Second, Kind: faults.NodeDown, Node: 1},
+			{At: 60 * time.Second, Kind: faults.NodeUp, Node: 1},
+		}),
+		"mobility": Fig3().WithMobility(&mobility.Config{
+			Model:    mobility.RandomWaypoint,
+			Epoch:    1500 * time.Millisecond,
+			Start:    10 * time.Second,
+			Stop:     90 * time.Second,
+			MinSpeed: 1,
+			MaxSpeed: 12.5,
+			Pause:    250 * time.Millisecond,
+			MinX:     -100, MaxX: 700, MinY: -200, MaxY: 200,
+			Pinned: []topology.NodeID{3},
+		}),
+		"churn": Fig3().WithChurn(&churn.Config{
+			Process: churn.Poisson,
+			Rate:    0.3,
+			Matrix:  churn.Random,
+		}),
+		"vehicular": veh,
+		"drones":    drones,
+	}
+}
+
+// TestCanonicalJSONFixedPoint checks the content-address contract gmpd
+// relies on: canonicalizing, loading the canonical bytes, and
+// canonicalizing again yields identical bytes, for every block of the
+// file format. A field that Load accepts but Save drops (or normalizes
+// differently) would break the fixed point and show up here.
+func TestCanonicalJSONFixedPoint(t *testing.T) {
+	for name, s := range canonicalFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			c1, err := s.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(bytes.NewReader(c1))
+			if err != nil {
+				t.Fatalf("canonical bytes do not load: %v", err)
+			}
+			c2, err := loaded.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(c1, c2) {
+				t.Fatalf("canonicalization is not a fixed point:\nfirst:  %s\nsecond: %s", c1, c2)
+			}
+			// Rebuilding the same scenario must address identically.
+			c3, err := s.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(c1, c3) {
+				t.Fatal("CanonicalJSON is not deterministic across calls")
+			}
+		})
+	}
+}
+
+func TestCanonicalizeJSONKeyOrder(t *testing.T) {
+	a, err := CanonicalizeJSON([]byte(`{"b": 1, "a": {"d": [2, 3], "c": true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalizeJSON([]byte("{\n  \"a\": {\"c\": true, \"d\": [2, 3]},\n  \"b\": 1\n}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("key order / whitespace leaked into canonical form: %s vs %s", a, b)
+	}
+	if want := `{"a":{"c":true,"d":[2,3]},"b":1}`; string(a) != want {
+		t.Fatalf("canonical form = %s, want %s", a, want)
+	}
+}
+
+func TestCanonicalizeJSONNumbers(t *testing.T) {
+	// Number literals pass through verbatim — no float re-rounding.
+	got, err := CanonicalizeJSON([]byte(`{"x": 0.30000000000000004, "y": 9007199254740993}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lit := range []string{"0.30000000000000004", "9007199254740993"} {
+		if !strings.Contains(string(got), lit) {
+			t.Fatalf("literal %s was re-rounded: %s", lit, got)
+		}
+	}
+}
+
+func TestCanonicalizeJSONRejectsTrailingData(t *testing.T) {
+	if _, err := CanonicalizeJSON([]byte(`{"a":1} {"b":2}`)); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+	if _, err := CanonicalizeJSON([]byte(`{"a":`)); err == nil {
+		t.Fatal("truncated document accepted")
+	}
+}

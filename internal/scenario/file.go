@@ -32,10 +32,10 @@ import (
 // Omitted flow fields default to the paper's setup: weight 1, desired
 // rate 800 pkt/s, 1024-byte packets, active for the whole session.
 type fileFormat struct {
-	Name        string       `json:"name"`
-	Description string       `json:"description,omitempty"`
-	TxRangeM    float64      `json:"tx_range_m,omitempty"`
-	CSRangeM    float64      `json:"cs_range_m,omitempty"`
+	Name        string        `json:"name"`
+	Description string        `json:"description,omitempty"`
+	TxRangeM    float64       `json:"tx_range_m,omitempty"`
+	CSRangeM    float64       `json:"cs_range_m,omitempty"`
 	Nodes       [][2]float64  `json:"nodes"`
 	Flows       []fileFlow    `json:"flows"`
 	Faults      []fileFault   `json:"faults,omitempty"`

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"testing"
+
+	"gmp/internal/topology"
+)
+
+func TestVehicular(t *testing.T) {
+	s, err := Vehicular(6, 180, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Positions) != 7 { // 6 vehicles + RSU
+		t.Fatalf("got %d nodes, want 7", len(s.Positions))
+	}
+	if s.Mobility == nil {
+		t.Fatal("vehicular scenario has no mobility model")
+	}
+	if err := s.Mobility.Validate(len(s.Positions)); err != nil {
+		t.Fatalf("mobility config invalid: %v", err)
+	}
+	if got := s.Mobility.Pinned; len(got) != 1 || got[0] != topology.NodeID(6) {
+		t.Fatalf("RSU not pinned: %v", got)
+	}
+	topo, err := s.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("initial vehicular topology is disconnected")
+	}
+	for _, bad := range []struct {
+		n              int
+		spacing, speed float64
+	}{
+		{1, 180, 12}, {6, 0, 12}, {6, 180, 0},
+	} {
+		if _, err := Vehicular(bad.n, bad.spacing, bad.speed); err == nil {
+			t.Fatalf("Vehicular(%d,%g,%g) accepted", bad.n, bad.spacing, bad.speed)
+		}
+	}
+}
+
+func TestDroneSwarm(t *testing.T) {
+	s, err := DroneSwarm(9, 3, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Positions) != 10 { // ground station + 9 drones
+		t.Fatalf("got %d nodes, want 10", len(s.Positions))
+	}
+	if len(s.Flows) != 3 { // one reporter per group
+		t.Fatalf("got %d flows, want 3", len(s.Flows))
+	}
+	for _, f := range s.Flows {
+		if f.Dst != 0 {
+			t.Fatalf("flow %v does not report to the ground station", f)
+		}
+	}
+	if s.Mobility == nil {
+		t.Fatal("drone swarm has no mobility model")
+	}
+	if err := s.Mobility.Validate(len(s.Positions)); err != nil {
+		t.Fatalf("mobility config invalid: %v", err)
+	}
+	topo, err := s.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("initial swarm topology is disconnected")
+	}
+	for _, bad := range []struct {
+		n, groups int
+		radius    float64
+	}{
+		{0, 1, 80}, {9, 0, 80}, {9, 10, 80}, {9, 3, 0},
+	} {
+		if _, err := DroneSwarm(bad.n, bad.groups, bad.radius); err == nil {
+			t.Fatalf("DroneSwarm(%d,%d,%g) accepted", bad.n, bad.groups, bad.radius)
+		}
+	}
+}
+
+func TestNamedRegistry(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if len(s.Positions) == 0 {
+			t.Fatalf("Named(%q) has no nodes", name)
+		}
+		if _, err := s.CanonicalJSON(); err != nil {
+			t.Fatalf("Named(%q) does not canonicalize: %v", name, err)
+		}
+	}
+	if _, err := Named("no-such-scenario"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}

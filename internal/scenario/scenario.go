@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"gmp/internal/churn"
 	"gmp/internal/faults"
@@ -393,6 +394,107 @@ func Star(k int, radius float64) (Scenario, error) {
 		Positions:   pos,
 		Radio:       topology.DefaultConfig(),
 		Flows:       makeFlows(pairs),
+	}, nil
+}
+
+// Vehicular builds a vehicular chain: n vehicles spaced along a
+// straight highway segment plus a pinned roadside unit (RSU, node n)
+// above the middle of the segment. The platoon carries one end-to-end
+// flow (lead vehicle → tail vehicle) and both ends of the chain upload
+// to the RSU. Vehicles follow a random-waypoint trajectory confined to
+// a long thin box around the lane, so the chain stretches, compresses
+// and occasionally partitions; the RSU never moves.
+func Vehicular(n int, spacing, maxSpeed float64) (Scenario, error) {
+	if n < 2 {
+		return Scenario{}, fmt.Errorf("scenario: vehicular chain needs at least 2 vehicles, got %d", n)
+	}
+	if spacing <= 0 || maxSpeed <= 0 {
+		return Scenario{}, fmt.Errorf("scenario: vehicular needs positive spacing and speed, got %g/%g", spacing, maxSpeed)
+	}
+	pos := make([]geom.Point, n+1)
+	for i := 0; i < n; i++ {
+		pos[i] = geom.Point{X: float64(i) * spacing, Y: 0}
+	}
+	rsu := topology.NodeID(n)
+	pos[n] = geom.Point{X: float64(n-1) * spacing / 2, Y: 60}
+	pairs := []pair{
+		{src: 0, dst: topology.NodeID(n - 1), weight: 1}, // platoon: lead -> tail
+		{src: 0, dst: rsu, weight: 1},                    // uplink from the head
+		{src: topology.NodeID(n - 1), dst: rsu, weight: 1},
+	}
+	return Scenario{
+		Name: fmt.Sprintf("vehicular-%d", n),
+		Description: fmt.Sprintf("%d-vehicle highway chain at %gm pitch with a pinned RSU; "+
+			"random-waypoint in a thin lane box, <=%gm/s", n, spacing, maxSpeed),
+		Positions: pos,
+		Radio:     topology.DefaultConfig(),
+		Flows:     makeFlows(pairs),
+		Mobility: &mobility.Config{
+			Model:    mobility.RandomWaypoint,
+			Epoch:    500 * time.Millisecond,
+			MinSpeed: maxSpeed / 2,
+			MaxSpeed: maxSpeed,
+			Pause:    0,
+			// A lane-shaped field: long in X, a few meters of lateral
+			// drift in Y. The RSU sits outside the lane but is pinned,
+			// so it never draws a waypoint.
+			MinX: -spacing, MaxX: float64(n) * spacing,
+			MinY: -10, MaxY: 10,
+			Pinned: []topology.NodeID{rsu},
+		},
+	}, nil
+}
+
+// DroneSwarm builds a drone-swarm scenario: n drones arranged on a
+// grid near a pinned ground station (node 0), moving under the
+// reference-point group model in `groups` cohesive clusters of radius
+// groupRadius. One drone per group streams telemetry down to the
+// ground station, so traffic concentrates on a single destination (the
+// §4 single-destination case) while the relay topology churns with the
+// swarm's motion.
+func DroneSwarm(n, groups int, groupRadius float64) (Scenario, error) {
+	if n < 1 {
+		return Scenario{}, fmt.Errorf("scenario: drone swarm needs at least 1 drone, got %d", n)
+	}
+	if groups < 1 || groups > n {
+		return Scenario{}, fmt.Errorf("scenario: %d groups for %d drones", groups, n)
+	}
+	if groupRadius <= 0 {
+		return Scenario{}, fmt.Errorf("scenario: non-positive group radius %g", groupRadius)
+	}
+	// Ground station at the origin; drones on a square grid starting
+	// within radio range of it.
+	pos := []geom.Point{{X: 0, Y: 0}}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := 0; i < n; i++ {
+		pos = append(pos, geom.Point{
+			X: 150 + float64(i%cols)*160,
+			Y: 150 + float64(i/cols)*160,
+		})
+	}
+	// The group model splits the mobile nodes into contiguous groups;
+	// pick the first member of each as its telemetry reporter.
+	var pairs []pair
+	for g := 0; g < groups; g++ {
+		leader := topology.NodeID(1 + g*n/groups)
+		pairs = append(pairs, pair{src: leader, dst: 0, weight: 1})
+	}
+	return Scenario{
+		Name: fmt.Sprintf("drones-%d-g%d", n, groups),
+		Description: fmt.Sprintf("%d drones in %d groups (radius %gm) around a pinned "+
+			"ground station; one telemetry flow per group to the station", n, groups, groupRadius),
+		Positions: pos,
+		Radio:     topology.DefaultConfig(),
+		Flows:     makeFlows(pairs),
+		Mobility: &mobility.Config{
+			Model:       mobility.Group,
+			Epoch:       time.Second,
+			MinSpeed:    3,
+			MaxSpeed:    8,
+			Groups:      groups,
+			GroupRadius: groupRadius,
+			Pinned:      []topology.NodeID{0},
+		},
 	}, nil
 }
 

@@ -38,6 +38,15 @@ type RunManyOptions struct {
 	// returning after the batch with the first one. Regardless of this
 	// flag every run is attempted and successful results are returned.
 	KeepGoing bool
+	// OnResult, when non-nil, is called once per successful run as it
+	// completes, with the run's config index and its Result, before
+	// RunMany returns. Calls happen on worker goroutines in completion
+	// order (not index order) and may be concurrent with each other; the
+	// callback must synchronize its own state. Failed runs produce no
+	// callback. Services streaming per-run progress (gmpd's telemetry
+	// endpoint) hang off this hook; it has no effect on the returned
+	// slice or on determinism.
+	OnResult func(index int, res *Result)
 }
 
 // RunMany executes the configurations across a worker pool and returns
@@ -68,7 +77,11 @@ func RunMany(ctx context.Context, cfgs []Config, opts RunManyOptions) ([]*Result
 			cfg.Seed = runner.DeriveSeed(base, i)
 		}
 		jobs[i] = func(ctx context.Context) (*Result, error) {
-			return RunContext(ctx, cfg)
+			res, err := RunContext(ctx, cfg)
+			if err == nil && opts.OnResult != nil {
+				opts.OnResult(i, res)
+			}
+			return res, err
 		}
 	}
 	raw, ctxErr := runner.Map(ctx, jobs, runner.Options{

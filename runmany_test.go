@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -130,6 +131,45 @@ func TestRunManyReportsFailures(t *testing.T) {
 	_, err = RunMany(context.Background(), []Config{bad, good, bad}, RunManyOptions{KeepGoing: true})
 	if err == nil || !strings.Contains(err.Error(), "run 0") || !strings.Contains(err.Error(), "run 2") {
 		t.Errorf("KeepGoing error missing failures: %v", err)
+	}
+}
+
+// TestRunManyOnResult checks the per-run completion hook: one call per
+// successful run with the matching index and result, none for failed
+// runs, and no effect on the returned slice.
+func TestRunManyOnResult(t *testing.T) {
+	good := shortCfg(Fig3Scenario())
+	bad := good
+	bad.LossProb = 2 // rejected by validation
+	cfgs := []Config{good, bad, good, good}
+
+	var mu sync.Mutex
+	seen := make(map[int]*Result)
+	results, err := RunMany(context.Background(), cfgs, RunManyOptions{
+		Workers:   4,
+		KeepGoing: true,
+		OnResult: func(i int, res *Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := seen[i]; dup {
+				t.Errorf("OnResult called twice for run %d", i)
+			}
+			seen[i] = res
+		},
+	})
+	if err == nil {
+		t.Fatal("invalid config did not fail the batch")
+	}
+	if len(seen) != 3 {
+		t.Fatalf("OnResult fired %d times, want 3 (one per successful run)", len(seen))
+	}
+	if _, ok := seen[1]; ok {
+		t.Error("OnResult fired for the failed run")
+	}
+	for i, res := range seen {
+		if results[i] != res {
+			t.Errorf("run %d: hook saw a different *Result than the returned slice", i)
+		}
 	}
 }
 

@@ -91,3 +91,23 @@ func CrossScenario(armLen int, spacingMeters float64) (Scenario, error) {
 func StarScenario(k int, radiusMeters float64) (Scenario, error) {
 	return scenario.Star(k, radiusMeters)
 }
+
+// VehicularScenario returns n vehicles on a highway chain with a pinned
+// roadside unit, moving under random waypoint in a lane-shaped field.
+func VehicularScenario(n int, spacingMeters, maxSpeedMPS float64) (Scenario, error) {
+	return scenario.Vehicular(n, spacingMeters, maxSpeedMPS)
+}
+
+// DroneSwarmScenario returns n drones in cohesive groups around a
+// pinned ground station, one telemetry flow per group.
+func DroneSwarmScenario(n, groups int, groupRadiusMeters float64) (Scenario, error) {
+	return scenario.DroneSwarm(n, groups, groupRadiusMeters)
+}
+
+// NamedScenario builds a scenario from the registry by name — the
+// lookup behind gmpd's scenario-by-name job submissions. ScenarioNames
+// lists the accepted names.
+func NamedScenario(name string) (Scenario, error) { return scenario.Named(name) }
+
+// ScenarioNames lists the scenario registry's names in sorted order.
+func ScenarioNames() []string { return scenario.Names() }
