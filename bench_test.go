@@ -26,7 +26,10 @@ import (
 	"testing"
 	"time"
 
+	"gmp/internal/clique"
+	"gmp/internal/routing"
 	"gmp/internal/stats"
+	"gmp/internal/topology"
 )
 
 // benchRun executes one simulation per benchmark iteration (seed i+1)
@@ -538,25 +541,43 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 
 // BenchmarkScaling measures how the per-frame simulation cost grows with
 // network size on random connected topologies of constant density (~10
-// expected neighbors per node). Before the adjacency precomputation the
-// medium scanned all N nodes per transmission, making the per-frame cost
-// O(N); with neighbor lists it is O(degree), so ns/op should grow
-// roughly linearly in N (more nodes → more flows → more frames) rather
-// than quadratically. frames/s reports raw kernel throughput.
+// expected neighbors per node) and on city-regime street grids (4
+// neighbors per node, the spatial-grid pipeline's target workload).
+// Before the adjacency precomputation the medium scanned all N nodes per
+// transmission, making the per-frame cost O(N); with neighbor lists it
+// is O(degree), so ns/op should grow roughly linearly in N (more nodes →
+// more flows → more frames) rather than quadratically.
+//
+// Two metrics are reported separately so setup and steady state cannot
+// mask each other: buildms times the static build pipeline (topology,
+// contention cliques, eager routes) on its own, and frames/s reports
+// kernel throughput of the timed simulation runs.
 func BenchmarkScaling(b *testing.B) {
-	for _, tc := range []struct {
-		nodes int
-		width float64
+	cases := []struct {
+		name string
+		make func() (Scenario, error)
 	}{
-		{50, 1000},
-		{100, 1400},
-		{200, 2000},
-	} {
-		b.Run(fmt.Sprintf("N=%d", tc.nodes), func(b *testing.B) {
-			sc, err := RandomScenario(tc.nodes, tc.nodes/10, tc.width, tc.width, 1)
+		{"N=50", func() (Scenario, error) { return RandomScenario(50, 5, 1000, 1000, 1) }},
+		{"N=100", func() (Scenario, error) { return RandomScenario(100, 10, 1400, 1400, 1) }},
+		{"N=200", func() (Scenario, error) { return RandomScenario(200, 20, 2000, 2000, 1) }},
+		{"city/N=500", func() (Scenario, error) { return CityScenario(500, 4, 10, 220, 1) }},
+		{"city/N=2000", func() (Scenario, error) { return CityScenario(2000, 8, 24, 220, 1) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			sc, err := tc.make()
 			if err != nil {
 				b.Fatal(err)
 			}
+			// Static build pipeline, timed apart from the kernel loop.
+			bs := time.Now()
+			topo, err := topology.New(sc.Positions, sc.Radio)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clique.Build(topo)
+			routing.Build(topo)
+			buildMs := time.Since(bs).Seconds() * 1000
 			var frames int64
 			var simSeconds float64
 			b.ReportAllocs()
@@ -581,6 +602,41 @@ func BenchmarkScaling(b *testing.B) {
 				b.ReportMetric(float64(frames)/elapsed, "frames/s")
 			}
 			b.ReportMetric(simSeconds/elapsed, "simsec/s")
+			// After StopTimer/ResetTimer so the framework does not
+			// discard it (ResetTimer deletes user-reported metrics).
+			b.ReportMetric(buildMs, "buildms")
 		})
+	}
+}
+
+// BenchmarkCityEndToEnd builds and simulates the 10,000-node city — the
+// scale target of the spatial-grid work — in one piece: grid-backed
+// topology construction, sparse clique enumeration, lazy routing, and a
+// short 802.11 session. Completing at all is the acceptance criterion;
+// frames/s tracks the kernel's share of the run.
+func BenchmarkCityEndToEnd(b *testing.B) {
+	sc, err := CityScenario(10000, 16, 40, 220, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var frames int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{
+			Scenario: sc,
+			Protocol: Protocol80211,
+			Duration: 20 * time.Second,
+			Warmup:   10 * time.Second,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames += res.Channel.Transmissions
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(frames)/s, "frames/s")
 	}
 }

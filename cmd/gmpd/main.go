@@ -19,6 +19,7 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 4096, "in-memory result cache capacity (<=0 = unbounded)")
 		cacheDir     = flag.String("cache-dir", "", "persist cached run records under this directory (empty = memory only)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for running jobs")
+		pprofDebug   = flag.Bool("pprof", false, "expose /debug/pprof/* runtime profiling endpoints")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -31,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("gmpd: %v", err)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: s.handler(*pprofDebug)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -11,7 +11,8 @@
 //	GET    /v1/jobs/{id}/telemetry live JSONL stream (obs schema)
 //	DELETE /v1/jobs/{id}           cancel (cooperative, like RunContext)
 //	GET    /healthz                liveness
-//	GET    /metrics                text counters (jobs + cache)
+//	GET    /metrics                text counters (jobs + cache + topology builds)
+//	GET    /debug/pprof/*          runtime profiles (only with -pprof)
 //
 // Caching is per run, not per sweep: each (scenario, run spec, seed)
 // triple is hashed — SHA-256 over length-prefixed sections of a version
@@ -30,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -201,6 +203,14 @@ type server struct {
 	cache  *resultcache.Cache
 	nextID atomic.Int64
 
+	// Topology-build telemetry: every admission builds the scenario's
+	// topology once (validation + timing), and /metrics exposes the
+	// count, cumulative time, and last-build time so the spatial-grid
+	// pipeline's cost is observable per deployment.
+	topoBuilds      atomic.Int64
+	topoBuildNS     atomic.Int64
+	topoBuildLastNS atomic.Int64
+
 	mu     sync.Mutex
 	states map[string]*jobState
 }
@@ -226,8 +236,17 @@ func (s *server) Shutdown(ctx context.Context) error {
 	return s.queue.Drain(ctx)
 }
 
-func (s *server) handler() http.Handler {
+func (s *server) handler(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
+	if enablePprof {
+		// The profiling routes are opt-in (-pprof): they expose stacks
+		// and heap contents, which a metrics-only deployment should not.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -303,6 +322,18 @@ func (s *server) buildJob(req *jobRequest) (*jobState, error) {
 		DisableRTS: req.DisableRTS,
 		LossProb:   req.LossProb,
 	}
+	// Build the topology once at admission: scenarios that cannot build
+	// are rejected before they enter the queue, and the timed build
+	// feeds the gmpd_topology_build_* counters on /metrics.
+	buildStart := time.Now()
+	if _, err := sc.Topology(); err != nil {
+		return nil, fmt.Errorf("scenario topology: %w", err)
+	}
+	buildNS := time.Since(buildStart).Nanoseconds()
+	s.topoBuilds.Add(1)
+	s.topoBuildNS.Add(buildNS)
+	s.topoBuildLastNS.Store(buildNS)
+
 	st := &jobState{
 		scenario: sc,
 		spec:     spec,
@@ -647,6 +678,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "gmpd_cache_puts %d\n", cs.Puts)
 	fmt.Fprintf(w, "gmpd_cache_evictions %d\n", cs.Evictions)
 	fmt.Fprintf(w, "gmpd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "gmpd_topology_builds %d\n", s.topoBuilds.Load())
+	fmt.Fprintf(w, "gmpd_topology_build_ns_total %d\n", s.topoBuildNS.Load())
+	fmt.Fprintf(w, "gmpd_topology_build_ns_last %d\n", s.topoBuildLastNS.Load())
 }
 
 // parseProtocol accepts cmd/gmpsim's protocol names and returns the

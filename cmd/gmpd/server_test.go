@@ -21,7 +21,7 @@ func newTestServer(t *testing.T, workers int) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.handler())
+	ts := httptest.NewServer(s.handler(false))
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -341,6 +341,54 @@ func TestHealthAndMetrics(t *testing.T) {
 	for _, want := range []string{"gmpd_jobs_submitted 1", "gmpd_jobs_done 1", "gmpd_cache_puts 1", "gmpd_cache_misses 1"} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestPprofGatedAndTopologyMetrics covers the two observability hooks:
+// /debug/pprof/* must exist only when enabled, and /metrics must report
+// the admission-time topology-build counters after a submission.
+func TestPprofGatedAndTopologyMetrics(t *testing.T) {
+	s, ts := newTestServer(t, 1)
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled but /debug/pprof/ returned %d", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(s.handler(true))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled but /debug/pprof/ returned %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Error("pprof index does not list the goroutine profile")
+	}
+
+	submit(t, ts, `{"scenario_name":"fig3","protocol":"802.11","duration_s":1,"warmup_s":0.5}`)
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	if !strings.Contains(metrics, "gmpd_topology_builds 1\n") {
+		t.Errorf("metrics missing topology build count:\n%s", metrics)
+	}
+	for _, name := range []string{"gmpd_topology_build_ns_total", "gmpd_topology_build_ns_last"} {
+		if !strings.Contains(metrics, name+" ") {
+			t.Errorf("metrics missing %s:\n%s", name, metrics)
 		}
 	}
 }

@@ -38,7 +38,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gmpsim", flag.ContinueOnError)
 	pf := prof.Register(fs)
 	var (
-		scenarioName = fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4|chain|mesh|random")
+		scenarioName = fs.String("scenario", "fig3", "scenario: fig1|fig2|fig2w|fig3|fig4|chain|mesh|random|city")
 		scenarioFile = fs.String("scenario-file", "", "load the scenario from a JSON file instead")
 		saveScenario = fs.String("save-scenario", "", "write the chosen scenario as JSON and exit")
 		jsonOut      = fs.Bool("json", false, "print the result as JSON")
@@ -62,7 +62,8 @@ func run(args []string, stdout io.Writer) error {
 		noRTS        = fs.Bool("no-rts", false, "disable the RTS/CTS handshake")
 		traceRounds  = fs.Bool("trace", false, "print GMP adjustment-round trace")
 		macStats     = fs.Bool("mac-stats", false, "print per-node MAC counters")
-		nodes        = fs.Int("nodes", 20, "node count (random scenario)")
+		nodes        = fs.Int("nodes", 20, "node count (random/city scenarios)")
+		gateways     = fs.Int("gateways", 4, "gateway count (city scenario)")
 		rows         = fs.Int("rows", 4, "grid rows (mesh scenario)")
 		cols         = fs.Int("cols", 4, "grid cols (mesh scenario)")
 		nflows       = fs.Int("flows", 6, "flow count (mesh/random scenarios)")
@@ -119,7 +120,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	} else {
 		var berr error
-		sc, berr = buildScenario(*scenarioName, *nodes, *rows, *cols, *nflows, *length, *spacing, *seed)
+		sc, berr = buildScenario(*scenarioName, *nodes, *gateways, *rows, *cols, *nflows, *length, *spacing, *seed)
 		if berr != nil {
 			return berr
 		}
@@ -444,7 +445,7 @@ func buildMobility(model string, epoch time.Duration, speedMin, speedMax float64
 	return cfg, nil
 }
 
-func buildScenario(name string, nodes, rows, cols, nflows, length int, spacing float64, seed int64) (gmp.Scenario, error) {
+func buildScenario(name string, nodes, gateways, rows, cols, nflows, length int, spacing float64, seed int64) (gmp.Scenario, error) {
 	switch name {
 	case "fig1":
 		return gmp.Fig1Scenario(), nil
@@ -462,6 +463,8 @@ func buildScenario(name string, nodes, rows, cols, nflows, length int, spacing f
 		return gmp.MeshGatewayScenario(rows, cols, nflows, spacing, seed)
 	case "random":
 		return gmp.RandomScenario(nodes, nflows, 1000, 1000, seed)
+	case "city":
+		return gmp.CityScenario(nodes, gateways, nflows, spacing, seed)
 	default:
 		return gmp.Scenario{}, fmt.Errorf("unknown scenario %q", name)
 	}

@@ -31,8 +31,8 @@ func TestParseProtocol(t *testing.T) {
 }
 
 func TestBuildScenario(t *testing.T) {
-	for _, name := range []string{"fig1", "fig2", "fig2w", "fig3", "fig4", "chain", "mesh", "random"} {
-		sc, err := buildScenario(name, 10, 3, 3, 4, 4, 200, 1)
+	for _, name := range []string{"fig1", "fig2", "fig2w", "fig3", "fig4", "chain", "mesh", "random", "city"} {
+		sc, err := buildScenario(name, 10, 2, 3, 3, 4, 4, 200, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -40,7 +40,7 @@ func TestBuildScenario(t *testing.T) {
 			t.Errorf("%s: empty scenario", name)
 		}
 	}
-	if _, err := buildScenario("bogus", 0, 0, 0, 0, 0, 0, 0); err == nil {
+	if _, err := buildScenario("bogus", 0, 0, 0, 0, 0, 0, 0, 0); err == nil {
 		t.Error("bogus scenario accepted")
 	}
 }

@@ -556,12 +556,23 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gmp: building topology: %w", err)
 	}
+	// Static runs (no mobility) never mutate the topology, so the
+	// shortest-path tables can materialize per-destination rows lazily:
+	// only the flow destinations actually routed to pay for a BFS, which
+	// is what makes the 10k-node city scenario start in milliseconds.
+	// Mobility forces eager builds — a lazy row computed after MoveNodes
+	// would see the wrong topology. Geographic tables are always eager:
+	// their dead-end detection must run up front to drive the
+	// GPSR-fallback error contract.
+	lazyRoutes := cfg.mobilityConfig() == nil
 	var routes *routing.Table
 	if cfg.GeographicRouting {
 		routes, err = routing.BuildGeographic(topo)
 		if err != nil {
 			return nil, fmt.Errorf("gmp: %w", err)
 		}
+	} else if lazyRoutes {
+		routes = routing.BuildLazy(topo)
 	} else {
 		routes = routing.Build(topo)
 	}
@@ -704,7 +715,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			// fallback to shortest-path repair.
 		}
 		if t == nil {
-			t = routing.BuildExcluding(topo, down)
+			if lazyRoutes {
+				// Fault/churn repair without mobility: the topology is
+				// still immutable, so repaired tables stay lazy too (the
+				// down set is copied at build time).
+				t = routing.BuildLazyExcluding(topo, down)
+			} else {
+				t = routing.BuildExcluding(topo, down)
+			}
 		}
 		liveRoutes = t
 		return t

@@ -10,6 +10,7 @@ package clique
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"gmp/internal/topology"
@@ -65,47 +66,89 @@ type Set struct {
 }
 
 // Build enumerates every proper contention clique of the topology's links
-// using Bron–Kerbosch with pivoting on the link-contention graph.
-// Only links actually usable for routing (between neighbors) participate.
-// Each undirected link appears once.
+// using Bron–Kerbosch (degeneracy-ordered, with pivoting) on the
+// link-contention graph. Only links actually usable for routing (between
+// neighbors) participate. Each undirected link appears once.
+//
+// The contention graph is assembled sparsely: a link's possible
+// contenders are exactly the links incident to its endpoints' carrier-
+// sense neighborhoods (which the topology derives from its spatial
+// grid), so construction costs O(L·density²) rather than the all-pairs
+// O(L²). The dense-matrix enumerator is retained as the differential
+// oracle (TestSparseMatchesDense).
 func Build(topo *topology.Topology) *Set {
-	// Collect undirected links.
-	seen := make(map[topology.Link]bool)
+	links := undirectedLinks(topo)
+	incident := incidentLists(topo.NumNodes(), links)
+	nbr := make([][]int32, len(links))
+	mark := make([]bool, len(links))
+	for i := range links {
+		nbr[i] = contentionNeighbors(topo, links, incident, i, mark)
+	}
+	var out []*Clique
+	for _, r := range maximalCliquesSparse(len(links), nbr) {
+		out = append(out, cliqueFromIndices32(links, r))
+	}
+	return finish(out)
+}
+
+// undirectedLinks returns each undirected link once, in canonical
+// ascending (From, To) order. Radio ranges are symmetric, so every
+// undirected edge appears in topo.Links() in both directions and the
+// (From < To) filter keeps exactly one.
+func undirectedLinks(topo *topology.Topology) []topology.Link {
 	var links []topology.Link
 	for _, l := range topo.Links() {
-		u := l.Undirected()
-		if !seen[u] {
-			seen[u] = true
-			links = append(links, u)
+		if l.From < l.To {
+			links = append(links, l)
 		}
 	}
-	sort.Slice(links, func(i, j int) bool {
-		if links[i].From != links[j].From {
-			return links[i].From < links[j].From
-		}
-		return links[i].To < links[j].To
-	})
+	return links
+}
 
-	// Contention adjacency between link indices.
-	n := len(links)
-	adj := make([][]bool, n)
-	for i := range adj {
-		adj[i] = make([]bool, n)
+// incidentLists maps each node to the ascending indices (into links) of
+// the undirected links touching it.
+func incidentLists(numNodes int, links []topology.Link) [][]int32 {
+	incident := make([][]int32, numNodes)
+	for i, l := range links {
+		incident[l.From] = append(incident[l.From], int32(i))
+		incident[l.To] = append(incident[l.To], int32(i))
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if topo.LinksContend(links[i], links[j]) {
-				adj[i][j] = true
-				adj[j][i] = true
+	return incident
+}
+
+// contentionNeighbors returns the sorted indices of every link
+// contending with links[i]. Candidates come from the links incident to
+// the endpoints and their carrier-sense neighborhoods: two links contend
+// only when they share a node or have endpoints within CS range, so any
+// contender is incident to a node of that set — no scan of the full
+// link table. mark is an all-false scratch of len(links), restored
+// before returning.
+func contentionNeighbors(topo *topology.Topology, links []topology.Link, incident [][]int32, i int, mark []bool) []int32 {
+	l := links[i]
+	var out []int32
+	mark[i] = true // exclude self
+	consider := func(node topology.NodeID) {
+		for _, j := range incident[node] {
+			if !mark[j] && topo.LinksContend(l, links[j]) {
+				mark[j] = true
+				out = append(out, j)
 			}
 		}
 	}
-
-	var out []*Clique
-	for _, r := range maximalCliques(n, adj) {
-		out = append(out, cliqueFromIndices(links, r))
+	consider(l.From)
+	consider(l.To)
+	for _, v := range topo.CSNeighbors(l.From) {
+		consider(v)
 	}
-	return finish(out)
+	for _, v := range topo.CSNeighbors(l.To) {
+		consider(v)
+	}
+	slices.Sort(out)
+	mark[i] = false
+	for _, j := range out {
+		mark[j] = false
+	}
+	return out
 }
 
 // maximalCliques enumerates every maximal clique of the graph given by
@@ -170,6 +213,192 @@ func maximalCliques(n int, adj [][]bool) [][]int {
 	}
 	bronKerbosch(nil, all, nil)
 	return out
+}
+
+// maximalCliquesSparse enumerates the same maximal cliques as
+// maximalCliques (the dense differential oracle, TestSparseMatchesDense)
+// from sorted adjacency lists instead of a matrix. The outer loop visits
+// vertices in degeneracy order — each vertex's subproblem is confined to
+// its later neighbors — and the recursion uses the standard pivot rule
+// on sorted-slice intersections, so the cost tracks the graph's
+// degeneracy (bounded by local density in geometric contention graphs)
+// rather than its size. Output order is unspecified; callers
+// canonicalize via finish.
+func maximalCliquesSparse(n int, nbr [][]int32) [][]int32 {
+	var out [][]int32
+	var bk func(r, p, x []int32)
+	bk = func(r, p, x []int32) {
+		if len(p) == 0 && len(x) == 0 {
+			if len(r) == 0 {
+				return
+			}
+			out = append(out, append([]int32(nil), r...))
+			return
+		}
+		// Pivot: vertex of p ∪ x with most neighbors in p.
+		pivot, best := int32(-1), -1
+		for _, set := range [2][]int32{p, x} {
+			for _, u := range set {
+				if c := countIntersect(nbr[u], p); c > best {
+					best, pivot = c, u
+				}
+			}
+		}
+		candidates := subtractSorted(p, nbr[pivot])
+		for _, v := range candidates {
+			bk(append(r, v), intersectSorted(p, nbr[v]), intersectSorted(x, nbr[v]))
+			p = removeSorted(p, v)
+			x = insertSorted(x, v)
+		}
+	}
+	order, pos := degeneracyOrder(n, nbr)
+	var p, x []int32
+	for _, v := range order {
+		p, x = p[:0], x[:0]
+		for _, w := range nbr[v] {
+			if pos[w] > pos[v] {
+				p = append(p, w)
+			} else {
+				x = append(x, w)
+			}
+		}
+		bk([]int32{v}, p, x)
+	}
+	return out
+}
+
+// degeneracyOrder returns a vertex order built by repeatedly removing a
+// minimum-residual-degree vertex (ties toward lower index), plus each
+// vertex's position in that order.
+func degeneracyOrder(n int, nbr [][]int32) (order []int32, pos []int32) {
+	deg := make([]int32, n)
+	maxDeg := 0
+	for v := range nbr {
+		deg[v] = int32(len(nbr[v]))
+		if len(nbr[v]) > maxDeg {
+			maxDeg = len(nbr[v])
+		}
+	}
+	// Bucket queue over residual degrees.
+	buckets := make([][]int32, maxDeg+1)
+	for v := n - 1; v >= 0; v-- {
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	removed := make([]bool, n)
+	order = make([]int32, 0, n)
+	pos = make([]int32, n)
+	cur := 0
+	for len(order) < n {
+		if cur > 0 && len(buckets[cur-1]) > 0 {
+			cur-- // a neighbor removal may have exposed a lower bucket
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] || deg[v] != int32(cur) {
+			continue // stale bucket entry; v lives in a lower bucket now
+		}
+		removed[v] = true
+		pos[v] = int32(len(order))
+		order = append(order, v)
+		for _, w := range nbr[v] {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+			}
+		}
+	}
+	return order, pos
+}
+
+// countIntersect returns |a ∩ b| for sorted slices.
+func countIntersect(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			c++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return c
+}
+
+// intersectSorted returns a fresh sorted a ∩ b.
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// subtractSorted returns a fresh sorted a \ b.
+func subtractSorted(a, b []int32) []int32 {
+	var out []int32
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// removeSorted returns sorted a with v removed (in place).
+func removeSorted(a []int32, v int32) []int32 {
+	at := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	if at == len(a) || a[at] != v {
+		return a
+	}
+	return append(a[:at], a[at+1:]...)
+}
+
+// insertSorted returns sorted a with v inserted (appends then rotates).
+func insertSorted(a []int32, v int32) []int32 {
+	at := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	a = append(a, 0)
+	copy(a[at+1:], a[at:])
+	a[at] = v
+	return a
+}
+
+// cliqueFromIndices32 is cliqueFromIndices for the sparse enumerator's
+// index type.
+func cliqueFromIndices32(links []topology.Link, r []int32) *Clique {
+	ls := make([]topology.Link, len(r))
+	for i, idx := range r {
+		ls[i] = links[idx]
+	}
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].From != ls[j].From {
+			return ls[i].From < ls[j].From
+		}
+		return ls[i].To < ls[j].To
+	})
+	return &Clique{Links: ls}
 }
 
 // cliqueFromIndices materializes a clique from vertex indices into the

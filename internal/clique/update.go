@@ -7,6 +7,7 @@ package clique
 
 import (
 	"fmt"
+	"sort"
 
 	"gmp/internal/topology"
 )
@@ -40,19 +41,20 @@ func Update(topo *topology.Topology, old *Set, moved []topology.NodeID) *Set {
 	moverLink := func(l topology.Link) bool { return isMover[l.From] || isMover[l.To] }
 
 	// All undirected links of the new topology, in Build's canonical
-	// order (needed for contention neighborhoods and maximality checks).
-	var allLinks []topology.Link
-	for _, l := range topo.Links() {
-		if l.From < l.To {
-			allLinks = append(allLinks, l)
-		}
-	}
+	// order (needed for contention neighborhoods and maximality checks),
+	// plus the sparse per-node incidence used to localize every
+	// contention query below.
+	allLinks := undirectedLinks(topo)
+	incident := incidentLists(topo.NumNodes(), allLinks)
+	mark := make([]bool, len(allLinks))
 
 	// New mover-incident undirected links.
 	var aNew []topology.Link
-	for _, l := range allLinks {
+	var aNewIdx []int32
+	for i, l := range allLinks {
 		if moverLink(l) {
 			aNew = append(aNew, l)
+			aNewIdx = append(aNewIdx, int32(i))
 		}
 	}
 
@@ -99,43 +101,51 @@ func Update(topo *topology.Topology, old *Set, moved []topology.NodeID) *Set {
 		}
 	}
 
-	// Candidate subgraph S = A ∪ N(A) ∪ pool.
-	inS := make(map[topology.Link]bool)
-	for _, a := range aNew {
-		inS[a] = true
+	// Candidate subgraph S = A ∪ N(A) ∪ pool, as indices into allLinks.
+	// N(A) comes from the localized contention neighborhoods — no scan
+	// of the full link table.
+	inS := make([]bool, len(allLinks))
+	for _, ai := range aNewIdx {
+		inS[ai] = true
 	}
-	for _, l := range allLinks {
-		if inS[l] {
-			continue
-		}
-		for _, a := range aNew {
-			if l != a && topo.LinksContend(a, l) {
-				inS[l] = true
-				break
-			}
+	for _, ai := range aNewIdx {
+		for _, j := range contentionNeighbors(topo, allLinks, incident, int(ai), mark) {
+			inS[j] = true
 		}
 	}
 	for l := range pool {
-		inS[l] = true // non-mover links always persist in the new graph
-	}
-	sub := make([]topology.Link, 0, len(inS))
-	for _, l := range allLinks {
-		if inS[l] {
-			sub = append(sub, l)
+		if idx := findLink(allLinks, l); idx >= 0 {
+			inS[idx] = true // non-mover links always persist in the new graph
 		}
+	}
+	var subIdx []int32
+	for i := range allLinks {
+		if inS[i] {
+			subIdx = append(subIdx, int32(i))
+		}
+	}
+	sub := make([]topology.Link, len(subIdx))
+	posInSub := make([]int32, len(allLinks))
+	for i := range posInSub {
+		posInSub[i] = -1
+	}
+	for si, i := range subIdx {
+		sub[si] = allLinks[i]
+		posInSub[i] = int32(si)
 	}
 
-	adj := make([][]bool, len(sub))
-	for i := range adj {
-		adj[i] = make([]bool, len(sub))
-	}
-	for i := 0; i < len(sub); i++ {
-		for j := i + 1; j < len(sub); j++ {
-			if topo.LinksContend(sub[i], sub[j]) {
-				adj[i][j] = true
-				adj[j][i] = true
+	// Sparse contention adjacency restricted to S. Contention
+	// neighborhoods are ascending and subIdx is ascending, so the
+	// remapped rows come out sorted, as the enumerator requires.
+	nbr := make([][]int32, len(sub))
+	for si, i := range subIdx {
+		var row []int32
+		for _, j := range contentionNeighbors(topo, allLinks, incident, int(i), mark) {
+			if sj := posInSub[j]; sj >= 0 {
+				row = append(row, sj)
 			}
 		}
+		nbr[si] = row
 	}
 
 	keptKeys := make(map[string]bool, len(kept))
@@ -149,8 +159,8 @@ func Update(topo *topology.Topology, old *Set, moved []topology.NodeID) *Set {
 	for _, c := range kept {
 		out = append(out, &Clique{Links: c.Links})
 	}
-	for _, r := range maximalCliques(len(sub), adj) {
-		c := cliqueFromIndices(sub, r)
+	for _, r := range maximalCliquesSparse(len(sub), nbr) {
+		c := cliqueFromIndices32(sub, r)
 		hasMover := false
 		for _, l := range c.Links {
 			if moverLink(l) {
@@ -165,7 +175,7 @@ func Update(topo *topology.Topology, old *Set, moved []topology.NodeID) *Set {
 			if keptKeys[linkKey(c.Links)] {
 				continue
 			}
-			if extendable(topo, allLinks, c.Links) {
+			if extendable(topo, allLinks, incident, mark, c.Links) {
 				continue
 			}
 		}
@@ -175,13 +185,17 @@ func Update(topo *topology.Topology, old *Set, moved []topology.NodeID) *Set {
 }
 
 // extendable reports whether some link outside members contends with
-// every member, i.e. the clique is not maximal in the full graph.
-func extendable(topo *topology.Topology, allLinks, members []topology.Link) bool {
+// every member, i.e. the clique is not maximal in the full graph. An
+// extender must contend with members[0] in particular, so only that
+// link's contention neighborhood is searched — not the full link table.
+func extendable(topo *topology.Topology, allLinks []topology.Link, incident [][]int32, mark []bool, members []topology.Link) bool {
 	inC := make(map[topology.Link]bool, len(members))
 	for _, l := range members {
 		inC[l] = true
 	}
-	for _, d := range allLinks {
+	m0 := findLink(allLinks, members[0])
+	for _, j := range contentionNeighbors(topo, allLinks, incident, m0, mark) {
+		d := allLinks[j]
 		if inC[d] {
 			continue
 		}
@@ -197,6 +211,21 @@ func extendable(topo *topology.Topology, allLinks, members []topology.Link) bool
 		}
 	}
 	return false
+}
+
+// findLink returns l's index in the canonically sorted link table, or
+// -1 when absent. O(log L).
+func findLink(links []topology.Link, l topology.Link) int {
+	at := sort.Search(len(links), func(i int) bool {
+		if links[i].From != l.From {
+			return links[i].From > l.From
+		}
+		return links[i].To >= l.To
+	})
+	if at < len(links) && links[at] == l {
+		return at
+	}
+	return -1
 }
 
 // linkKey renders a canonical sorted link list as a map key.

@@ -1,0 +1,160 @@
+package geom
+
+import "math"
+
+// Grid is a uniform spatial hash over an indexed set of points: point i
+// lives in the bucket of the square cell containing it, and range
+// queries inspect only the cells overlapping the query disc instead of
+// every point. With cell edge equal to the query radius a Near call
+// reads the 3×3 cell neighborhood, so candidate counts track local
+// density rather than the population size — the O(N·density) topology
+// construction and incremental updates are built on this.
+//
+// The grid's bounds are fixed at construction from the initial point
+// set. Points moved outside the bounds are clamped to the border cells;
+// clamping is monotone and non-expansive in each coordinate, so the
+// cell-distance bound behind Near still holds and its candidate set
+// stays a superset of the true in-range points (border buckets merely
+// grow, degrading constants, never correctness).
+//
+// A Grid is not safe for concurrent mutation.
+type Grid struct {
+	cell       float64
+	minX, minY float64
+	cols, rows int
+	buckets    [][]int32
+	cellOf     []int32 // point id -> bucket index
+	slotOf     []int32 // point id -> slot within its bucket (swap-remove)
+}
+
+// NewGrid builds a grid over pts with the given cell edge in meters.
+// Callers index points by their position in pts; positions are not
+// retained (Move supplies the new coordinates explicitly). The cell
+// edge must be positive; it is grown as needed to cap the cell count
+// at O(len(pts)), which bounds memory when the bounding box is huge
+// relative to the population.
+func NewGrid(pts []Point, cell float64) *Grid {
+	if cell <= 0 {
+		panic("geom: non-positive grid cell edge")
+	}
+	g := &Grid{cell: cell}
+	if len(pts) > 0 {
+		g.minX, g.minY = pts[0].X, pts[0].Y
+		maxX, maxY := pts[0].X, pts[0].Y
+		for _, p := range pts[1:] {
+			g.minX = math.Min(g.minX, p.X)
+			g.minY = math.Min(g.minY, p.Y)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+		limit := 4*len(pts) + 64
+		for {
+			g.cols = int((maxX-g.minX)/g.cell) + 1
+			g.rows = int((maxY-g.minY)/g.cell) + 1
+			if g.cols*g.rows <= limit {
+				break
+			}
+			g.cell *= 2
+		}
+	} else {
+		g.cols, g.rows = 1, 1
+	}
+	g.buckets = make([][]int32, g.cols*g.rows)
+	g.cellOf = make([]int32, len(pts))
+	g.slotOf = make([]int32, len(pts))
+	// Count first so each bucket is allocated exactly once.
+	counts := make([]int32, len(g.buckets))
+	for i, p := range pts {
+		b := g.bucketIndex(p)
+		g.cellOf[i] = int32(b)
+		counts[b]++
+	}
+	for i := range pts {
+		b := g.cellOf[i]
+		if g.buckets[b] == nil {
+			g.buckets[b] = make([]int32, 0, counts[b])
+		}
+		g.slotOf[i] = int32(len(g.buckets[b]))
+		g.buckets[b] = append(g.buckets[b], int32(i))
+	}
+	return g
+}
+
+// Cell returns the effective cell edge in meters (the requested edge,
+// possibly grown by the construction-time cell-count cap).
+func (g *Grid) Cell() float64 { return g.cell }
+
+// bucketIndex maps a point to its (clamped) bucket.
+func (g *Grid) bucketIndex(p Point) int {
+	cx := int((p.X - g.minX) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	cy := int((p.Y - g.minY) / g.cell)
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Move rebuckets point id at its new position p. O(1) amortized: a
+// swap-remove from the old bucket and an append to the new one; a
+// no-op when the point stays inside its cell.
+func (g *Grid) Move(id int, p Point) {
+	old := g.cellOf[id]
+	nb := int32(g.bucketIndex(p))
+	if nb == old {
+		return
+	}
+	b := g.buckets[old]
+	s := g.slotOf[id]
+	last := int32(len(b) - 1)
+	if s != last {
+		movedID := b[last]
+		b[s] = movedID
+		g.slotOf[movedID] = s
+	}
+	g.buckets[old] = b[:last]
+	g.cellOf[id] = nb
+	g.slotOf[id] = int32(len(g.buckets[nb]))
+	g.buckets[nb] = append(g.buckets[nb], int32(id))
+}
+
+// Near appends to dst the ids of every point bucketed within the cell
+// neighborhood covering the disc of radius r around p, and returns the
+// extended slice. The result is a duplicate-free superset of the points
+// within distance r of p (including p's own id if p is a grid point);
+// callers filter by the exact geometric predicate. Order is
+// unspecified — callers needing determinism sort the result. Reuse dst
+// across calls (dst[:0]) to avoid allocation.
+func (g *Grid) Near(p Point, r float64, dst []int32) []int32 {
+	rr := int(math.Ceil(r / g.cell))
+	// Clamp the query cell exactly as bucketIndex clamps stored points:
+	// the superset guarantee compares clamped coordinates on both sides.
+	b := g.bucketIndex(p)
+	cx, cy := b%g.cols, b/g.cols
+	x0, x1 := clampRange(cx-rr, cx+rr, g.cols)
+	y0, y1 := clampRange(cy-rr, cy+rr, g.rows)
+	for y := y0; y <= y1; y++ {
+		base := y * g.cols
+		for x := x0; x <= x1; x++ {
+			dst = append(dst, g.buckets[base+x]...)
+		}
+	}
+	return dst
+}
+
+// clampRange clips [lo, hi] to [0, n-1].
+func clampRange(lo, hi, n int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	return lo, hi
+}

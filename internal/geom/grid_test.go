@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteNear is the oracle: every point within distance r of p.
+func bruteNear(pts []Point, p Point, r float64) []int {
+	var out []int
+	for i, q := range pts {
+		if WithinRange(p, q, r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// checkSuperset asserts the grid's candidate set covers the oracle and
+// contains no duplicates.
+func checkSuperset(t *testing.T, g *Grid, pts []Point, p Point, r float64) {
+	t.Helper()
+	cand := g.Near(p, r, nil)
+	seen := make(map[int32]bool, len(cand))
+	for _, id := range cand {
+		if seen[id] {
+			t.Fatalf("Near(%v, %v): duplicate candidate %d", p, r, id)
+		}
+		seen[id] = true
+	}
+	for _, id := range bruteNear(pts, p, r) {
+		if !seen[int32(id)] {
+			t.Fatalf("Near(%v, %v): in-range point %d (at %v) missing from candidates", p, r, id, pts[id])
+		}
+	}
+}
+
+func TestGridNearCoversBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(120)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 2000, Y: rng.Float64() * 1500}
+		}
+		cell := 50 + rng.Float64()*400
+		g := NewGrid(pts, cell)
+		for q := 0; q < 20; q++ {
+			p := Point{X: rng.Float64()*2400 - 200, Y: rng.Float64()*1900 - 200}
+			r := rng.Float64() * 600
+			checkSuperset(t, g, pts, p, r)
+		}
+		// Query at every stored point too (the topology build pattern).
+		for _, p := range pts {
+			checkSuperset(t, g, pts, p, cell)
+		}
+	}
+}
+
+func TestGridMoveRebuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 80
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	g := NewGrid(pts, 250)
+	for step := 0; step < 500; step++ {
+		id := rng.Intn(n)
+		// Include far out-of-bounds destinations: clamped border cells
+		// must keep serving these points.
+		pts[id] = Point{X: rng.Float64()*3000 - 1000, Y: rng.Float64()*3000 - 1000}
+		g.Move(id, pts[id])
+		p := Point{X: rng.Float64()*3000 - 1000, Y: rng.Float64()*3000 - 1000}
+		checkSuperset(t, g, pts, p, 250)
+	}
+	// After the churn every id must still be bucketed exactly once.
+	var all []int32
+	all = g.Near(Point{X: 500, Y: 500}, 1e9, all)
+	if len(all) != n {
+		t.Fatalf("after moves: %d ids bucketed, want %d", len(all), n)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, id := range all {
+		if int32(i) != id {
+			t.Fatalf("after moves: bucketed ids %v not a permutation of 0..%d", all, n-1)
+		}
+	}
+}
+
+func TestGridCellCountCap(t *testing.T) {
+	// A tiny cell over a huge bounding box must not allocate a huge
+	// grid: the edge grows until the cell count is O(N).
+	pts := []Point{{0, 0}, {1e6, 1e6}, {5e5, 2e5}}
+	g := NewGrid(pts, 1)
+	if cells := g.cols * g.rows; cells > 4*len(pts)+64 {
+		t.Fatalf("cell count %d exceeds cap", cells)
+	}
+	if g.Cell() <= 1 {
+		t.Fatalf("cell edge %v not grown under the cap", g.Cell())
+	}
+	checkSuperset(t, g, pts, Point{X: 5e5, Y: 2e5}, 1e5)
+}
+
+func TestGridSinglePointAndEmpty(t *testing.T) {
+	g := NewGrid([]Point{{3, 4}}, 250)
+	if got := g.Near(Point{3, 4}, 250, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Near on single-point grid = %v, want [0]", got)
+	}
+	empty := NewGrid(nil, 250)
+	if got := empty.Near(Point{0, 0}, 250, nil); len(got) != 0 {
+		t.Fatalf("Near on empty grid = %v, want empty", got)
+	}
+}

@@ -48,24 +48,32 @@ func BuildGeographicExcluding(topo *topology.Topology, down []bool) (*Table, err
 		}
 	}
 
+	// Per-destination distance memo: each node's distance to dest is
+	// needed once as "self" and once per incident link as a neighbor, so
+	// computing it a single time here drops the geometry work from
+	// O(N·E) to O(N²) calls of geom.Dist. The memo stores geom.Dist
+	// itself, not a squared variant — the strict < comparison below must
+	// break ties exactly as the unmemoized code did.
+	dd := make([]float64, n)
 	for dest := 0; dest < n; dest++ {
 		if isDown(topology.NodeID(dest)) {
 			continue // a crashed destination is unreachable from everywhere
 		}
 		dpos := topo.Position(topology.NodeID(dest))
 		for i := 0; i < n; i++ {
+			dd[i] = geom.Dist(topo.Position(topology.NodeID(i)), dpos)
+		}
+		for i := 0; i < n; i++ {
 			if i == dest || isDown(topology.NodeID(i)) {
 				continue
 			}
-			self := geom.Dist(topo.Position(topology.NodeID(i)), dpos)
 			best := NoRoute
-			bestDist := self
+			bestDist := dd[i]
 			for _, nb := range topo.Neighbors(topology.NodeID(i)) {
 				if isDown(nb) {
 					continue
 				}
-				d := geom.Dist(topo.Position(nb), dpos)
-				if d < bestDist {
+				if d := dd[nb]; d < bestDist {
 					bestDist = d
 					best = nb
 				}

@@ -14,9 +14,24 @@ import (
 const NoRoute topology.NodeID = -1
 
 // Table holds, for every destination, each node's next hop and distance.
+//
+// Eager tables (Build, BuildExcluding, BuildGeographic*) carry every row
+// up front. Lazy tables (BuildLazy, BuildLazyExcluding) materialize a
+// destination's row on first access, so a simulation that routes to a
+// handful of flow destinations pays one BFS per destination actually
+// used instead of one per node — the difference between O(N·(N+E)) and
+// O(F·(N+E)) at city scale.
 type Table struct {
 	next [][]topology.NodeID // [dest][node] -> next hop (NoRoute if none)
 	dist [][]int             // [dest][node] -> hop count (-1 if unreachable)
+
+	// Lazy mode only: the topology rows are computed from, and the
+	// excluded-node set frozen at build time. nil for eager tables.
+	// A lazy Table is not safe for concurrent use, and the topology
+	// must not be mutated while the table is alive — callers with
+	// mobility build eagerly.
+	topo *topology.Topology
+	down []bool
 }
 
 // Build computes minimum-hop routes between all node pairs via one BFS per
@@ -35,54 +50,97 @@ func Build(topo *topology.Topology) *Table {
 // on a topology-change epoch the current down set is excluded and the
 // new table installed on every live node.
 func BuildExcluding(topo *topology.Topology, down []bool) *Table {
-	isDown := func(id topology.NodeID) bool { return down != nil && down[id] }
-	n := topo.NumNodes()
-	t := &Table{
+	t := newTable(topo.NumNodes())
+	for dest := 0; dest < topo.NumNodes(); dest++ {
+		buildRow(topo, down, dest, t)
+	}
+	return t
+}
+
+// BuildLazy returns a table whose per-destination rows are computed on
+// first access. It is interchangeable with Build for read access — every
+// materialized row is byte-identical to the eager one — under two
+// restrictions documented on Table: no concurrent use, and no topology
+// mutation while the table is alive.
+func BuildLazy(topo *topology.Topology) *Table {
+	return BuildLazyExcluding(topo, nil)
+}
+
+// BuildLazyExcluding is BuildExcluding with lazy row materialization.
+// The down set is copied, so later changes by the caller do not leak
+// into rows built afterward.
+func BuildLazyExcluding(topo *topology.Topology, down []bool) *Table {
+	t := newTable(topo.NumNodes())
+	t.topo = topo
+	if down != nil {
+		t.down = append([]bool(nil), down...)
+	}
+	return t
+}
+
+// newTable allocates the row tables with every row unmaterialized.
+func newTable(n int) *Table {
+	return &Table{
 		next: make([][]topology.NodeID, n),
 		dist: make([][]int, n),
 	}
-	for dest := 0; dest < n; dest++ {
-		t.next[dest] = make([]topology.NodeID, n)
-		t.dist[dest] = make([]int, n)
-		for i := range t.next[dest] {
-			t.next[dest][i] = NoRoute
-			t.dist[dest][i] = -1
-		}
-		if isDown(topology.NodeID(dest)) {
-			continue // a crashed destination is unreachable from everywhere
-		}
-		// BFS outward from the destination.
-		t.dist[dest][dest] = 0
-		queue := []topology.NodeID{topology.NodeID(dest)}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, nb := range topo.Neighbors(cur) {
-				if t.dist[dest][nb] == -1 && !isDown(nb) {
-					t.dist[dest][nb] = t.dist[dest][cur] + 1
-					queue = append(queue, nb)
-				}
-			}
-		}
-		// Next hop: the lowest-ID neighbor one step closer to dest.
-		for i := 0; i < n; i++ {
-			if i == dest || t.dist[dest][i] <= 0 {
-				continue
-			}
-			for _, nb := range topo.Neighbors(topology.NodeID(i)) {
-				if !isDown(nb) && t.dist[dest][nb] == t.dist[dest][i]-1 {
-					t.next[dest][i] = nb
-					break // neighbors are sorted ascending
-				}
+}
+
+// buildRow runs the destination-rooted BFS for dest and installs the
+// resulting next-hop and distance rows into t.
+func buildRow(topo *topology.Topology, down []bool, dest int, t *Table) {
+	isDown := func(id topology.NodeID) bool { return down != nil && down[id] }
+	n := topo.NumNodes()
+	next := make([]topology.NodeID, n)
+	dist := make([]int, n)
+	for i := range next {
+		next[i] = NoRoute
+		dist[i] = -1
+	}
+	t.next[dest], t.dist[dest] = next, dist
+	if isDown(topology.NodeID(dest)) {
+		return // a crashed destination is unreachable from everywhere
+	}
+	// BFS outward from the destination.
+	dist[dest] = 0
+	queue := []topology.NodeID{topology.NodeID(dest)}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range topo.Neighbors(cur) {
+			if dist[nb] == -1 && !isDown(nb) {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
 			}
 		}
 	}
-	return t
+	// Next hop: the lowest-ID neighbor one step closer to dest.
+	for i := 0; i < n; i++ {
+		if i == dest || dist[i] <= 0 {
+			continue
+		}
+		for _, nb := range topo.Neighbors(topology.NodeID(i)) {
+			if !isDown(nb) && dist[nb] == dist[i]-1 {
+				next[i] = nb
+				break // neighbors are sorted ascending
+			}
+		}
+	}
+}
+
+// ensure materializes dest's row if the table is lazy and the row has
+// not been built yet. Eager rows are always present, so this is a
+// nil-check on the hot path.
+func (t *Table) ensure(dest topology.NodeID) {
+	if t.next[dest] == nil {
+		buildRow(t.topo, t.down, int(dest), t)
+	}
 }
 
 // NextHop returns the next hop from node `from` toward dest. ok is false
 // when dest is unreachable or from == dest.
 func (t *Table) NextHop(from, dest topology.NodeID) (topology.NodeID, bool) {
+	t.ensure(dest)
 	nh := t.next[dest][from]
 	return nh, nh != NoRoute
 }
@@ -90,6 +148,7 @@ func (t *Table) NextHop(from, dest topology.NodeID) (topology.NodeID, bool) {
 // HopCount returns the number of hops from node to dest, or -1 if
 // unreachable.
 func (t *Table) HopCount(from, dest topology.NodeID) int {
+	t.ensure(dest)
 	return t.dist[dest][from]
 }
 

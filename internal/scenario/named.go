@@ -19,6 +19,7 @@ var builders = map[string]func() (Scenario, error){
 	"cross":         func() (Scenario, error) { return Cross(2, 200) },
 	"star":          func() (Scenario, error) { return Star(4, 200) },
 	"mesh-gateway":  func() (Scenario, error) { return MeshGateway(4, 4, 6, 220, 1) },
+	"city":          func() (Scenario, error) { return City(2000, 8, 24, 220, 1) },
 	"vehicular":     func() (Scenario, error) { return Vehicular(6, 180, 12) },
 	"drones":        func() (Scenario, error) { return DroneSwarm(9, 3, 80) },
 }

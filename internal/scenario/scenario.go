@@ -315,6 +315,66 @@ func MeshGateway(rows, cols, k int, spacing float64, seed int64) (Scenario, erro
 	return out, nil
 }
 
+// City builds a city-scale mesh-ISP deployment: n nodes laid out on a
+// ~square street grid at the given pitch with ±pitch/22 placement
+// jitter (≤ ±10 m at the default 220 m pitch, small enough that under
+// the default radio config every node still links to exactly its 4
+// cardinal neighbors — degree, and with it per-node topology-build
+// work, stays flat as n grows). g of the nodes (seeded-RNG choice) act
+// as wired gateways, and k distinct client nodes each send one
+// unit-weight flow to their geographically nearest gateway, ties
+// toward the lower gateway ID — the converging mesh-ISP workload of
+// §1/§5.1 at the scale the spatial-grid pipeline targets.
+func City(n, g, k int, spacing float64, seed int64) (Scenario, error) {
+	switch {
+	case n < 2:
+		return Scenario{}, fmt.Errorf("scenario: city needs at least 2 nodes, got %d", n)
+	case g < 1 || g >= n:
+		return Scenario{}, fmt.Errorf("scenario: city with %d nodes cannot host %d gateways", n, g)
+	case k < 1 || k > n-g:
+		return Scenario{}, fmt.Errorf("scenario: %d flows but only %d client nodes", k, n-g)
+	case spacing <= 0:
+		return Scenario{}, fmt.Errorf("scenario: non-positive city grid pitch %g", spacing)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	jitter := spacing / 22
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{
+			X: float64(i%cols)*spacing + (rng.Float64()*2-1)*jitter,
+			Y: float64(i/cols)*spacing + (rng.Float64()*2-1)*jitter,
+		}
+	}
+	// Gateways first, then flow sources among the remaining clients,
+	// both from one permutation so the draw order is reproducible.
+	perm := rng.Perm(n)
+	gateways := make([]topology.NodeID, g)
+	for i := 0; i < g; i++ {
+		gateways[i] = topology.NodeID(perm[i])
+	}
+	pairs := make([]pair, 0, k)
+	for _, p := range perm[g : g+k] {
+		src := topology.NodeID(p)
+		best := gateways[0]
+		bestDist := geom.Dist(pos[src], pos[best])
+		for _, gw := range gateways[1:] {
+			if d := geom.Dist(pos[src], pos[gw]); d < bestDist || (d == bestDist && gw < best) {
+				bestDist = d
+				best = gw
+			}
+		}
+		pairs = append(pairs, pair{src: src, dst: best, weight: 1})
+	}
+	return Scenario{
+		Name:        fmt.Sprintf("city-%d-g%d-k%d", n, g, k),
+		Description: fmt.Sprintf("%d-node city mesh at %gm pitch, %d flows to %d gateways", n, spacing, k, g),
+		Positions:   pos,
+		Radio:       topology.DefaultConfig(),
+		Flows:       makeFlows(pairs),
+	}, nil
+}
+
 // ParallelChains builds k disjoint chains of n nodes each, stacked
 // vertically with the given gap, one end-to-end flow per chain. With a
 // gap below the carrier-sense range the chains contend (spatial-reuse

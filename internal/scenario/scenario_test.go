@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gmp/internal/clique"
+	"gmp/internal/geom"
 	"gmp/internal/routing"
 	"gmp/internal/topology"
 )
@@ -334,5 +335,65 @@ func TestStar(t *testing.T) {
 	}
 	if _, err := Star(0, 200); err == nil {
 		t.Error("invalid star accepted")
+	}
+}
+
+func TestCity(t *testing.T) {
+	s, err := City(400, 4, 10, 220, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, _ := validate(t, s)
+	if !topo.Connected() {
+		t.Error("city topology not connected")
+	}
+	if len(s.Flows) != 10 {
+		t.Fatalf("flows = %d, want 10", len(s.Flows))
+	}
+	// The 220 m street pitch with bounded jitter must produce the flat
+	// 4-cardinal-neighbor degree the scaling benchmarks rely on.
+	for i := 0; i < topo.NumNodes(); i++ {
+		if d := len(topo.Neighbors(topology.NodeID(i))); d < 2 || d > 4 {
+			t.Fatalf("node %d degree %d outside [2,4]", i, d)
+		}
+	}
+	// Every flow terminates at its source's nearest gateway, and no
+	// gateway originates a flow.
+	gw := make(map[topology.NodeID]bool)
+	for _, f := range s.Flows {
+		gw[f.Dst] = true
+	}
+	for _, f := range s.Flows {
+		if gw[f.Src] {
+			t.Errorf("flow %d source %d is a gateway", f.ID, f.Src)
+		}
+		sp := s.Positions[f.Src]
+		for d := range gw {
+			if geom.Dist(sp, s.Positions[d]) < geom.Dist(sp, s.Positions[f.Dst]) {
+				t.Errorf("flow %d routed to gateway %d but %d is closer", f.ID, f.Dst, d)
+			}
+		}
+	}
+	// Determinism: same parameters, same scenario.
+	s2, err := City(400, 4, 10, 220, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Positions {
+		if s.Positions[i] != s2.Positions[i] {
+			t.Fatal("city scenario not deterministic for a fixed seed")
+		}
+	}
+	if _, err := City(1, 1, 1, 220, 1); err == nil {
+		t.Error("too-small city accepted")
+	}
+	if _, err := City(10, 10, 1, 220, 1); err == nil {
+		t.Error("all-gateway city accepted")
+	}
+	if _, err := City(10, 2, 9, 220, 1); err == nil {
+		t.Error("over-subscribed city accepted")
+	}
+	if _, err := City(10, 2, 3, 0, 1); err == nil {
+		t.Error("zero-pitch city accepted")
 	}
 }

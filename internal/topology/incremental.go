@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"gmp/internal/geom"
@@ -37,10 +38,13 @@ func (d *Diff) Changed() bool {
 
 // MoveNodes updates the positions of the given nodes in place and
 // incrementally repairs every derived structure — Tx/CS neighbor lists,
-// bitset adjacency, the dense directed-link index, and the two-hop sets —
-// without the O(N²) scan of a from-scratch rebuild. Cost is
-// O(movers·N + N + L + dirty·deg²) where dirty is the set of nodes within
-// two hops of a changed edge.
+// bitset adjacency, the dense directed-link index, the spatial grid,
+// and the two-hop sets — without the O(N²) scan of a from-scratch
+// rebuild. Each mover's neighborhood is recomputed from the grid's
+// O(density) candidate cells, so cost is
+// O(movers·density + N + L + dirty·deg²) where dirty is the set of
+// nodes within two hops of a changed edge (the N + L term is the dense
+// link index regeneration, skipped when no edge changed).
 //
 // newPos[i] is the new position of moved[i]. The moved list must name
 // valid nodes with no duplicates. From-scratch construction via New
@@ -89,22 +93,46 @@ func (t *Topology) MoveNodes(moved []NodeID, newPos []geom.Point) (*Diff, error)
 	}
 	for i, m := range moved {
 		t.pos[m] = newPos[i]
+		if t.grid != nil {
+			t.grid.Move(int(m), newPos[i])
+		}
 	}
 
-	// Recompute each mover's neighbor lists by one O(N) scan.
+	// Recompute each mover's neighbor lists. With a grid (every topology
+	// built by New) the candidates come from the CSRange-sized cells
+	// around the mover's new position — O(density) per mover; all grid
+	// buckets were brought current above, so mover–mover edges resolve
+	// against new positions on both sides, exactly as the scan does.
+	// Grid-less topologies (the brute-force oracle path) fall back to
+	// one O(N) scan per mover.
 	newTx := make([][]NodeID, len(diff.Moved))
 	newCS := make([][]NodeID, len(diff.Moved))
+	var buf []int32
 	for i, m := range diff.Moved {
 		var tx, cs []NodeID
-		for j := 0; j < n; j++ {
-			if NodeID(j) == m {
-				continue
+		scan := func(j NodeID) {
+			if j == m {
+				return
 			}
 			if geom.WithinRange(t.pos[m], t.pos[j], t.cfg.TxRange) {
-				tx = append(tx, NodeID(j))
+				tx = append(tx, j)
 			}
 			if !sameRange && geom.WithinRange(t.pos[m], t.pos[j], t.cfg.CSRange) {
-				cs = append(cs, NodeID(j))
+				cs = append(cs, j)
+			}
+		}
+		if t.grid != nil {
+			buf = t.grid.Near(t.pos[m], t.cfg.CSRange, buf[:0])
+			for _, jj := range buf {
+				scan(NodeID(jj))
+			}
+			// The grid returns candidates in bucket order; sort the
+			// filtered lists into the ascending order the scan yields.
+			slices.Sort(tx)
+			slices.Sort(cs)
+		} else {
+			for j := 0; j < n; j++ {
+				scan(NodeID(j))
 			}
 		}
 		newTx[i] = tx
@@ -215,20 +243,20 @@ func (t *Topology) MoveNodes(moved []NodeID, newPos []geom.Point) (*Diff, error)
 				dirtyList = append(dirtyList, v)
 			}
 		}
-		seen := make([]bool, n)
+		scratch := make([]uint64, (n+63)/64)
 		for i, m := range diff.Moved {
 			mark(m)
 			for _, v := range oldTwo[i] {
 				mark(v)
 			}
-			t.twoHop[m] = t.computeTwoHop(m, seen)
+			t.twoHop[m] = t.computeTwoHop(m, scratch)
 			for _, v := range t.twoHop[m] {
 				mark(v)
 			}
 		}
 		for _, v := range dirtyList {
 			if !isMover[v] {
-				t.twoHop[v] = t.computeTwoHop(v, seen)
+				t.twoHop[v] = t.computeTwoHop(v, scratch)
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -126,18 +128,27 @@ func linkSetDiff(oldLinks, newLinks []Link) (added, removed []Link) {
 // positions — neighbor lists, bitsets, two-hop sets, link index, and the
 // reported link diff all compared.
 func TestIncrementalMatchesRebuild(t *testing.T) {
-	const (
-		steps = 120
-		w, h  = 1200, 1200
-	)
-	configs := []Config{
-		{TxRange: 250, CSRange: 250}, // CS structures alias the Tx ones
-		{TxRange: 250, CSRange: 450}, // distinct CS structures
+	cases := []struct {
+		cfg         Config
+		seeds       int64
+		steps       int
+		minN, spanN int
+		w, h        float64
+	}{
+		// CS structures alias the Tx ones / distinct CS structures.
+		{Config{TxRange: 250, CSRange: 250}, 5, 120, 25, 21, 1200, 1200},
+		{Config{TxRange: 250, CSRange: 450}, 5, 120, 25, 21, 1200, 1200},
+		// Large-N: the grid-backed mover recomputation at a scale where
+		// the old O(movers·N) scan would dominate. Fewer steps keep the
+		// per-step O(N²-ish) oracle rebuild affordable.
+		{Config{TxRange: 250, CSRange: 250}, 1, 20, 700, 1, 9000, 9000},
+		{Config{TxRange: 250, CSRange: 400}, 1, 20, 700, 1, 9000, 9000},
 	}
-	for _, cfg := range configs {
-		for seed := int64(1); seed <= 5; seed++ {
+	for _, tc := range cases {
+		cfg, steps, w, h := tc.cfg, tc.steps, tc.w, tc.h
+		for seed := int64(1); seed <= tc.seeds; seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			n := 25 + rng.Intn(21)
+			n := tc.minN + rng.Intn(tc.spanN)
 			pos := randomPositions(rng, n, w, h)
 			inc := MustNew(pos, cfg)
 			for step := 0; step < steps; step++ {
@@ -186,39 +197,55 @@ func TestMoveNodesRejectsBadInput(t *testing.T) {
 	}
 }
 
-// BenchmarkIncrementalUpdate measures MoveNodes with a handful of movers
-// at N=200 against the from-scratch rebuild it replaces (the ISSUE 6
-// target is ≥5x). The movers oscillate by a fixed offset so every
-// iteration does comparable link-churn work.
+// benchSide scales the field so node density stays constant as N grows
+// (the 3000×3000 field of the original N=200 benchmark).
+func benchSide(n int) float64 { return 3000 * math.Sqrt(float64(n)/200) }
+
+// BenchmarkIncrementalUpdate measures MoveNodes with four movers at
+// constant density from N=200 (the original ISSUE 6 shape, ≥5x over a
+// rebuild) up to city scale, where the grid keeps the per-epoch cost
+// flat. The movers oscillate by a fixed offset so every iteration does
+// comparable link-churn work.
 func BenchmarkIncrementalUpdate(b *testing.B) {
-	rng := rand.New(rand.NewSource(7))
-	pos := randomPositions(rng, 200, 3000, 3000)
-	topo := MustNew(pos, DefaultConfig())
-	moved := []NodeID{11, 73, 140, 199}
-	dir := 1.0
-	np := make([]geom.Point, len(moved))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for j, m := range moved {
-			p := topo.Position(m)
-			np[j] = geom.Point{X: p.X + dir*180, Y: p.Y - dir*120}
-		}
-		if _, err := topo.MoveNodes(moved, np); err != nil {
-			b.Fatal(err)
-		}
-		dir = -dir
+	for _, n := range []int{200, 1000, 5000, 10000} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			side := benchSide(n)
+			pos := randomPositions(rng, n, side, side)
+			topo := MustNew(pos, DefaultConfig())
+			moved := []NodeID{NodeID(11), NodeID(n / 3), NodeID(2 * n / 3), NodeID(n - 1)}
+			dir := 1.0
+			np := make([]geom.Point, len(moved))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, m := range moved {
+					p := topo.Position(m)
+					np[j] = geom.Point{X: p.X + dir*180, Y: p.Y - dir*120}
+				}
+				if _, err := topo.MoveNodes(moved, np); err != nil {
+					b.Fatal(err)
+				}
+				dir = -dir
+			}
+		})
 	}
 }
 
-// BenchmarkFullRebuild is the O(N²) baseline BenchmarkIncrementalUpdate
-// is compared against.
+// BenchmarkFullRebuild is the from-scratch baseline
+// BenchmarkIncrementalUpdate is compared against (grid-backed New; the
+// all-pairs scan's own baseline lives in BenchmarkTopologyBuild).
 func BenchmarkFullRebuild(b *testing.B) {
-	rng := rand.New(rand.NewSource(7))
-	pos := randomPositions(rng, 200, 3000, 3000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := New(pos, DefaultConfig()); err != nil {
-			b.Fatal(err)
-		}
+	for _, n := range []int{200, 1000, 5000, 10000} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			side := benchSide(n)
+			pos := randomPositions(rng, n, side, side)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := New(pos, DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -14,6 +14,8 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
 
 	"gmp/internal/geom"
@@ -106,6 +108,13 @@ type Topology struct {
 	// linkBase[n]+k.
 	links    []Link // all directed links in index order (shared)
 	linkBase []int
+
+	// grid buckets node positions by CSRange-sized cells so neighbor
+	// recomputation inspects O(density) candidates instead of all N
+	// nodes. MoveNodes keeps it current. Nil on brute-force-built
+	// topologies (the differential oracle path), which fall back to
+	// full scans.
+	grid *geom.Grid
 }
 
 // ErrNoNodes is returned when constructing a topology with no nodes.
@@ -113,7 +122,26 @@ var ErrNoNodes = errors.New("topology: no nodes")
 
 // New builds a topology from node positions. Node i is located at
 // positions[i]. The position slice is copied.
+//
+// Adjacency is derived from a spatial grid over the positions (cell
+// edge = CSRange), so construction costs O(N·density) rather than the
+// all-pairs O(N²). The output is identical to the brute-force scan —
+// the same geometric predicate decides membership and per-node lists
+// are emitted in ascending ID order — which newBruteForce pins as the
+// differential oracle (TestGridMatchesBruteForce).
 func New(positions []geom.Point, cfg Config) (*Topology, error) {
+	return build(positions, cfg, true)
+}
+
+// newBruteForce is New with the original O(N²) all-pairs scan instead
+// of the grid. It is retained as the differential oracle for the grid
+// path; the resulting topology carries no grid and MoveNodes on it
+// falls back to full scans.
+func newBruteForce(positions []geom.Point, cfg Config) (*Topology, error) {
+	return build(positions, cfg, false)
+}
+
+func build(positions []geom.Point, cfg Config, useGrid bool) (*Topology, error) {
 	if len(positions) == 0 {
 		return nil, ErrNoNodes
 	}
@@ -145,18 +173,57 @@ func New(positions []geom.Point, cfg Config) (*Topology, error) {
 		t.csNeighbors = make([][]NodeID, n)
 		t.csAdj = newBitset(n, n)
 	}
-	for i := range positions {
-		for j := range positions {
-			if i == j {
-				continue
+	if useGrid {
+		// One grid query per node yields the O(density) candidates
+		// within CSRange (⊇ TxRange). The filtered lists are sorted
+		// afterwards (cheaper than sorting the raw candidates), landing
+		// on the same ascending order the all-pairs scan produces.
+		t.grid = geom.NewGrid(positions, cfg.CSRange)
+		buf := make([]int32, 0, 64)
+		var txScratch, csScratch []NodeID
+		for i := range positions {
+			pi := positions[i]
+			buf = t.grid.Near(pi, cfg.CSRange, buf[:0])
+			txScratch, csScratch = txScratch[:0], csScratch[:0]
+			for _, jj := range buf {
+				j := int(jj)
+				if j == i {
+					continue
+				}
+				if geom.WithinRange(pi, positions[j], cfg.TxRange) {
+					txScratch = append(txScratch, NodeID(j))
+				}
+				if !sameRange && geom.WithinRange(pi, positions[j], cfg.CSRange) {
+					csScratch = append(csScratch, NodeID(j))
+				}
 			}
-			if geom.WithinRange(positions[i], positions[j], cfg.TxRange) {
-				t.neighbors[i] = append(t.neighbors[i], NodeID(j))
-				t.txAdj.set(i, j)
+			slices.Sort(txScratch)
+			t.neighbors[i] = copyIDs(txScratch)
+			for _, j := range txScratch {
+				t.txAdj.set(i, int(j))
 			}
-			if !sameRange && geom.WithinRange(positions[i], positions[j], cfg.CSRange) {
-				t.csNeighbors[i] = append(t.csNeighbors[i], NodeID(j))
-				t.csAdj.set(i, j)
+			if !sameRange {
+				slices.Sort(csScratch)
+				t.csNeighbors[i] = copyIDs(csScratch)
+				for _, j := range csScratch {
+					t.csAdj.set(i, int(j))
+				}
+			}
+		}
+	} else {
+		for i := range positions {
+			for j := range positions {
+				if i == j {
+					continue
+				}
+				if geom.WithinRange(positions[i], positions[j], cfg.TxRange) {
+					t.neighbors[i] = append(t.neighbors[i], NodeID(j))
+					t.txAdj.set(i, j)
+				}
+				if !sameRange && geom.WithinRange(positions[i], positions[j], cfg.CSRange) {
+					t.csNeighbors[i] = append(t.csNeighbors[i], NodeID(j))
+					t.csAdj.set(i, j)
+				}
 			}
 		}
 	}
@@ -178,35 +245,81 @@ func New(positions []geom.Point, cfg Config) (*Topology, error) {
 
 	// Two-hop neighborhoods (the dissemination scope, §6.2 step 2).
 	t.twoHop = make([][]NodeID, n)
-	seen := make([]bool, n)
+	scratch := make([]uint64, (n+63)/64)
 	for v := range t.twoHop {
-		t.twoHop[v] = t.computeTwoHop(NodeID(v), seen)
+		t.twoHop[v] = t.computeTwoHop(NodeID(v), scratch)
 	}
 	return t, nil
 }
 
-// computeTwoHop builds node v's one-and-two-hop neighborhood from the
-// current neighbor lists. seen is an all-false scratch slice of length
-// NumNodes; it is restored to all-false before returning.
-func (t *Topology) computeTwoHop(v NodeID, seen []bool) []NodeID {
-	var touched []NodeID
-	for _, m := range t.neighbors[v] {
-		if !seen[m] {
-			seen[m] = true
-			touched = append(touched, m)
-		}
-		for _, k := range t.neighbors[m] {
-			if k != v && !seen[k] {
-				seen[k] = true
-				touched = append(touched, k)
+// computeTwoHop builds node v's one-and-two-hop neighborhood as the
+// union of the tx-bitset rows of v and v's neighbors (a neighbor's row
+// is exactly its one-hop set), so it must run after the adjacency is
+// fully built. scratch is an all-zero bitmap of at least
+// ceil(NumNodes/64) words; it is restored to all-zero before returning.
+// Work is confined to the word window spanned by the participating
+// neighbor lists — when node IDs correlate with position (gridded city
+// meshes) that window is a handful of words regardless of N — and
+// emitting from the bitmap in word order yields the ascending output
+// the rest of the package relies on, with no sort.
+func (t *Topology) computeTwoHop(v NodeID, scratch []uint64) []NodeID {
+	nv := t.neighbors[v]
+	if len(nv) == 0 {
+		return nil
+	}
+	// The union's support is bounded by the extrema of the sorted
+	// neighbor lists being OR'd in.
+	lo, hi := int(nv[0]), int(nv[len(nv)-1])
+	for _, m := range nv {
+		if nm := t.neighbors[m]; len(nm) > 0 {
+			if int(nm[0]) < lo {
+				lo = int(nm[0])
+			}
+			if int(nm[len(nm)-1]) > hi {
+				hi = int(nm[len(nm)-1])
 			}
 		}
 	}
-	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
-	for _, m := range touched {
-		seen[m] = false
+	w0, w1 := lo>>6, hi>>6
+	stride := t.txAdj.stride
+	window := scratch[w0 : w1+1]
+	copy(window, t.txAdj.words[int(v)*stride+w0:int(v)*stride+w1+1])
+	for _, m := range nv {
+		row := t.txAdj.words[int(m)*stride+w0 : int(m)*stride+w1+1]
+		for wi, w := range row {
+			window[wi] |= w
+		}
 	}
-	return touched
+	// v itself is a neighbor of each of its neighbors: drop it.
+	scratch[int(v)>>6] &^= 1 << (uint(v) & 63)
+	count := 0
+	for _, w := range window {
+		count += bits.OnesCount64(w)
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, count)
+	for wi := w0; wi <= w1; wi++ {
+		word := scratch[wi]
+		for word != 0 {
+			out = append(out, NodeID(wi<<6+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+		scratch[wi] = 0
+	}
+	return out
+}
+
+// copyIDs returns an exact-size copy of ids, nil when empty (neighbor
+// lists leave empty entries nil throughout the package).
+func copyIDs(ids []NodeID) []NodeID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]NodeID, len(ids))
+	copy(out, ids)
+	return out
 }
 
 // MustNew is New for static scenario tables; it panics on error.

@@ -60,6 +60,13 @@ func MeshGatewayScenario(rows, cols, k int, spacingMeters float64, seed int64) (
 	return scenario.MeshGateway(rows, cols, k, spacingMeters, seed)
 }
 
+// CityScenario returns an n-node city-scale mesh at the given street
+// pitch with g gateways and k client flows, each routed to its nearest
+// gateway — the scaling workload for the spatial-grid topology pipeline.
+func CityScenario(n, g, k int, spacingMeters float64, seed int64) (Scenario, error) {
+	return scenario.City(n, g, k, spacingMeters, seed)
+}
+
 // RandomScenario returns n nodes placed uniformly (re-sampled until
 // connected) with k random flows.
 func RandomScenario(n, k int, width, height float64, seed int64) (Scenario, error) {
