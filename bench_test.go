@@ -539,6 +539,42 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkSpanOverhead measures the causal-tracing layer's cost on the
+// same Fig. 4 802.11 workload: spans off (the nil-hook baseline — must
+// stay within noise of BenchmarkSimulatorThroughput) and spans on at the
+// default 1-in-64 sampling stride (bounds what -span costs a user).
+func BenchmarkSpanOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		scfg *SpanConfig
+	}{
+		{"off", nil},
+		{"on", &SpanConfig{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{
+				Scenario: Fig4Scenario(),
+				Protocol: Protocol80211,
+				Duration: 20 * time.Second,
+				Warmup:   10 * time.Second,
+				Spans:    mode.scfg,
+			}
+			var tx int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tx += res.Channel.Transmissions
+			}
+			b.ReportMetric(float64(tx)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}
+
 // BenchmarkScaling measures how the per-frame simulation cost grows with
 // network size on random connected topologies of constant density (~10
 // expected neighbors per node) and on city-regime street grids (4

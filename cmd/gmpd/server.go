@@ -65,6 +65,14 @@ type jobRequest struct {
 	Workers      int             `json:"workers,omitempty"`
 	DisableRTS   bool            `json:"disable_rts,omitempty"`
 	LossProb     float64         `json:"loss_prob,omitempty"`
+	// Spans records causal span traces for the sweep's first seed and
+	// streams them on /v1/jobs/{id}/spans. SpanSample is the sampling
+	// stride (0 = default). Neither field enters the cache key: spans
+	// observe a run without changing its results, but requesting them
+	// forces the first seed to simulate even on a cache hit, since the
+	// cache stores condensed records without traces.
+	Spans      bool `json:"spans,omitempty"`
+	SpanSample int  `json:"span_sample,omitempty"`
 }
 
 // canonicalSpec is the normalized, defaults-applied run spec that
@@ -151,14 +159,16 @@ type runMetrics struct {
 // tracks: cache keys, progress counters, the accumulated telemetry
 // stream, and the final result document.
 type jobState struct {
-	id        string
-	scenario  gmp.Scenario
-	spec      canonicalSpec
-	protocol  gmp.Protocol
-	seeds     int
-	workers   int
-	keys      []resultcache.Key
-	submitted time.Time
+	id         string
+	scenario   gmp.Scenario
+	spec       canonicalSpec
+	protocol   gmp.Protocol
+	seeds      int
+	workers    int
+	spans      bool
+	spanSample int
+	keys       []resultcache.Key
+	submitted  time.Time
 
 	mu        sync.Mutex
 	runsDone  int // runs accounted for (cache or simulation)
@@ -168,6 +178,10 @@ type jobState struct {
 
 	stream     bytes.Buffer // telemetry JSONL emitted so far
 	streamDone bool
+	// spanStream is the span JSONL from the first seed (spans jobs only);
+	// it shares the changed channel so followers of either stream wake.
+	spanStream bytes.Buffer
+	spanDone   bool
 	changed    chan struct{} // replaced (and closed) on every append
 }
 
@@ -198,6 +212,26 @@ func (st *jobState) closeStream() {
 	}
 }
 
+// appendSpans adds span JSONL to the span stream and wakes followers.
+func (st *jobState) appendSpans(p []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.spanDone {
+		return
+	}
+	st.spanStream.Write(p)
+	st.bumpLocked()
+}
+
+func (st *jobState) closeSpanStream() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.spanDone {
+		st.spanDone = true
+		st.bumpLocked()
+	}
+}
+
 type server struct {
 	queue  *jobs.Queue
 	cache  *resultcache.Cache
@@ -210,6 +244,11 @@ type server struct {
 	topoBuilds      atomic.Int64
 	topoBuildNS     atomic.Int64
 	topoBuildLastNS atomic.Int64
+
+	// Span-tracing telemetry: jobs that requested causal traces and the
+	// span JSONL bytes recorded across all of them.
+	spanJobs  atomic.Int64
+	spanBytes atomic.Int64
 
 	mu     sync.Mutex
 	states map[string]*jobState
@@ -251,6 +290,7 @@ func (s *server) handler(enablePprof bool) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -334,13 +374,21 @@ func (s *server) buildJob(req *jobRequest) (*jobState, error) {
 	s.topoBuildNS.Add(buildNS)
 	s.topoBuildLastNS.Store(buildNS)
 
+	if req.SpanSample < 0 {
+		return nil, fmt.Errorf("span_sample %d must be >= 0", req.SpanSample)
+	}
+	if req.SpanSample > 0 && !req.Spans {
+		return nil, fmt.Errorf("span_sample requires spans")
+	}
 	st := &jobState{
-		scenario: sc,
-		spec:     spec,
-		protocol: proto,
-		seeds:    seeds,
-		workers:  req.Workers,
-		changed:  make(chan struct{}),
+		scenario:   sc,
+		spec:       spec,
+		protocol:   proto,
+		seeds:      seeds,
+		workers:    req.Workers,
+		spans:      req.Spans,
+		spanSample: req.SpanSample,
+		changed:    make(chan struct{}),
 	}
 	st.keys, err = jobKeys(sc, spec, seeds)
 	return st, err
@@ -400,6 +448,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, "%v", err)
 		return
 	}
+	if st.spans {
+		s.spanJobs.Add(1)
+	}
 	s.writeStatus(w, http.StatusAccepted, st)
 }
 
@@ -408,6 +459,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // as they become available, and store the aggregated result document.
 func (s *server) runJob(ctx context.Context, st *jobState) error {
 	defer st.closeStream()
+	defer st.closeSpanStream()
 
 	sw := obs.NewStreamWriter(st)
 	if err := sw.WriteMeta(obs.Meta{
@@ -424,14 +476,18 @@ func (s *server) runJob(ctx context.Context, st *jobState) error {
 	var missing []int
 	hits := 0
 	for i := range records {
-		if data, ok := s.cache.Get(st.keys[i]); ok {
-			var rec runRecord
-			if err := json.Unmarshal(data, &rec); err == nil {
-				records[i] = &rec
-				hits++
-				continue
+		// A spans job must really simulate its first seed: cached records
+		// are condensed results without the causal trace.
+		if !(st.spans && i == 0) {
+			if data, ok := s.cache.Get(st.keys[i]); ok {
+				var rec runRecord
+				if err := json.Unmarshal(data, &rec); err == nil {
+					records[i] = &rec
+					hits++
+					continue
+				}
+				// A corrupt cache entry degrades to a miss.
 			}
-			// A corrupt cache entry degrades to a miss.
 		}
 		missing = append(missing, i)
 	}
@@ -477,11 +533,22 @@ func (s *server) runJob(ctx context.Context, st *jobState) error {
 		for j, idx := range missing {
 			cfgs[j] = base
 			cfgs[j].Seed = int64(idx + 1)
+			if st.spans && idx == 0 {
+				cfgs[j].Spans = &gmp.SpanConfig{SampleEvery: st.spanSample}
+			}
 		}
 		_, err := gmp.RunMany(ctx, cfgs, gmp.RunManyOptions{
 			Workers: st.workers,
 			OnResult: func(j int, res *gmp.Result) {
 				idx := missing[j]
+				if res.Spans != nil {
+					var sb bytes.Buffer
+					if werr := res.Spans.WriteJSONL(&sb); werr == nil {
+						st.appendSpans(sb.Bytes())
+						s.spanBytes.Add(int64(sb.Len()))
+					}
+					st.closeSpanStream()
+				}
 				rec := recordFromResult(int64(idx+1), res)
 				if data, merr := json.Marshal(rec); merr == nil {
 					s.cache.Put(st.keys[idx], data)
@@ -649,6 +716,49 @@ func (s *server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSpans streams the job's span JSONL (the first seed's causal
+// trace), following a running job until the trace is complete — the
+// same tail-f semantics as the telemetry stream. The body validates
+// under the span schema once complete.
+func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	st, _, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !st.spans {
+		httpError(w, http.StatusNotFound, "job %s did not request spans (submit with \"spans\": true)", st.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	offset := 0
+	for {
+		st.mu.Lock()
+		buf := st.spanStream.Bytes()
+		done := st.spanDone
+		ch := st.changed
+		st.mu.Unlock()
+		if offset < len(buf) {
+			if _, err := w.Write(buf[offset:]); err != nil {
+				return
+			}
+			offset = len(buf)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if done {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, j, ok := s.lookup(r)
 	if !ok {
@@ -662,25 +772,52 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	s.writeStatus(w, http.StatusAccepted, st)
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+// metricFamily is one /metrics family in the Prometheus text exposition
+// format: a HELP line, a TYPE line (counter or gauge), and one sample.
+type metricFamily struct {
+	name  string
+	help  string
+	typ   string // "counter" | "gauge"
+	value int64
+}
+
+// metricFamilies snapshots every exported metric. Monotonic totals are
+// counters; instantaneous levels (queue depth, running jobs, resident
+// cache entries, last build time) are gauges.
+func (s *server) metricFamilies() []metricFamily {
 	js := s.queue.Stats()
 	cs := s.cache.Stats()
-	fmt.Fprintf(w, "gmpd_jobs_submitted %d\n", js.Submitted)
-	fmt.Fprintf(w, "gmpd_jobs_done %d\n", js.Done)
-	fmt.Fprintf(w, "gmpd_jobs_failed %d\n", js.Failed)
-	fmt.Fprintf(w, "gmpd_jobs_cancelled %d\n", js.Cancelled)
-	fmt.Fprintf(w, "gmpd_jobs_queued %d\n", js.Depth)
-	fmt.Fprintf(w, "gmpd_jobs_running %d\n", js.Running)
-	fmt.Fprintf(w, "gmpd_cache_hits %d\n", cs.Hits)
-	fmt.Fprintf(w, "gmpd_cache_misses %d\n", cs.Misses)
-	fmt.Fprintf(w, "gmpd_cache_disk_hits %d\n", cs.DiskHits)
-	fmt.Fprintf(w, "gmpd_cache_puts %d\n", cs.Puts)
-	fmt.Fprintf(w, "gmpd_cache_evictions %d\n", cs.Evictions)
-	fmt.Fprintf(w, "gmpd_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "gmpd_topology_builds %d\n", s.topoBuilds.Load())
-	fmt.Fprintf(w, "gmpd_topology_build_ns_total %d\n", s.topoBuildNS.Load())
-	fmt.Fprintf(w, "gmpd_topology_build_ns_last %d\n", s.topoBuildLastNS.Load())
+	return []metricFamily{
+		{"gmpd_jobs_submitted", "Sweep jobs accepted since process start.", "counter", js.Submitted},
+		{"gmpd_jobs_done", "Jobs that completed successfully.", "counter", js.Done},
+		{"gmpd_jobs_failed", "Jobs that ended in an error.", "counter", js.Failed},
+		{"gmpd_jobs_cancelled", "Jobs cancelled before completion.", "counter", js.Cancelled},
+		{"gmpd_jobs_queued", "Jobs waiting for a worker right now.", "gauge", int64(js.Depth)},
+		{"gmpd_jobs_running", "Jobs executing right now.", "gauge", int64(js.Running)},
+		{"gmpd_cache_hits", "Result-cache memory hits.", "counter", cs.Hits},
+		{"gmpd_cache_misses", "Result-cache misses.", "counter", cs.Misses},
+		{"gmpd_cache_disk_hits", "Result-cache hits served from the disk tier.", "counter", cs.DiskHits},
+		{"gmpd_cache_puts", "Result-cache insertions.", "counter", cs.Puts},
+		{"gmpd_cache_evictions", "Result-cache entries evicted by the memory bound.", "counter", cs.Evictions},
+		{"gmpd_cache_entries", "Result-cache entries resident in memory.", "gauge", int64(cs.Entries)},
+		{"gmpd_topology_builds", "Scenario topology builds performed at job admission.", "counter", s.topoBuilds.Load()},
+		{"gmpd_topology_build_ns_total", "Cumulative topology build time in nanoseconds.", "counter", s.topoBuildNS.Load()},
+		{"gmpd_topology_build_ns_last", "Duration of the most recent topology build in nanoseconds.", "gauge", s.topoBuildLastNS.Load()},
+		{"gmpd_span_jobs", "Jobs that requested causal span tracing.", "counter", s.spanJobs.Load()},
+		{"gmpd_span_bytes_recorded", "Span JSONL bytes recorded across all jobs.", "counter", s.spanBytes.Load()},
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition format (text/plain
+// version 0.0.4): every family carries # HELP and # TYPE annotations so
+// a scrape ingests without relabeling.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, m := range s.metricFamilies() {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
+	}
 }
 
 // parseProtocol accepts cmd/gmpsim's protocol names and returns the

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gmp/internal/obs"
+	"gmp/internal/span"
 )
 
 func newTestServer(t *testing.T, workers int) (*server, *httptest.Server) {
@@ -342,6 +343,146 @@ func TestHealthAndMetrics(t *testing.T) {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
+	}
+}
+
+// TestSpansEndpoint covers the causal-trace stream: a spans job streams
+// schema-valid span JSONL with tail-follow semantics, forces its first
+// seed to simulate even when cached, and leaves results byte-identical
+// to the spans-off document. Jobs without spans 404 on the endpoint.
+func TestSpansEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+
+	// Prime the cache with a spans-off sweep.
+	plain := submit(t, ts, `{"scenario_name":"fig3","duration_s":4,"warmup_s":2,"seeds":2}`)
+	if st := waitTerminal(t, ts, plain.ID); st.Status != "done" {
+		t.Fatalf("plain job: %+v", st)
+	}
+	plainDoc := getResult(t, ts, plain.ID)
+
+	// No spans requested → the endpoint refuses.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("spans of a spans-less job: %d, want 404", resp.StatusCode)
+	}
+
+	// Same sweep with spans: seed 1 must re-simulate (the cache has no
+	// trace), seed 2 still hits. Follow the stream from submission.
+	withSpans := submit(t, ts, `{"scenario_name":"fig3","duration_s":4,"warmup_s":2,"seeds":2,"spans":true,"span_sample":8}`)
+	streamed := make(chan []byte, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + withSpans.ID + "/spans")
+		if err != nil {
+			streamed <- nil
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		streamed <- raw
+	}()
+	st := waitTerminal(t, ts, withSpans.ID)
+	if st.Status != "done" {
+		t.Fatalf("spans job: %+v", st)
+	}
+	if st.SimsExecuted != 1 || st.CacheHits != 1 {
+		t.Fatalf("spans job must force-simulate exactly the first seed: %+v", st)
+	}
+	if doc := getResult(t, ts, withSpans.ID); !bytes.Equal(plainDoc, doc) {
+		t.Fatal("enabling spans changed the result document")
+	}
+
+	raw := <-streamed
+	if raw == nil {
+		t.Fatal("span stream failed")
+	}
+	counts, err := span.ValidateJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("streamed spans invalid: %v", err)
+	}
+	if counts["meta"] != 1 || counts["span"] == 0 {
+		t.Fatalf("span stream counts: %v", counts)
+	}
+
+	// Invalid span requests are refused at submission.
+	for name, body := range map[string]string{
+		"negative stride":  `{"scenario_name":"fig3","spans":true,"span_sample":-1}`,
+		"stride sans span": `{"scenario_name":"fig3","span_sample":8}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsPrometheusConformance pins the /metrics exposition format:
+// every family carries # HELP and # TYPE annotations with a legal type,
+// in order, and the sample values equal the server's own counters.
+func TestMetricsPrometheusConformance(t *testing.T) {
+	s, ts := newTestServer(t, 1)
+	st := submit(t, ts, `{"scenario_name":"fig3","duration_s":4,"warmup_s":2,"spans":true}`)
+	waitTerminal(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines)%3 != 0 {
+		t.Fatalf("exposition is not HELP/TYPE/sample triplets (%d lines):\n%s", len(lines), body)
+	}
+	got := make(map[string]int64)
+	for i := 0; i < len(lines); i += 3 {
+		var helpName, typeName, typ string
+		if _, err := fmt.Sscanf(lines[i], "# HELP %s", &helpName); err != nil {
+			t.Fatalf("line %d is not a HELP line: %q", i, lines[i])
+		}
+		if _, err := fmt.Sscanf(lines[i+1], "# TYPE %s %s", &typeName, &typ); err != nil {
+			t.Fatalf("line %d is not a TYPE line: %q", i+1, lines[i+1])
+		}
+		if typ != "counter" && typ != "gauge" {
+			t.Fatalf("%s has illegal type %q", typeName, typ)
+		}
+		var sampleName string
+		var value int64
+		if _, err := fmt.Sscanf(lines[i+2], "%s %d", &sampleName, &value); err != nil {
+			t.Fatalf("line %d is not a sample: %q", i+2, lines[i+2])
+		}
+		if helpName != typeName || typeName != sampleName {
+			t.Fatalf("family name mismatch: HELP %q TYPE %q sample %q", helpName, typeName, sampleName)
+		}
+		got[sampleName] = value
+	}
+	// The scraped values must match the server's own snapshot (counters
+	// that cannot move between scrape and snapshot in this quiesced test).
+	for _, m := range s.metricFamilies() {
+		v, ok := got[m.name]
+		if !ok {
+			t.Errorf("exposition missing %s", m.name)
+			continue
+		}
+		if v != m.value {
+			t.Errorf("%s: scraped %d, server has %d", m.name, v, m.value)
+		}
+	}
+	if got["gmpd_span_jobs"] != 1 {
+		t.Errorf("gmpd_span_jobs = %d after one spans job, want 1", got["gmpd_span_jobs"])
+	}
+	if got["gmpd_span_bytes_recorded"] <= 0 {
+		t.Errorf("gmpd_span_bytes_recorded = %d, want > 0", got["gmpd_span_bytes_recorded"])
 	}
 }
 

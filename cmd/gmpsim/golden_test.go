@@ -67,6 +67,27 @@ func TestTelemetryGolden(t *testing.T) {
 	checkGolden(t, "fig2_gmp_telemetry.golden", got)
 }
 
+// TestSpanGolden pins the span JSONL export byte-for-byte through the
+// CLI: the causal-trace schema and its determinism are part of the
+// contract traceq and gmpd rely on.
+func TestSpanGolden(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "spans.jsonl")
+	var buf bytes.Buffer
+	args := []string{
+		"-scenario", "fig2", "-protocol", "gmp",
+		"-duration", "20s", "-warmup", "10s", "-seed", "1",
+		"-span", tmp, "-span-sample", "256",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig2_gmp_spans.golden", got)
+}
+
 func checkGolden(t *testing.T, name string, got []byte) {
 	t.Helper()
 	path := filepath.Join("testdata", name)

@@ -17,6 +17,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -24,6 +25,7 @@ import (
 
 	"gmp"
 	"gmp/internal/prof"
+	"gmp/internal/span"
 	"gmp/internal/trace"
 )
 
@@ -46,6 +48,8 @@ func run(args []string, stdout io.Writer) error {
 		eventsNode   = fs.Int("events-node", -1, "only print -events rows involving this node")
 		eventsKind   = fs.String("events-kind", "", "only print -events rows of this kind: tx|rx|col|drop")
 		telemetry    = fs.String("telemetry", "", "record run telemetry and write it as JSONL to this file")
+		spanOut      = fs.String("span", "", "record causal span traces and write them as JSONL to this file (query with traceq)")
+		spanSample   = fs.Int("span-sample", 0, "span sampling stride: trace 1 in N packets per flow (0 = default 64)")
 		why          = fs.Int("why", -1, "explain flow N's allocation from the telemetry condition timeline")
 		inband       = fs.Bool("inband-control", false, "run link-state dissemination on the channel")
 		fairAgg      = fs.Bool("fair-aggregation", false, "serve queues round-robin by packet origin")
@@ -151,6 +155,12 @@ func run(args []string, stdout io.Writer) error {
 	if *telemetry != "" || *why >= 0 {
 		tcfg = &gmp.TelemetryConfig{}
 	}
+	// -why also records spans so the explanation can cite per-hop
+	// critical-path numbers, not just condition counts.
+	var scfg *gmp.SpanConfig
+	if *spanOut != "" || *spanSample > 0 || *why >= 0 {
+		scfg = &gmp.SpanConfig{SampleEvery: *spanSample}
+	}
 	mob, err := buildMobility(*mobModel, *mobEpoch, *mobSpeedMin, *mobSpeedMax,
 		*mobPause, *mobStart, *mobStop, *mobGroups, *mobRadius, *mobPinned)
 	if err != nil {
@@ -182,6 +192,7 @@ func run(args []string, stdout io.Writer) error {
 		Mobility:         mob,
 		Churn:            churnCfg,
 		Telemetry:        tcfg,
+		Spans:            scfg,
 	})
 	if err != nil {
 		return err
@@ -189,6 +200,11 @@ func run(args []string, stdout io.Writer) error {
 	shownEvents := trace.Filter(res.Events, gmp.NodeID(*eventsNode), evKind)
 	if *telemetry != "" {
 		if err := writeTelemetry(*telemetry, res.Telemetry); err != nil {
+			return err
+		}
+	}
+	if *spanOut != "" {
+		if err := writeSpans(*spanOut, res.Spans); err != nil {
 			return err
 		}
 	}
@@ -214,6 +230,18 @@ func run(args []string, stdout io.Writer) error {
 }
 
 func writeTelemetry(path string, t *gmp.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if werr := t.WriteJSONL(f); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+func writeSpans(path string, t *gmp.SpanTrace) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -594,7 +622,71 @@ func printWhy(stdout io.Writer, res *gmp.Result, flow int) error {
 			fl.Delivered, fl.Latency.Mean(), fl.Latency.Quantile(0.5),
 			fl.Latency.Quantile(0.99), fl.Retries)
 	}
+	if res.Spans != nil {
+		printWhyHops(stdout, res.Spans, id)
+	}
 	return nil
+}
+
+// printWhyHops cites the span layer's per-hop evidence: where the flow's
+// sampled delivered packets spent their end-to-end latency, averaged per
+// hop, and which neighbors' transmissions deferred them.
+func printWhyHops(stdout io.Writer, tr *gmp.SpanTrace, id gmp.FlowID) {
+	type agg struct {
+		node, next                       gmp.NodeID
+		queue, backoff, defr, air, other time.Duration
+		deferBy                          map[gmp.NodeID]time.Duration
+		n                                int
+	}
+	var hops []*agg
+	sampled := 0
+	for _, p := range span.CriticalPaths(tr, id) {
+		if p.Outcome != "delivered" {
+			continue
+		}
+		sampled++
+		for i, h := range p.Hops {
+			if i >= len(hops) {
+				hops = append(hops, &agg{node: h.Node, next: h.Next, deferBy: make(map[gmp.NodeID]time.Duration)})
+			}
+			a := hops[i]
+			a.queue += h.Queue
+			a.backoff += h.Backoff
+			a.defr += h.Defer
+			a.air += h.Airtime
+			a.other += h.Other
+			for peer, d := range h.DeferBy {
+				a.deferBy[peer] += d
+			}
+			a.n++
+		}
+	}
+	if sampled == 0 {
+		fmt.Fprintln(stdout, "  spans: no sampled delivered packets (lower -span-sample for more)")
+		return
+	}
+	fmt.Fprintf(stdout, "  per-hop latency over %d sampled packets (mean):\n", sampled)
+	for _, a := range hops {
+		div := time.Duration(a.n)
+		fmt.Fprintf(stdout, "    %d→%d queue=%s backoff=%s defer=%s air=%s other=%s",
+			a.node, a.next, (a.queue / div).Round(time.Microsecond),
+			(a.backoff / div).Round(time.Microsecond), (a.defr / div).Round(time.Microsecond),
+			(a.air / div).Round(time.Microsecond), (a.other / div).Round(time.Microsecond))
+		var peers []int
+		for peer := range a.deferBy {
+			if peer >= 0 {
+				peers = append(peers, int(peer))
+			}
+		}
+		sort.Ints(peers)
+		if len(peers) > 0 {
+			fmt.Fprintf(stdout, "  deferred-by:")
+			for _, peer := range peers {
+				fmt.Fprintf(stdout, " node %d=%s", peer, (a.deferBy[gmp.NodeID(peer)] / div).Round(time.Microsecond))
+			}
+		}
+		fmt.Fprintln(stdout)
+	}
 }
 
 func fmtLimit(v float64) string {

@@ -1,29 +1,53 @@
-// Command telemetrylint validates telemetry JSONL files against the
-// schema (obs.ValidateJSONL, the schema's executable definition) and
-// prints per-type record counts. CI runs it on freshly recorded
-// telemetry so the exported artifact is guaranteed to parse.
+// Command telemetrylint validates telemetry and span JSONL files
+// against their schemas (obs.ValidateJSONL and span.ValidateJSONL, the
+// schemas' executable definitions) and prints per-type record counts.
+// CI runs it on freshly recorded streams so the exported artifacts are
+// guaranteed to parse. It exits non-zero on the first malformed record.
+//
+// The schema is auto-detected per file: span streams open with a meta
+// record carrying "sample_every", telemetry streams do not. Use -schema
+// to force one.
 //
 // Usage:
 //
-//	telemetrylint fig3_gmp.jsonl fig4_gmp.jsonl
+//	telemetrylint fig3_gmp.jsonl fig3_gmp_spans.jsonl
+//	telemetrylint -schema spans fig3_gmp_spans.jsonl
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"gmp/internal/obs"
+	"gmp/internal/span"
 )
 
+var schemaFlag = flag.String("schema", "auto", "schema to validate against: auto, telemetry, or spans")
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: telemetrylint file.jsonl [file.jsonl ...]")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: telemetrylint [-schema auto|telemetry|spans] file.jsonl [file.jsonl ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *schemaFlag {
+	case "auto", "telemetry", "spans":
+	default:
+		fmt.Fprintf(os.Stderr, "telemetrylint: unknown -schema %q\n", *schemaFlag)
 		os.Exit(2)
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
-		if err := lint(path); err != nil {
+	for _, path := range flag.Args() {
+		if err := lint(path, *schemaFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "telemetrylint: %s: %v\n", path, err)
 			failed = true
 		}
@@ -33,13 +57,28 @@ func main() {
 	}
 }
 
-func lint(path string) error {
+func lint(path, schema string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	counts, err := obs.ValidateJSONL(f)
+	var r io.Reader = f
+	if schema == "auto" {
+		br := bufio.NewReader(f)
+		head, _ := br.Peek(4096)
+		schema = "telemetry"
+		if line, _, ok := bytes.Cut(head, []byte("\n")); (ok || len(line) > 0) && bytes.Contains(line, []byte(`"sample_every"`)) {
+			schema = "spans"
+		}
+		r = br
+	}
+	var counts map[string]int
+	if schema == "spans" {
+		counts, err = span.ValidateJSONL(r)
+	} else {
+		counts, err = obs.ValidateJSONL(r)
+	}
 	if err != nil {
 		return err
 	}
@@ -48,7 +87,7 @@ func lint(path string) error {
 		types = append(types, k)
 	}
 	sort.Strings(types)
-	fmt.Printf("%s: ok", path)
+	fmt.Printf("%s: ok (%s)", path, schema)
 	for _, k := range types {
 		fmt.Printf(" %s=%d", k, counts[k])
 	}

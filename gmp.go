@@ -47,6 +47,7 @@ import (
 	"gmp/internal/routing"
 	"gmp/internal/scenario"
 	"gmp/internal/sim"
+	"gmp/internal/span"
 	"gmp/internal/topology"
 	"gmp/internal/trace"
 )
@@ -102,6 +103,14 @@ type (
 	TelemetrySummary = obs.RunSummary
 	// TelemetryFlowSummary is one flow's row in a TelemetrySummary.
 	TelemetryFlowSummary = obs.FlowSummary
+	// SpanConfig enables the causal tracing layer for a run (see
+	// Config.Spans and internal/span).
+	SpanConfig = span.Config
+	// SpanTrace is a run's recorded causal trace (Result.Spans): span
+	// trees for sampled packets and §5.3 decision-provenance records.
+	// Export with WriteJSONL (schema-validated) or WriteTraceEvent
+	// (Chrome trace-event JSON, loadable in Perfetto).
+	SpanTrace = span.Trace
 	// ChurnConfig parameterizes a flow-churn workload: a deterministic
 	// arrival process, heavy-tailed flow sizes, a traffic matrix, and an
 	// optional admission-control policy (see Config.Churn and
@@ -330,6 +339,17 @@ type Config struct {
 	// not change any other Result field. When nil (the default) every
 	// hook is a nil pointer check and the hot paths stay allocation-free.
 	Telemetry *TelemetryConfig
+	// Spans, when non-nil, enables the causal tracing layer: every
+	// sampled packet (deterministic 1-in-k per-flow sampling, seeded
+	// from Config.Seed) gets a span tree following it through source,
+	// queues, MAC contention, and airtime, and every rate-limit change
+	// gets a provenance record naming the condition and clique that
+	// triggered it, surfaced as Result.Spans. Like Telemetry, the
+	// recorder only observes — it draws no randomness and mutates no
+	// protocol state — so enabling it does not change any other Result
+	// field. When nil (the default) every hook is a nil pointer check
+	// and the hot paths stay allocation-free.
+	Spans *SpanConfig
 }
 
 // faultSchedule returns the effective fault schedule: Config.Faults
@@ -495,6 +515,8 @@ type Result struct {
 	// Telemetry holds the run's recorded telemetry (Config.Telemetry
 	// non-nil only).
 	Telemetry *Telemetry
+	// Spans holds the run's causal trace (Config.Spans non-nil only).
+	Spans *SpanTrace
 }
 
 // AdmissionDecision is one recorded churn admission event: an arrival
@@ -649,6 +671,21 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Causal tracing (see internal/span). Sampling is a pure function of
+	// (Config.Seed, flow, stride) — no randomness is drawn — and the
+	// recorder only observes, so a spans-on run reproduces a spans-off
+	// run exactly.
+	var spanRec *span.Recorder
+	if cfg.Spans != nil {
+		spanRec = span.NewRecorder(topo.NumNodes(), len(allFlows), cfg.Seed, cfg.Spans.SampleEvery, sched.Now)
+		medium.SetSpans(spanRec)
+		prevSink := sinkFn
+		sinkFn = func(p *packet.Packet, from topology.NodeID) {
+			spanRec.Delivered(p)
+			prevSink(p, from)
+		}
+	}
+
 	var ring *trace.Ring
 	dropFn := registry.OnDrop
 	if cfg.EventTrace > 0 {
@@ -677,6 +714,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			n.SetRecorder(rec)
 			st.SetRecorder(rec)
 		}
+		if spanRec != nil {
+			n.SetSpans(spanRec)
+			st.SetSpans(spanRec)
+		}
 		nodes[id] = n
 		stations[id] = st
 	}
@@ -684,6 +725,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	for _, spec := range allFlows {
 		src := flow.NewSource(spec, sched, nodes[spec.Src], cfg.Period, sim.NewRand(master.Int63()))
 		src.SetCBR(cfg.CBRSources)
+		if spanRec != nil {
+			src.SetSpans(spanRec)
+		}
 		registry.AttachSource(spec.ID, src)
 		// Static flows start immediately; churn flows wait for their
 		// arrival's admission decision (StartNow in the admit hook).
@@ -1002,6 +1046,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		sched.After(interval, sample)
 	}
 
+	if spanRec != nil {
+		if engine != nil {
+			engine.SetSpans(spanRec)
+		}
+		if dist != nil {
+			dist.SetSpans(spanRec)
+		}
+	}
+
 	if done := ctx.Done(); done != nil {
 		// Poll for cancellation on the virtual clock. The poll event
 		// touches no protocol state and no random source, so enabling
@@ -1162,6 +1215,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if rec != nil {
 		res.Telemetry = rec.Finalize(cfg.Scenario.Name, cfg.Protocol.String())
+	}
+	if spanRec != nil {
+		res.Spans = spanRec.Finalize(cfg.Scenario.Name, cfg.Protocol.String(), cfg.Duration)
 	}
 	return res, nil
 }

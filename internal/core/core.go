@@ -34,6 +34,7 @@ import (
 	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/sim"
+	"gmp/internal/span"
 	"gmp/internal/topology"
 )
 
@@ -145,6 +146,11 @@ type Engine struct {
 	// request and every applied limit change.
 	rec *obs.Recorder
 
+	// spans is the causal-trace recorder (nil when tracing is off). It
+	// receives the same condition/limit events with decision provenance
+	// attached (bottleneck clique and occupancy figures).
+	spans *span.Recorder
+
 	trace []Round
 }
 
@@ -188,6 +194,10 @@ func (e *Engine) SetFaultProbe(fn func() []topology.NodeID) { e.faultProbe = fn 
 // alters the requests themselves.
 func (e *Engine) SetRecorder(rec *obs.Recorder) { e.rec = rec }
 
+// SetSpans installs the causal-trace recorder (nil disables, the
+// default). Like the telemetry recorder it only observes.
+func (e *Engine) SetSpans(r *span.Recorder) { e.spans = r }
+
 // SetOverloadNotifier installs the per-round overload callback (nil
 // disables). It observes which cliques generated reduce requests; it
 // cannot alter the requests.
@@ -212,8 +222,10 @@ func (e *Engine) markOverloaded(id clique.ID) {
 
 // recordAll logs one condition event per flow in the set, in flow-ID
 // order so the telemetry stream does not inherit map iteration order.
-func (e *Engine) recordAll(flows map[packet.FlowID]topology.NodeID, node topology.NodeID, cond obs.Condition, reduce bool, factor float64) {
-	if e.rec == nil {
+// cliqueID, occ, and maxOcc carry the bandwidth-condition provenance
+// for the span recorder (empty/nil for source and buffer conditions).
+func (e *Engine) recordAll(flows map[packet.FlowID]topology.NodeID, node topology.NodeID, cond obs.Condition, reduce bool, factor float64, cliqueID string, occ []float64, maxOcc float64) {
+	if e.rec == nil && e.spans == nil {
 		return
 	}
 	ids := make([]packet.FlowID, 0, len(flows))
@@ -222,7 +234,10 @@ func (e *Engine) recordAll(flows map[packet.FlowID]topology.NodeID, node topolog
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, f := range ids {
-		e.rec.Condition(f, node, cond, reduce, factor)
+		if e.rec != nil {
+			e.rec.Condition(f, node, cond, reduce, factor)
+		}
+		e.spans.Condition(f, node, cond.String(), reduce, factor, cliqueID, occ, maxOcc)
 	}
 }
 
@@ -409,7 +424,7 @@ func (e *Engine) testSourceAndBufferConditions(snap *measure.Snapshot, reqs reqS
 		for _, ul := range ups {
 			if e.eq(ul.NormRate, l1) {
 				reqs.addReduceAll(ul.Primaries, down)
-				e.recordAll(ul.Primaries, v.Node, cond, true, down)
+				e.recordAll(ul.Primaries, v.Node, cond, true, down, "", nil, 0)
 				if e.overloadNotifier != nil && len(ul.Primaries) > 0 {
 					wl := topology.Link{From: ul.Key.From, To: ul.Key.To}
 					for _, c := range e.cliques.Of(wl) {
@@ -419,7 +434,7 @@ func (e *Engine) testSourceAndBufferConditions(snap *measure.Snapshot, reqs reqS
 			}
 			if ul.Type == measure.BufferSaturated && e.eq(ul.NormRate, s1) {
 				reqs.addIncreaseAll(ul.Primaries, up)
-				e.recordAll(ul.Primaries, v.Node, cond, false, up)
+				e.recordAll(ul.Primaries, v.Node, cond, false, up, "", nil, 0)
 			}
 		}
 		for _, spec := range locals {
@@ -430,12 +445,14 @@ func (e *Engine) testSourceAndBufferConditions(snap *measure.Snapshot, reqs reqS
 				if e.rec != nil {
 					e.rec.Condition(spec.ID, v.Node, cond, true, down)
 				}
+				e.spans.Condition(spec.ID, v.Node, cond.String(), true, down, "", nil, 0)
 			}
 			if _, limited := src.Limited(); limited && e.eq(mu, s1) {
 				reqs.addIncrease(spec.ID, up)
 				if e.rec != nil {
 					e.rec.Condition(spec.ID, v.Node, cond, false, up)
 				}
+				e.spans.Condition(spec.ID, v.Node, cond.String(), false, up, "", nil, 0)
 			}
 		}
 	}
@@ -533,11 +550,11 @@ func (e *Engine) testBandwidthCondition(snap *measure.Snapshot, reqs reqSet) {
 					for _, kv := range byWLink[dir] {
 						if e.eq(kv.NormRate, l2) && kv.NormRate > 0 {
 							reqs.addReduceAll(kv.Primaries, down)
-							e.recordAll(kv.Primaries, kv.Key.From, obs.CondBandwidth, true, down)
+							e.recordAll(kv.Primaries, kv.Key.From, obs.CondBandwidth, true, down, c.ID.String(), occ, maxOcc)
 						}
 						if kv.Type == measure.BandwidthSaturated && e.eq(kv.NormRate, worst.NormRate) {
 							reqs.addIncreaseAll(kv.Primaries, up)
-							e.recordAll(kv.Primaries, kv.Key.From, obs.CondBandwidth, false, up)
+							e.recordAll(kv.Primaries, kv.Key.From, obs.CondBandwidth, false, up, c.ID.String(), occ, maxOcc)
 						}
 					}
 				}
@@ -620,17 +637,20 @@ func (e *Engine) apply(reqs map[packet.FlowID]Request, rates []float64, snap *me
 		} else {
 			limits[i] = math.Inf(1)
 		}
-		if e.rec != nil && action != "" {
-			e.rec.LimitChange(f, action, before, after)
-			if action == obs.ActionProbe || action == obs.ActionRemove {
-				// The rate-limit condition (§5.3 c4): a source with a
-				// non-binding limit probes upward or sheds the limit.
-				factor := 0.0
-				if action == obs.ActionProbe && before > 0 && after > 0 {
-					factor = after / before
+		if action != "" {
+			if e.rec != nil {
+				e.rec.LimitChange(f, action, before, after)
+				if action == obs.ActionProbe || action == obs.ActionRemove {
+					// The rate-limit condition (§5.3 c4): a source with a
+					// non-binding limit probes upward or sheds the limit.
+					factor := 0.0
+					if action == obs.ActionProbe && before > 0 && after > 0 {
+						factor = after / before
+					}
+					e.rec.Condition(f, spec.Src, obs.CondRateLimit, false, factor)
 				}
-				e.rec.Condition(f, spec.Src, obs.CondRateLimit, false, factor)
 			}
+			e.spans.LimitChange(f, spec.Src, string(action), before, after)
 		}
 	}
 	round := Round{

@@ -37,6 +37,7 @@ import (
 	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/sim"
+	"gmp/internal/span"
 	"gmp/internal/topology"
 )
 
@@ -116,6 +117,8 @@ type Agent struct {
 
 	// rec is the telemetry recorder (nil when telemetry is off).
 	rec *obs.Recorder
+	// spans is the causal-trace recorder (nil when tracing is off).
+	spans *span.Recorder
 }
 
 // ViolationsReceived reports processed violation messages.
@@ -283,19 +286,22 @@ func (a *Agent) applyPending() {
 				}
 			}
 		}
-		if a.rec != nil && action != "" {
+		if action != "" {
 			after := -1.0
 			if l, ok := src.Limited(); ok {
 				after = l
 			}
-			a.rec.LimitChange(f, action, before, after)
-			if action == obs.ActionProbe || action == obs.ActionRemove {
-				factor := 0.0
-				if action == obs.ActionProbe && before > 0 && after > 0 {
-					factor = after / before
+			if a.rec != nil {
+				a.rec.LimitChange(f, action, before, after)
+				if action == obs.ActionProbe || action == obs.ActionRemove {
+					factor := 0.0
+					if action == obs.ActionProbe && before > 0 && after > 0 {
+						factor = after / before
+					}
+					a.rec.Condition(f, a.id, obs.CondRateLimit, false, factor)
 				}
-				a.rec.Condition(f, a.id, obs.CondRateLimit, false, factor)
 			}
+			a.spans.LimitChange(f, a.id, string(action), before, after)
 		}
 	}
 	a.pending = make(reqSet)
@@ -479,10 +485,10 @@ func (a *Agent) testSourceAndBuffer() {
 		for i, upm := range ups {
 			mu := upm.Primary.NormRate
 			if a.eq(mu, l1) {
-				a.deliverAll(upm.Primary.Flows, Request{Reduce: true, Factor: down}, cond)
+				a.deliverAll(upm.Primary.Flows, Request{Reduce: true, Factor: down}, cond, "")
 			}
 			if a.vlinkType(upKeys[i]) == measure.BufferSaturated && a.eq(mu, s1) {
-				a.deliverAll(upm.Primary.Flows, Request{Factor: up}, cond)
+				a.deliverAll(upm.Primary.Flows, Request{Factor: up}, cond, "")
 			}
 		}
 		for i := range a.localFlows {
@@ -495,12 +501,14 @@ func (a *Agent) testSourceAndBuffer() {
 				if a.rec != nil {
 					a.rec.Condition(f, a.id, cond, true, down)
 				}
+				a.spans.Condition(f, a.id, cond.String(), true, down, "", nil, 0)
 				a.deliver(f, Request{Reduce: true, Factor: down})
 			}
 			if _, limited := a.localSources[i].Limited(); limited && a.eq(mu, s1) {
 				if a.rec != nil {
 					a.rec.Condition(f, a.id, cond, false, up)
 				}
+				a.spans.Condition(f, a.id, cond.String(), false, up, "", nil, 0)
 				a.deliver(f, Request{Factor: up})
 			}
 		}
@@ -653,10 +661,10 @@ func (a *Agent) onViolation(v violationMsg) {
 					}
 					mu := m.Primary.NormRate
 					if mu > 0 && mu >= localMax*(1-a.params.Beta) && mu > v.MuStar*(1+a.params.Beta) {
-						a.deliverAll(m.Primary.Flows, Request{Reduce: true, Factor: 1 - a.params.Beta}, obs.CondBandwidth)
+						a.deliverAll(m.Primary.Flows, Request{Reduce: true, Factor: 1 - a.params.Beta}, obs.CondBandwidth, id.String())
 					}
 					if a.vlinkType(key) == measure.BandwidthSaturated && mu > 0 && mu <= v.MuStar*(1+a.params.Beta) {
-						a.deliverAll(m.Primary.Flows, Request{Factor: 1 + a.params.Beta}, obs.CondBandwidth)
+						a.deliverAll(m.Primary.Flows, Request{Factor: 1 + a.params.Beta}, obs.CondBandwidth, id.String())
 					}
 				}
 			}
@@ -665,10 +673,12 @@ func (a *Agent) onViolation(v violationMsg) {
 }
 
 // deliverAll hands a request to every flow in the set and, with
-// telemetry on, records the condition that generated it — in flow-ID
-// order so the telemetry stream does not inherit map iteration order.
-func (a *Agent) deliverAll(flows map[packet.FlowID]topology.NodeID, req Request, cond obs.Condition) {
-	if a.rec == nil {
+// telemetry or tracing on, records the condition that generated it —
+// in flow-ID order so neither stream inherits map iteration order.
+// cliqueID carries the bandwidth-condition provenance for the span
+// recorder ("" for source and buffer conditions).
+func (a *Agent) deliverAll(flows map[packet.FlowID]topology.NodeID, req Request, cond obs.Condition, cliqueID string) {
+	if a.rec == nil && a.spans == nil {
 		for f := range flows {
 			a.deliver(f, req)
 		}
@@ -680,7 +690,10 @@ func (a *Agent) deliverAll(flows map[packet.FlowID]topology.NodeID, req Request,
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, f := range ids {
-		a.rec.Condition(f, a.id, cond, req.Reduce, req.Factor)
+		if a.rec != nil {
+			a.rec.Condition(f, a.id, cond, req.Reduce, req.Factor)
+		}
+		a.spans.Condition(f, a.id, cond.String(), req.Reduce, req.Factor, cliqueID, nil, 0)
 		a.deliver(f, req)
 	}
 }
@@ -710,6 +723,14 @@ func (d *Distributed) SetFaultProbe(fn func() []topology.NodeID) { d.faultProbe 
 func (d *Distributed) SetRecorder(rec *obs.Recorder) {
 	for _, a := range d.Agents {
 		a.rec = rec
+	}
+}
+
+// SetSpans installs the causal-trace recorder on every agent (nil
+// disables). Install it before sched.Run, like SetRecorder.
+func (d *Distributed) SetSpans(r *span.Recorder) {
+	for _, a := range d.Agents {
+		a.spans = r
 	}
 }
 

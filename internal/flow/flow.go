@@ -11,6 +11,7 @@ import (
 	"gmp/internal/forwarding"
 	"gmp/internal/packet"
 	"gmp/internal/sim"
+	"gmp/internal/span"
 	"gmp/internal/topology"
 )
 
@@ -110,6 +111,10 @@ type Source struct {
 	qid         packet.QueueID
 	generateFn  func()
 	queueOpenFn func()
+
+	// spans, when non-nil, receives causal-trace events for sampled
+	// packets (source backpressure). Purely observational.
+	spans *span.Recorder
 }
 
 // NewSource builds the generator for spec, injecting into node (which must
@@ -143,6 +148,9 @@ func NewSource(spec Spec, sched *sim.Scheduler, node *forwarding.Node, period ti
 
 // Spec returns the flow's specification.
 func (s *Source) Spec() Spec { return s.spec }
+
+// SetSpans installs a causal-trace recorder (nil disables, the default).
+func (s *Source) SetSpans(r *span.Recorder) { s.spans = r }
 
 // SetCBR switches the generator from Poisson arrivals (the default) to
 // constant-bit-rate generation. Poisson is the default because phase lock
@@ -264,6 +272,9 @@ func (s *Source) generate() {
 	if !s.node.Enqueue(p) {
 		// Local queue full: the source slows down (§2.2). Resume when the
 		// queue opens; the unsent packet is regenerated then.
+		if s.spans != nil {
+			s.spans.SourceBlocked(p)
+		}
 		s.waiting = true
 		s.node.NotifyQueueOpen(s.qid, s.queueOpenFn)
 		return

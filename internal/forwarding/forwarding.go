@@ -28,6 +28,7 @@ import (
 	"gmp/internal/packet"
 	"gmp/internal/routing"
 	"gmp/internal/sim"
+	"gmp/internal/span"
 	"gmp/internal/topology"
 )
 
@@ -342,6 +343,10 @@ type Node struct {
 	// set, admitted packets are stamped with their admission time and
 	// acknowledged forwards report their per-hop sojourn.
 	rec *obs.Recorder
+
+	// spans is the causal-trace recorder (nil when tracing is off). It
+	// observes admissions, requeues, and drops for sampled packets.
+	spans *span.Recorder
 }
 
 var (
@@ -387,11 +392,18 @@ func (n *Node) SetMAC(st *mac.Station) { n.mac = st }
 // simulation behavior.
 func (n *Node) SetRecorder(rec *obs.Recorder) { n.rec = rec }
 
+// SetSpans installs the causal-trace recorder (nil disables, the
+// default). Like the telemetry recorder it only observes.
+func (n *Node) SetSpans(r *span.Recorder) { n.spans = r }
+
 // dropPkt reports a packet loss at this node: the telemetry recorder
 // attributes it to the node, then the statistics callback runs.
 func (n *Node) dropPkt(p *packet.Packet, reason DropReason) {
 	if n.rec != nil {
 		n.rec.PacketDropped(n.id, p.Flow)
+	}
+	if n.spans != nil {
+		n.spans.Dropped(n.id, p, reason.String())
 	}
 	n.drop(p, reason)
 }
@@ -604,6 +616,9 @@ func (n *Node) Enqueue(p *packet.Packet) bool {
 		p.ArrivedAt = n.sched.Now()
 	}
 	q.push(p, n.id)
+	if n.spans != nil {
+		n.spans.Admitted(n.id, p)
+	}
 	n.enqueued++
 	n.touchFullState(q)
 	if n.mac != nil {
@@ -678,6 +693,9 @@ func (n *Node) OnSendComplete(out *mac.Outgoing, ok bool) {
 			// one if upstream refilled the freed slot meanwhile.
 			q := n.queueFor(n.cfg.Mode.QueueKey(out.Pkt))
 			q.pushFront(out.Pkt, out.Origin)
+			if n.spans != nil {
+				n.spans.Requeued(n.id, out.Pkt)
+			}
 			n.touchFullState(q)
 			if n.mac != nil {
 				n.mac.Kick()
@@ -749,6 +767,9 @@ func (n *Node) OnReceive(p *packet.Packet, from topology.NodeID) {
 			if n.rec != nil {
 				p.ArrivedAt = n.sched.Now()
 			}
+			if n.spans != nil {
+				n.spans.Admitted(n.id, p)
+			}
 			n.dropPkt(tail, DropTail)
 		} else {
 			n.dropPkt(p, DropOverflow)
@@ -759,6 +780,9 @@ func (n *Node) OnReceive(p *packet.Packet, from topology.NodeID) {
 		p.ArrivedAt = n.sched.Now()
 	}
 	q.push(p, from)
+	if n.spans != nil {
+		n.spans.Admitted(n.id, p)
+	}
 	n.enqueued++
 	n.touchFullState(q)
 	if n.mac != nil {

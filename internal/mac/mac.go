@@ -18,6 +18,7 @@ import (
 	"gmp/internal/packet"
 	"gmp/internal/radio"
 	"gmp/internal/sim"
+	"gmp/internal/span"
 	"gmp/internal/topology"
 )
 
@@ -180,6 +181,11 @@ type Station struct {
 	// for MAC service-time spans. Only maintained while rec is set.
 	rec      *obs.Recorder
 	curSince time.Duration
+
+	// spans is the causal-trace recorder (nil when tracing is off). It
+	// observes pulls, backoff segments, deferrals, and retries for
+	// sampled packets; it never feeds back into channel access.
+	spans *span.Recorder
 }
 
 var _ radio.Station = (*Station)(nil)
@@ -224,6 +230,10 @@ func (s *Station) Stats() Stats { return s.stats }
 // feeds back into channel access, so enabling it cannot change
 // simulation behavior.
 func (s *Station) SetRecorder(rec *obs.Recorder) { s.rec = rec }
+
+// SetSpans installs the causal-trace recorder (nil disables, the
+// default). Like the telemetry recorder it only observes.
+func (s *Station) SetSpans(r *span.Recorder) { s.spans = r }
 
 // Down reports whether the station is currently crashed.
 func (s *Station) Down() bool { return s.ph == phaseDown }
@@ -314,6 +324,9 @@ func (s *Station) pullNext() {
 	if s.rec != nil {
 		s.curSince = s.sched.Now()
 	}
+	if s.spans != nil {
+		s.spans.MACPulled(s.id, s.cur.Pkt)
+	}
 	s.retries = 0
 	s.startAccess()
 }
@@ -341,8 +354,14 @@ func (s *Station) evaluate() {
 		return
 	}
 	if !s.virtualIdle() {
+		if s.spans != nil && s.cur != nil {
+			s.spans.MACDeferred(s.id, s.cur.Pkt)
+		}
 		s.armNAVTimer()
 		return
+	}
+	if s.spans != nil && s.cur != nil {
+		s.spans.MACResumed(s.id, s.cur.Pkt)
 	}
 	s.ph = phaseDIFS
 	s.difsTimer = s.sched.After(s.par.DIFS, s.onDIFSDoneFn)
@@ -372,6 +391,9 @@ func (s *Station) onDIFSDone() {
 	}
 	s.ph = phaseCountdown
 	s.countdownStart = s.sched.Now()
+	if s.spans != nil && s.cur != nil {
+		s.spans.BackoffStart(s.id, s.cur.Pkt, s.backoffSlots)
+	}
 	s.countdownTimer = s.sched.After(time.Duration(s.backoffSlots)*s.par.SlotTime, s.onBackoffDoneFn)
 }
 
@@ -389,7 +411,15 @@ func (s *Station) freeze() {
 		}
 		s.backoffSlots -= consumed
 		s.countdownTimer.Cancel()
+		if s.spans != nil && s.cur != nil {
+			s.spans.BackoffEnd(s.id, s.cur.Pkt)
+		}
 		s.ph = phaseWaitIdle
+	default:
+		return
+	}
+	if s.spans != nil && s.cur != nil {
+		s.spans.MACDeferred(s.id, s.cur.Pkt)
 	}
 }
 
@@ -404,6 +434,9 @@ func (s *Station) onBackoffDone() {
 		return
 	}
 	s.backoffSlots = 0
+	if s.spans != nil && s.cur != nil {
+		s.spans.BackoffEnd(s.id, s.cur.Pkt)
+	}
 	if len(s.ctrl) > 0 {
 		s.sendBroadcast()
 		return
@@ -509,6 +542,9 @@ func (s *Station) onExchangeTimeout() {
 	s.stats.Retries++
 	if s.rec != nil {
 		s.rec.MACRetry(s.id, s.cur.Pkt.Flow)
+	}
+	if s.spans != nil {
+		s.spans.MACRetry(s.id, s.cur.Pkt, s.retries)
 	}
 	if s.retries > s.par.RetryLimit {
 		s.stats.Drops++

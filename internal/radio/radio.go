@@ -19,6 +19,7 @@ import (
 	"gmp/internal/obs"
 	"gmp/internal/packet"
 	"gmp/internal/sim"
+	"gmp/internal/span"
 	"gmp/internal/topology"
 	"gmp/internal/trace"
 )
@@ -270,6 +271,10 @@ type Medium struct {
 	// rec is the telemetry recorder (nil when telemetry is off; the hot
 	// path pays one branch per transmission, see internal/obs).
 	rec *obs.Recorder
+	// spans is the causal-trace recorder (nil when tracing is off). It
+	// observes data-frame airtime and corruption for sampled packets and
+	// tracks which transmitter holds each node's carrier sense busy.
+	spans *span.Recorder
 }
 
 // NewMedium builds the channel for the given topology. Stations register
@@ -315,6 +320,10 @@ func (m *Medium) SetObserver(fn func(trace.Event)) { m.observer = fn }
 // recorder only accumulates airtime per link; it never mutates channel
 // state, so enabling it cannot change simulation behavior.
 func (m *Medium) SetRecorder(rec *obs.Recorder) { m.rec = rec }
+
+// SetSpans installs the causal-trace recorder (nil disables, the
+// default). Like the telemetry recorder it only observes.
+func (m *Medium) SetSpans(r *span.Recorder) { m.spans = r }
 
 func (m *Medium) emit(kind trace.Kind, node, peer topology.NodeID, f *Frame) {
 	if m.observer == nil {
@@ -564,6 +573,16 @@ func (m *Medium) EndTopologyChange(oldLinks []topology.Link) {
 	for _, tx := range m.active {
 		for _, n := range m.topo.CSNeighbors(tx.src) {
 			m.busy[n]++
+			if m.busy[n] == 1 && m.spans != nil {
+				m.spans.NodeBusy(n, tx.src)
+			}
+		}
+	}
+	if m.spans != nil {
+		for n := range m.busy {
+			if m.busy[n] == 0 {
+				m.spans.NodeIdle(topology.NodeID(n))
+			}
 		}
 	}
 	for n := range m.busy {
@@ -664,6 +683,9 @@ func (m *Medium) Transmit(src topology.NodeID, f *Frame) {
 		m.occupancyFar[topology.Link{From: f.LinkFrom, To: f.LinkTo}] += dur
 	}
 	m.emit(trace.KindTransmit, src, f.To, f)
+	if m.spans != nil && f.Kind == FrameData && f.Data != nil {
+		m.spans.DataAirtime(f.Data, src, f.To, now, now+dur)
+	}
 
 	// Mark mutual corruption with every in-flight transmission. All
 	// entries of m.active overlap tx in time by construction.
@@ -684,8 +706,13 @@ func (m *Medium) Transmit(src topology.NodeID, f *Frame) {
 	// Carrier sensing: raise busy at every foreign node within CS range.
 	for _, n := range m.topo.CSNeighbors(src) {
 		m.busy[n]++
-		if m.busy[n] == 1 && !m.transmitting[n] {
-			m.stations[n].OnBusy()
+		if m.busy[n] == 1 {
+			if m.spans != nil {
+				m.spans.NodeBusy(n, src)
+			}
+			if !m.transmitting[n] {
+				m.stations[n].OnBusy()
+			}
 		}
 	}
 
@@ -723,6 +750,9 @@ func (m *Medium) finish(tx *transmission) {
 			panic("radio: negative busy count")
 		}
 		if m.busy[n] == 0 {
+			if m.spans != nil {
+				m.spans.NodeIdle(n)
+			}
 			nowIdle = append(nowIdle, n)
 		}
 	}
@@ -753,6 +783,9 @@ func (m *Medium) finish(tx *transmission) {
 		} else {
 			atomic.AddInt64(&m.stats.Corrupted, 1)
 			m.emit(trace.KindCorrupt, n, tx.src, tx.frame)
+			if m.spans != nil && n == tx.frame.To && tx.frame.Kind == FrameData && tx.frame.Data != nil {
+				m.spans.DataCorrupted(tx.frame.Data, tx.src, n)
+			}
 		}
 		m.stations[n].OnFrame(tx.frame, ok)
 	}

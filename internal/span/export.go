@@ -1,0 +1,213 @@
+package span
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"gmp/internal/packet"
+	"gmp/internal/topology"
+)
+
+// JSONL schema. Each line is one record tagged by "type": a single
+// "meta" line first, then "span" and "limit" lines in ID order. The
+// format is append-friendly (gmpd streams it tail-follow) and strictly
+// validated by ValidateJSONL.
+
+type metaLine struct {
+	Type string `json:"type"`
+	Meta
+}
+
+type spanLine struct {
+	Type   string          `json:"type"`
+	ID     int64           `json:"id"`
+	Parent int64           `json:"parent"`
+	Kind   string          `json:"kind"`
+	Flow   packet.FlowID   `json:"flow"`
+	Seq    int64           `json:"seq"`
+	Node   topology.NodeID `json:"node"`
+	Peer   topology.NodeID `json:"peer"`
+	Start  time.Duration   `json:"start_ns"`
+	End    time.Duration   `json:"end_ns"`
+	Val    int64           `json:"val,omitempty"`
+	Detail string          `json:"detail,omitempty"`
+}
+
+type limitLine struct {
+	Type      string          `json:"type"`
+	ID        int64           `json:"id"`
+	At        time.Duration   `json:"at_ns"`
+	Flow      packet.FlowID   `json:"flow"`
+	Action    string          `json:"action"`
+	Before    float64         `json:"before"`
+	After     float64         `json:"after"`
+	Cond      string          `json:"cond,omitempty"`
+	Node      topology.NodeID `json:"node"`
+	CondAt    time.Duration   `json:"cond_at_ns"`
+	Factor    float64         `json:"factor,omitempty"`
+	Clique    string          `json:"clique,omitempty"`
+	Occupancy []float64       `json:"occupancy,omitempty"`
+	MaxOcc    float64         `json:"max_occ,omitempty"`
+}
+
+// WriteJSONL writes the trace as one JSON record per line: meta first,
+// then spans, then limit-change records, each in ID order. The byte
+// stream is deterministic for a given trace.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(metaLine{Type: "meta", Meta: t.Meta}); err != nil {
+		return err
+	}
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		line := spanLine{
+			Type: "span", ID: s.ID, Parent: s.Parent, Kind: s.Kind.String(),
+			Flow: s.Flow, Seq: s.Seq, Node: s.Node, Peer: s.Peer,
+			Start: s.Start, End: s.End, Val: s.Val, Detail: s.Detail,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for i := range t.Limits {
+		l := &t.Limits[i]
+		line := limitLine{
+			Type: "limit", ID: l.ID, At: l.At, Flow: l.Flow, Action: l.Action,
+			Before: l.Before, After: l.After, Cond: l.Cond, Node: l.Node,
+			CondAt: l.CondAt, Factor: l.Factor, Clique: l.Clique,
+			Occupancy: l.Occupancy, MaxOcc: l.MaxOcc,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+var validActions = map[string]bool{"reduce": true, "increase": true, "probe": true, "remove": true}
+
+// ReadJSONL parses and strictly validates a span JSONL stream,
+// returning the reconstructed trace and per-type record counts. It
+// fails on the first malformed record: unknown or missing fields,
+// out-of-order or duplicate IDs, a parent that is not an earlier span,
+// an end before a start, or an unknown kind/action enum.
+func ReadJSONL(r io.Reader) (*Trace, map[string]int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	counts := make(map[string]int)
+	t := &Trace{}
+	sawMeta := false
+	lineNo := 0
+	var lastSpanID, lastLimitID int64
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return nil, counts, fmt.Errorf("line %d: not a JSON object: %w", lineNo, err)
+		}
+		if !sawMeta && head.Type != "meta" {
+			return nil, counts, fmt.Errorf("line %d: first record must be meta, got %q", lineNo, head.Type)
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		switch head.Type {
+		case "meta":
+			if sawMeta {
+				return nil, counts, fmt.Errorf("line %d: duplicate meta record", lineNo)
+			}
+			var m metaLine
+			if err := dec.Decode(&m); err != nil {
+				return nil, counts, fmt.Errorf("line %d: meta: %w", lineNo, err)
+			}
+			if m.SampleEvery < 1 {
+				return nil, counts, fmt.Errorf("line %d: meta: sample_every %d < 1", lineNo, m.SampleEvery)
+			}
+			if m.Nodes < 0 || m.Flows < 0 || m.Duration < 0 {
+				return nil, counts, fmt.Errorf("line %d: meta: negative nodes/flows/duration", lineNo)
+			}
+			t.Meta = m.Meta
+			sawMeta = true
+		case "span":
+			var s spanLine
+			if err := dec.Decode(&s); err != nil {
+				return nil, counts, fmt.Errorf("line %d: span: %w", lineNo, err)
+			}
+			if s.ID != lastSpanID+1 {
+				return nil, counts, fmt.Errorf("line %d: span id %d out of order (want %d)", lineNo, s.ID, lastSpanID+1)
+			}
+			kind := ParseKind(s.Kind)
+			if kind == 0 {
+				return nil, counts, fmt.Errorf("line %d: span %d: unknown kind %q", lineNo, s.ID, s.Kind)
+			}
+			if s.Parent < 0 || s.Parent >= s.ID {
+				return nil, counts, fmt.Errorf("line %d: span %d: parent %d not an earlier span", lineNo, s.ID, s.Parent)
+			}
+			if s.End < s.Start {
+				return nil, counts, fmt.Errorf("line %d: span %d: end %d before start %d", lineNo, s.ID, s.End, s.Start)
+			}
+			if s.Val < 0 {
+				return nil, counts, fmt.Errorf("line %d: span %d: negative val %d", lineNo, s.ID, s.Val)
+			}
+			lastSpanID = s.ID
+			t.Spans = append(t.Spans, Span{
+				ID: s.ID, Parent: s.Parent, Kind: kind, Flow: s.Flow, Seq: s.Seq,
+				Node: s.Node, Peer: s.Peer, Start: s.Start, End: s.End,
+				Val: s.Val, Detail: s.Detail,
+			})
+		case "limit":
+			var l limitLine
+			if err := dec.Decode(&l); err != nil {
+				return nil, counts, fmt.Errorf("line %d: limit: %w", lineNo, err)
+			}
+			if l.ID != lastLimitID+1 {
+				return nil, counts, fmt.Errorf("line %d: limit id %d out of order (want %d)", lineNo, l.ID, lastLimitID+1)
+			}
+			if !validActions[l.Action] {
+				return nil, counts, fmt.Errorf("line %d: limit %d: unknown action %q", lineNo, l.ID, l.Action)
+			}
+			if l.Before < -1 || l.After < -1 {
+				return nil, counts, fmt.Errorf("line %d: limit %d: limit below -1", lineNo, l.ID)
+			}
+			for i, o := range l.Occupancy {
+				if o < 0 {
+					return nil, counts, fmt.Errorf("line %d: limit %d: negative occupancy[%d]", lineNo, l.ID, i)
+				}
+			}
+			lastLimitID = l.ID
+			t.Limits = append(t.Limits, LimitSpan{
+				ID: l.ID, At: l.At, Flow: l.Flow, Action: l.Action,
+				Before: l.Before, After: l.After, Cond: l.Cond, Node: l.Node,
+				CondAt: l.CondAt, Factor: l.Factor, Clique: l.Clique,
+				Occupancy: l.Occupancy, MaxOcc: l.MaxOcc,
+			})
+		default:
+			return nil, counts, fmt.Errorf("line %d: unknown record type %q", lineNo, head.Type)
+		}
+		counts[head.Type]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, counts, err
+	}
+	if !sawMeta {
+		return nil, counts, fmt.Errorf("empty stream: no meta record")
+	}
+	return t, counts, nil
+}
+
+// ValidateJSONL strictly validates a span JSONL stream and returns
+// per-type record counts, failing on the first malformed record.
+func ValidateJSONL(r io.Reader) (map[string]int, error) {
+	_, counts, err := ReadJSONL(r)
+	return counts, err
+}

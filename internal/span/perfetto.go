@@ -1,0 +1,133 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export (the JSON array format), loadable in
+// Perfetto and chrome://tracing. Each sampled packet becomes a
+// "process" (pid = flow+1) whose "threads" are the nodes it visited,
+// so a packet's hop/queue/MAC/backoff spans nest visually per node.
+// Limit-change provenance lands on pid 0 ("gmp engine") with one
+// thread per flow.
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  *float64       `json:"dur,omitempty"` // microseconds; nil for metadata events
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func durp(us float64) *float64 { return &us }
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteTraceEvent writes the trace as a Chrome trace-event JSON array.
+func (t *Trace) WriteTraceEvent(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		buf, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(buf)
+		return err
+	}
+
+	meta := func(pid int64, name string) error {
+		return emit(traceEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	if len(t.Limits) > 0 {
+		if err := meta(0, "gmp engine ("+t.Meta.Scenario+"/"+t.Meta.Protocol+")"); err != nil {
+			return err
+		}
+	}
+	seenFlow := make(map[int64]bool)
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		pid := int64(s.Flow) + 1
+		if !seenFlow[pid] {
+			seenFlow[pid] = true
+			if err := meta(pid, fmt.Sprintf("flow %d", s.Flow)); err != nil {
+				return err
+			}
+		}
+		name := s.Kind.String()
+		if s.Detail != "" {
+			name += ":" + s.Detail
+		}
+		ev := traceEvent{
+			Name: name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			TS:   usec(int64(s.Start)),
+			Dur:  durp(usec(int64(s.End - s.Start))),
+			PID:  pid,
+			TID:  int64(s.Node),
+			Args: map[string]any{"id": s.ID, "seq": s.Seq},
+		}
+		if s.Parent != 0 {
+			ev.Args["parent"] = s.Parent
+		}
+		if s.Peer >= 0 {
+			ev.Args["peer"] = int64(s.Peer)
+		}
+		if s.Val != 0 {
+			ev.Args["val"] = s.Val
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	for i := range t.Limits {
+		l := &t.Limits[i]
+		args := map[string]any{
+			"action": l.Action, "before": l.Before, "after": l.After,
+		}
+		if l.Cond != "" {
+			args["cond"] = l.Cond
+			args["cond_node"] = int64(l.Node)
+			args["cond_at_us"] = usec(int64(l.CondAt))
+		}
+		if l.Clique != "" {
+			args["clique"] = l.Clique
+			args["max_occ"] = l.MaxOcc
+		}
+		if err := emit(traceEvent{
+			Name: fmt.Sprintf("limit %s flow %d", l.Action, l.Flow),
+			Cat:  "limit",
+			Ph:   "X",
+			TS:   usec(int64(l.At)),
+			Dur:  durp(1), // instant-ish; 1µs keeps it clickable
+			PID:  0,
+			TID:  int64(l.Flow),
+			Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

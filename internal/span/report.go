@@ -1,0 +1,222 @@
+package span
+
+import (
+	"sort"
+	"time"
+
+	"gmp/internal/packet"
+	"gmp/internal/topology"
+)
+
+// HopBreakdown decomposes one hop of a sampled packet's life: the
+// window from its admission at Node to its admission at Next (or
+// delivery/drop), split into queue wait, backoff countdown, contention
+// deferral, airtime, and everything else (DIFS/SIFS, control-frame
+// exchanges, ack waits of earlier retries). Child spans that outlive
+// the hop window — the MAC span stays open until the ack, which lands
+// after the next hop's admission — are clipped to the window, so the
+// parts always sum to at most the hop duration.
+type HopBreakdown struct {
+	Node    topology.NodeID
+	Next    topology.NodeID // -1 when the hop ended in a drop or the run's end
+	Start   time.Duration
+	End     time.Duration
+	Queue   time.Duration
+	Backoff time.Duration
+	Defer   time.Duration
+	Airtime time.Duration
+	Other   time.Duration // End-Start minus the four parts above
+	Retries int64
+	// DeferBy attributes contention-deferral time to the neighbor whose
+	// transmission held our carrier sense busy (-1 for NAV/response
+	// waits with no attributable transmitter).
+	DeferBy map[topology.NodeID]time.Duration
+}
+
+// PathReport is the reconstructed critical path of one sampled packet.
+type PathReport struct {
+	Flow    packet.FlowID
+	Seq     int64
+	Outcome string // "delivered", "drop:<reason>", "inflight"
+	Created time.Duration
+	Done    time.Duration
+	E2E     time.Duration
+	Blocked time.Duration // pre-admission source backpressure
+	Hops    []HopBreakdown
+	// Exact reports that the hop windows tile [Created, Done) with no
+	// gaps or overlaps, i.e. Σ hop durations == E2E to the nanosecond.
+	Exact bool
+}
+
+func clip(s *Span, lo, hi time.Duration) time.Duration {
+	a, b := s.Start, s.End
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b <= a {
+		return 0
+	}
+	return b - a
+}
+
+// CriticalPaths reconstructs the per-hop latency breakdown of every
+// sampled packet of the flow (all flows when flow < 0), in (flow, seq)
+// order.
+func CriticalPaths(t *Trace, flow packet.FlowID) []PathReport {
+	children := make(map[int64][]int, len(t.Spans))
+	for i := range t.Spans {
+		if p := t.Spans[i].Parent; p != 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	blocked := make(map[pktKey]time.Duration)
+	var roots []int
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		if s.Parent != 0 {
+			continue
+		}
+		switch s.Kind {
+		case KindPacket:
+			if flow < 0 || s.Flow == flow {
+				roots = append(roots, i)
+			}
+		case KindBlocked:
+			blocked[pktKey{s.Flow, s.Seq}] += s.End - s.Start
+		}
+	}
+	sort.SliceStable(roots, func(a, b int) bool {
+		sa, sb := &t.Spans[roots[a]], &t.Spans[roots[b]]
+		if sa.Flow != sb.Flow {
+			return sa.Flow < sb.Flow
+		}
+		return sa.Seq < sb.Seq
+	})
+
+	reports := make([]PathReport, 0, len(roots))
+	for _, ri := range roots {
+		root := &t.Spans[ri]
+		rep := PathReport{
+			Flow:    root.Flow,
+			Seq:     root.Seq,
+			Outcome: root.Detail,
+			Created: root.Start,
+			Done:    root.End,
+			E2E:     root.End - root.Start,
+			Blocked: blocked[pktKey{root.Flow, root.Seq}],
+		}
+		for _, hi := range children[root.ID] {
+			hop := &t.Spans[hi]
+			if hop.Kind != KindHop {
+				continue
+			}
+			hb := HopBreakdown{
+				Node:  hop.Node,
+				Next:  hop.Peer,
+				Start: hop.Start,
+				End:   hop.End,
+			}
+			// Walk the hop's descendants (queue directly, the rest under
+			// the MAC span), clipping each to the hop window.
+			stack := append([]int(nil), children[hop.ID]...)
+			for len(stack) > 0 {
+				ci := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				c := &t.Spans[ci]
+				stack = append(stack, children[c.ID]...)
+				d := clip(c, hop.Start, hop.End)
+				switch c.Kind {
+				case KindQueue:
+					hb.Queue += d
+				case KindBackoff:
+					hb.Backoff += d
+				case KindDefer:
+					hb.Defer += d
+					if hb.DeferBy == nil {
+						hb.DeferBy = make(map[topology.NodeID]time.Duration)
+					}
+					hb.DeferBy[c.Peer] += d
+				case KindAirtime:
+					hb.Airtime += d
+				case KindRetry:
+					hb.Retries++
+				}
+			}
+			hb.Other = (hb.End - hb.Start) - hb.Queue - hb.Backoff - hb.Defer - hb.Airtime
+			rep.Hops = append(rep.Hops, hb)
+		}
+		sort.SliceStable(rep.Hops, func(a, b int) bool { return rep.Hops[a].Start < rep.Hops[b].Start })
+		rep.Exact = len(rep.Hops) > 0 && rep.Hops[0].Start == rep.Created && rep.Hops[len(rep.Hops)-1].End == rep.Done
+		for i := 1; i < len(rep.Hops); i++ {
+			if rep.Hops[i].Start != rep.Hops[i-1].End {
+				rep.Exact = false
+			}
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+// WaitStat aggregates time spent in one wait state at one node.
+type WaitStat struct {
+	Node  topology.NodeID
+	Kind  Kind
+	Total time.Duration
+	Count int64
+}
+
+// TopWaits aggregates queue, backoff, defer, and source-blocked time
+// by (node, kind) across all sampled packets, sorted by total
+// descending (ties broken by node then kind for determinism).
+func TopWaits(t *Trace) []WaitStat {
+	type key struct {
+		node topology.NodeID
+		kind Kind
+	}
+	agg := make(map[key]*WaitStat)
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		switch s.Kind {
+		case KindQueue, KindBackoff, KindDefer, KindBlocked:
+		default:
+			continue
+		}
+		k := key{s.Node, s.Kind}
+		w := agg[k]
+		if w == nil {
+			w = &WaitStat{Node: s.Node, Kind: s.Kind}
+			agg[k] = w
+		}
+		w.Total += s.End - s.Start
+		w.Count++
+	}
+	out := make([]WaitStat, 0, len(agg))
+	for _, w := range agg {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Total != out[b].Total {
+			return out[a].Total > out[b].Total
+		}
+		if out[a].Node != out[b].Node {
+			return out[a].Node < out[b].Node
+		}
+		return out[a].Kind < out[b].Kind
+	})
+	return out
+}
+
+// LimitChain returns the flow's limit-change provenance records in
+// order (all flows when flow < 0).
+func LimitChain(t *Trace, flow packet.FlowID) []LimitSpan {
+	var out []LimitSpan
+	for i := range t.Limits {
+		if flow < 0 || t.Limits[i].Flow == flow {
+			out = append(out, t.Limits[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"gmp/internal/packet"
+)
+
+// fakeClock is a settable virtual clock for driving a Recorder directly.
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) now() time.Duration { return c.t }
+
+func pkt(flow packet.FlowID, seq int64) *packet.Packet {
+	return &packet.Packet{Flow: flow, Src: 0, Dst: 3, Seq: seq, Created: 0}
+}
+
+// TestNilRecorderZeroAllocs pins the spans-off contract: every hook on a
+// nil *Recorder is a no-op with zero allocations, so leaving tracing
+// disabled costs the producers nothing but a branch.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	p := pkt(0, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Sampled(0, 0)
+		r.SourceBlocked(p)
+		r.Admitted(1, p)
+		r.Dropped(1, p, "overflow")
+		r.Delivered(p)
+		r.Requeued(1, p)
+		r.MACPulled(1, p)
+		r.BackoffStart(1, p, 7)
+		r.BackoffEnd(1, p)
+		r.MACDeferred(1, p)
+		r.MACResumed(1, p)
+		r.MACRetry(1, p, 1)
+		r.DataAirtime(p, 1, 2, 0, 0)
+		r.DataCorrupted(p, 1, 2)
+		r.NodeBusy(1, 2)
+		r.NodeIdle(1)
+		r.Condition(0, 1, "bandwidth", true, 0.9, "c", nil, 0.5)
+		r.LimitChange(0, 0, "reduce", 100, 90)
+		r.Finalize("s", "p", time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder hooks allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestUnsampledZeroAllocs pins that a live recorder ignores unsampled
+// packets without allocating: at the default 1-in-64 stride the hot path
+// must stay allocation free for 63 of 64 packets.
+func TestUnsampledZeroAllocs(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(4, 2, 1, 64, clk.now)
+	// Find a seq the per-flow phase does not sample.
+	var p *packet.Packet
+	for seq := int64(0); seq < 64; seq++ {
+		if !r.Sampled(0, seq) {
+			p = pkt(0, seq)
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.SourceBlocked(p)
+		r.Admitted(1, p)
+		r.MACPulled(1, p)
+		r.BackoffStart(1, p, 7)
+		r.MACDeferred(1, p)
+		r.DataAirtime(p, 1, 2, 0, 0)
+		r.Delivered(p)
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled-packet hooks allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestSamplingDeterministic pins that the sampled set is a pure function
+// of (seed, flow, stride) and never empty.
+func TestSamplingDeterministic(t *testing.T) {
+	clk := &fakeClock{}
+	a := NewRecorder(4, 8, 42, 64, clk.now)
+	b := NewRecorder(4, 8, 42, 64, clk.now)
+	for f := packet.FlowID(0); f < 8; f++ {
+		hits := 0
+		for seq := int64(0); seq < 256; seq++ {
+			if a.Sampled(f, seq) != b.Sampled(f, seq) {
+				t.Fatalf("flow %d seq %d: same seed disagrees", f, seq)
+			}
+			if a.Sampled(f, seq) {
+				hits++
+			}
+		}
+		if hits != 4 {
+			t.Fatalf("flow %d: %d hits in 256 seqs at stride 64, want 4", f, hits)
+		}
+	}
+	// Different seeds must shift at least one flow's phase.
+	c := NewRecorder(4, 8, 43, 64, clk.now)
+	same := true
+	for f := packet.FlowID(0); f < 8 && same; f++ {
+		for seq := int64(0); seq < 64; seq++ {
+			if a.Sampled(f, seq) != c.Sampled(f, seq) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 sample identical sets across 8 flows")
+	}
+	if a.Sampled(-1, 0) || a.Sampled(99, 0) {
+		t.Fatal("out-of-range flows must never sample")
+	}
+	if NewRecorder(4, 2, 1, 0, clk.now).SampleEvery() != DefaultSampleEvery {
+		t.Fatalf("stride < 1 must fall back to DefaultSampleEvery")
+	}
+}
+
+// TestConditionTieBreakOrderIndependent pins that same-instant conditions
+// retain the same provenance regardless of arrival order (the engine
+// iterates Go maps while evaluating).
+func TestConditionTieBreakOrderIndependent(t *testing.T) {
+	clk := &fakeClock{t: time.Second}
+	condA := func(r *Recorder) {
+		r.Condition(0, 3, "bandwidth", true, 0.9, "1.0", []float64{0.77, 0.86}, 0.86)
+	}
+	condB := func(r *Recorder) {
+		r.Condition(0, 3, "bandwidth", true, 0.9, "1.0", []float64{0.86}, 0.86)
+	}
+	record := func(first, second func(*Recorder)) LimitSpan {
+		r := NewRecorder(4, 1, 1, 1, clk.now)
+		first(r)
+		second(r)
+		r.LimitChange(0, 0, "reduce", 100, 90)
+		return r.Finalize("s", "p", time.Second).Limits[0]
+	}
+	ab := record(condA, condB)
+	ba := record(condB, condA)
+	if ab.Clique != ba.Clique || ab.MaxOcc != ba.MaxOcc || len(ab.Occupancy) != len(ba.Occupancy) {
+		t.Fatalf("provenance depends on arrival order: %+v vs %+v", ab, ba)
+	}
+	for i := range ab.Occupancy {
+		if ab.Occupancy[i] != ba.Occupancy[i] {
+			t.Fatalf("occupancy depends on arrival order: %v vs %v", ab.Occupancy, ba.Occupancy)
+		}
+	}
+	// A strictly newer condition must win regardless of canonical order.
+	r := NewRecorder(4, 1, 1, 1, clk.now)
+	condB(r)
+	clk.t = 2 * time.Second
+	r.Condition(0, 9, "source", true, 0.5, "", nil, 0)
+	r.LimitChange(0, 0, "reduce", 100, 50)
+	got := r.Finalize("s", "p", 2*time.Second).Limits[0]
+	if got.Cond != "source" || got.Node != 9 {
+		t.Fatalf("newer condition lost to an older one: %+v", got)
+	}
+}
+
+// buildTrace drives a recorder through one delivered two-hop packet, a
+// dropped packet, and a limit change, returning the finalized trace.
+func buildTrace(t *testing.T) *Trace {
+	t.Helper()
+	clk := &fakeClock{}
+	r := NewRecorder(4, 2, 1, 1, clk.now) // stride 1: everything sampled
+	p := pkt(0, 0)
+
+	// The flow layer regenerates a refused packet with a fresh Created
+	// stamp, so creation coincides with admission and the blocked span
+	// precedes the root window.
+	clk.t = 1 * time.Millisecond
+	p.Created = clk.t
+	r.SourceBlocked(p)
+	clk.t = 2 * time.Millisecond
+	p.Created = clk.t
+	r.Admitted(0, p)
+	clk.t = 3 * time.Millisecond
+	r.MACPulled(0, p)
+	r.BackoffStart(0, p, 7)
+	clk.t = 4 * time.Millisecond
+	r.BackoffEnd(0, p)
+	r.NodeBusy(0, 2)
+	r.MACDeferred(0, p)
+	clk.t = 5 * time.Millisecond
+	r.NodeIdle(0)
+	r.MACResumed(0, p)
+	r.MACRetry(0, p, 1)
+	r.DataAirtime(p, 0, 1, clk.t, clk.t+time.Millisecond)
+	clk.t = 6 * time.Millisecond
+	r.Admitted(1, p)
+	clk.t = 7 * time.Millisecond
+	r.MACPulled(1, p)
+	r.DataAirtime(p, 1, 3, clk.t, clk.t+time.Millisecond)
+	r.DataCorrupted(p, 1, 3)
+	clk.t = 8 * time.Millisecond
+	r.Delivered(p)
+
+	q := pkt(1, 0)
+	clk.t = 9 * time.Millisecond
+	r.Admitted(0, q)
+	clk.t = 10 * time.Millisecond
+	r.Dropped(0, q, "overflow")
+
+	r.Condition(0, 3, "bandwidth", true, 0.9, "1.0", []float64{0.86}, 0.86)
+	r.LimitChange(0, 0, "reduce", 100, 90)
+
+	return r.Finalize("unit", "gmp", 10*time.Millisecond)
+}
+
+// TestJSONLRoundTrip pins the export format: writing, re-reading, and
+// re-writing a trace must reproduce the byte stream exactly.
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := buildTrace(t)
+	var a bytes.Buffer
+	if err := tr.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	back, counts, err := ReadJSONL(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip rejected its own output: %v", err)
+	}
+	if counts["meta"] != 1 || counts["span"] != len(tr.Spans) || counts["limit"] != len(tr.Limits) {
+		t.Fatalf("counts %v do not match trace (%d spans, %d limits)", counts, len(tr.Spans), len(tr.Limits))
+	}
+	var b bytes.Buffer
+	if err := back.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("write → read → write is not byte identical")
+	}
+}
+
+// TestTraceShape pins the semantic content of the recorded tree.
+func TestTraceShape(t *testing.T) {
+	tr := buildTrace(t)
+	byKind := make(map[Kind][]*Span)
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+		if s.End < s.Start {
+			t.Fatalf("span %d: end %v before start %v", s.ID, s.End, s.Start)
+		}
+		if s.Parent >= s.ID {
+			t.Fatalf("span %d: parent %d is not an earlier span", s.ID, s.Parent)
+		}
+	}
+	if n := len(byKind[KindPacket]); n != 2 {
+		t.Fatalf("want 2 packet roots, got %d", n)
+	}
+	if got := byKind[KindPacket][0].Detail; got != "delivered" {
+		t.Fatalf("first root outcome %q, want delivered", got)
+	}
+	if got := byKind[KindPacket][1].Detail; got != "drop:overflow" {
+		t.Fatalf("second root outcome %q, want drop:overflow", got)
+	}
+	if n := len(byKind[KindHop]); n != 3 {
+		t.Fatalf("want 3 hop spans (2 delivered + 1 dropped), got %d", n)
+	}
+	if d := byKind[KindDefer]; len(d) != 1 || d[0].Peer != 2 || d[0].Detail != "cs" {
+		t.Fatalf("defer span should attribute node 2 via cs, got %+v", d)
+	}
+	if b := byKind[KindBackoff]; len(b) != 1 || b[0].Val != 7 {
+		t.Fatalf("backoff span should carry drawn slots 7, got %+v", b)
+	}
+
+	paths := CriticalPaths(tr, 0)
+	if len(paths) != 1 {
+		t.Fatalf("want 1 critical path for flow 0, got %d", len(paths))
+	}
+	p := paths[0]
+	if !p.Exact {
+		t.Fatalf("two-hop delivery should tile exactly: %+v", p)
+	}
+	if len(p.Hops) != 2 || p.Hops[0].Node != 0 || p.Hops[0].Next != 1 || p.Hops[1].Node != 1 || p.Hops[1].Next != 3 {
+		t.Fatalf("hop sequence wrong: %+v", p.Hops)
+	}
+	if p.Blocked != time.Millisecond {
+		t.Fatalf("blocked time %v, want 1ms", p.Blocked)
+	}
+	if p.Hops[0].Retries != 1 {
+		t.Fatalf("first hop retries %d, want 1", p.Hops[0].Retries)
+	}
+	if p.Hops[0].DeferBy[2] != time.Millisecond {
+		t.Fatalf("defer attribution %v, want 1ms to node 2", p.Hops[0].DeferBy)
+	}
+
+	waits := TopWaits(tr)
+	if len(waits) == 0 {
+		t.Fatal("no wait stats")
+	}
+	for i := 1; i < len(waits); i++ {
+		if waits[i].Total > waits[i-1].Total {
+			t.Fatalf("TopWaits not sorted descending: %+v", waits)
+		}
+	}
+
+	chain := LimitChain(tr, 0)
+	if len(chain) != 1 || chain[0].Cond != "bandwidth" || chain[0].Clique != "1.0" {
+		t.Fatalf("limit chain provenance wrong: %+v", chain)
+	}
+}
+
+// TestValidateJSONLRejects pins the strictness of the schema validator:
+// each malformed stream must fail with an error naming the problem.
+func TestValidateJSONLRejects(t *testing.T) {
+	meta := `{"type":"meta","scenario":"s","protocol":"p","seed":1,"sample_every":64,"nodes":4,"flows":2,"duration_ns":1000}`
+	span1 := `{"type":"span","id":1,"parent":0,"kind":"packet","flow":0,"seq":0,"node":0,"peer":3,"start_ns":0,"end_ns":10}`
+	cases := []struct {
+		name    string
+		stream  string
+		wantErr string
+	}{
+		{"empty", "", "no meta"},
+		{"meta not first", span1 + "\n" + meta, "first record must be meta"},
+		{"duplicate meta", meta + "\n" + meta, "duplicate meta"},
+		{"bad sample_every", `{"type":"meta","scenario":"s","protocol":"p","seed":1,"sample_every":0,"nodes":4,"flows":2,"duration_ns":1000}`, "sample_every"},
+		{"not json", "not json at all", "not a JSON object"},
+		{"unknown type", meta + "\n" + `{"type":"mystery"}`, "unknown record type"},
+		{"unknown field", meta + "\n" + `{"type":"span","id":1,"parent":0,"kind":"packet","flow":0,"seq":0,"node":0,"peer":3,"start_ns":0,"end_ns":10,"bogus":1}`, "unknown field"},
+		{"span id gap", meta + "\n" + `{"type":"span","id":2,"parent":0,"kind":"packet","flow":0,"seq":0,"node":0,"peer":3,"start_ns":0,"end_ns":10}`, "out of order"},
+		{"unknown kind", meta + "\n" + `{"type":"span","id":1,"parent":0,"kind":"warp","flow":0,"seq":0,"node":0,"peer":3,"start_ns":0,"end_ns":10}`, "unknown kind"},
+		{"parent not earlier", meta + "\n" + `{"type":"span","id":1,"parent":1,"kind":"packet","flow":0,"seq":0,"node":0,"peer":3,"start_ns":0,"end_ns":10}`, "not an earlier span"},
+		{"end before start", meta + "\n" + `{"type":"span","id":1,"parent":0,"kind":"packet","flow":0,"seq":0,"node":0,"peer":3,"start_ns":10,"end_ns":0}`, "before start"},
+		{"negative val", meta + "\n" + `{"type":"span","id":1,"parent":0,"kind":"backoff","flow":0,"seq":0,"node":0,"peer":-1,"start_ns":0,"end_ns":10,"val":-1}`, "negative val"},
+		{"unknown action", meta + "\n" + `{"type":"limit","id":1,"at_ns":0,"flow":0,"action":"teleport","before":1,"after":2,"node":0,"cond_at_ns":0}`, "unknown action"},
+		{"limit below -1", meta + "\n" + `{"type":"limit","id":1,"at_ns":0,"flow":0,"action":"reduce","before":-2,"after":2,"node":0,"cond_at_ns":0}`, "below -1"},
+		{"negative occupancy", meta + "\n" + `{"type":"limit","id":1,"at_ns":0,"flow":0,"action":"reduce","before":1,"after":2,"node":0,"cond_at_ns":0,"occupancy":[-0.5]}`, "negative occupancy"},
+		{"limit id gap", meta + "\n" + `{"type":"limit","id":3,"at_ns":0,"flow":0,"action":"reduce","before":1,"after":2,"node":0,"cond_at_ns":0}`, "out of order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateJSONL(strings.NewReader(tc.stream))
+			if err == nil {
+				t.Fatalf("validator accepted %q", tc.stream)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	// And the valid minimal stream must pass.
+	if _, err := ValidateJSONL(strings.NewReader(meta + "\n" + span1)); err != nil {
+		t.Fatalf("validator rejected a valid stream: %v", err)
+	}
+}
+
+// TestPerfettoWellFormed pins that the Chrome trace-event export is a
+// valid JSON array of complete/metadata events.
+func TestPerfettoWellFormed(t *testing.T) {
+	tr := buildTrace(t)
+	var b bytes.Buffer
+	if err := tr.WriteTraceEvent(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("trace-event output is not valid JSON:\n%s", b.String())
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events exported")
+	}
+	sawComplete, sawMeta := false, false
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			sawComplete = true
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event without dur: %v", ev)
+			}
+		case "M":
+			sawMeta = true
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if !sawComplete || !sawMeta {
+		t.Fatal("export should contain both complete (X) and metadata (M) events")
+	}
+}

@@ -100,9 +100,30 @@ func Filter(events []Event, node topology.NodeID, kind Kind) []Event {
 }
 
 // Filtered returns the ring's held events restricted by Filter's rules,
-// oldest first.
+// oldest first. It walks the ring in place and allocates only once a
+// matching event is found, so a miss costs nothing — callers can probe
+// large rings for rare events (a node's drops, say) on a hot path.
 func (r *Ring) Filtered(node topology.NodeID, kind Kind) []Event {
-	return Filter(r.Events(), node, kind)
+	n := r.Len()
+	start := 0
+	if r.full {
+		start = r.next
+	}
+	var out []Event
+	for i := 0; i < n; i++ {
+		e := &r.events[(start+i)%len(r.events)]
+		if node >= 0 && e.Node != node && e.Peer != node {
+			continue
+		}
+		if kind != 0 && e.Kind != kind {
+			continue
+		}
+		if out == nil {
+			out = make([]Event, 0, n-i)
+		}
+		out = append(out, *e)
+	}
+	return out
 }
 
 // Ring is a bounded in-memory event recorder. The zero value is unusable;

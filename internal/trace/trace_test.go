@@ -1,9 +1,12 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
+
+	"gmp/internal/topology"
 )
 
 func ev(i int) Event {
@@ -66,6 +69,80 @@ func TestDumpFormat(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("dump %q missing %q", out, want)
 		}
+	}
+}
+
+// TestDumpWraparoundGolden pins Dump's exact output after the ring has
+// wrapped: eviction order, column layout, and padding are all part of
+// the contract tools parse.
+func TestDumpWraparoundGolden(t *testing.T) {
+	r := NewRing(3)
+	kinds := []Kind{KindTransmit, KindDeliver, KindCorrupt, KindDrop, KindTransmit}
+	for i, k := range kinds {
+		peer := topologyPeer(i)
+		r.Record(Event{
+			At:     time.Duration(i+1) * 250 * time.Microsecond,
+			Kind:   k,
+			Node:   topology.NodeID(i % 3),
+			Peer:   peer,
+			Detail: fmt.Sprintf("DATA #%d", i),
+		})
+	}
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"       750µs col  n2   peer 3   DATA #2\n" +
+		"         1ms drop n0   peer -1  DATA #3\n" +
+		"      1.25ms tx   n1   peer 5   DATA #4\n"
+	if sb.String() != want {
+		t.Errorf("wrapped dump:\n got: %q\nwant: %q", sb.String(), want)
+	}
+}
+
+// topologyPeer gives event i a distinguishable peer; drops have none.
+func topologyPeer(i int) topology.NodeID {
+	if i == 3 {
+		return -1
+	}
+	return topology.NodeID(i + 1)
+}
+
+// TestFilteredNoMatchZeroAllocs pins the hot-path guarantee: probing a
+// full, wrapped ring for events that are not there allocates nothing.
+func TestFilteredNoMatchZeroAllocs(t *testing.T) {
+	r := NewRing(512)
+	for i := 0; i < 800; i++ {
+		r.Record(ev(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := r.Filtered(99, 0); got != nil {
+			t.Fatalf("unexpected match: %v", got)
+		}
+		if got := r.Filtered(1, KindDrop); got != nil {
+			t.Fatalf("unexpected match: %v", got)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Filtered miss allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestFilteredSingleAllocOnHit: one output slice, sized to the worst
+// case remaining, is the only allocation on a match.
+func TestFilteredSingleAllocOnHit(t *testing.T) {
+	r := NewRing(256)
+	for i := 0; i < 400; i++ {
+		r.Record(ev(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := r.Filtered(1, KindTransmit); len(got) != 256 {
+			t.Fatalf("matches = %d, want 256", len(got))
+		}
+	})
+	if allocs != 1 {
+		t.Errorf("Filtered hit allocates %v times per run, want 1", allocs)
 	}
 }
 
